@@ -1,0 +1,62 @@
+// Command etstable prints the paper's Table 1 — the expected trust
+// supplement (ETS) for every (required TL, offered TL) pair — under either
+// reading of the F row.
+//
+// Usage:
+//
+//	etstable                  # literal Table 1 (F row = 6 everywhere)
+//	etstable -rule linear     # linear variant (F row = 6 − OTL)
+//	etstable -format markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridtrust"
+	"gridtrust/internal/grid"
+	"gridtrust/internal/report"
+)
+
+func main() {
+	var (
+		rule   = flag.String("rule", "table1", "ETS rule: table1 (literal) or linear")
+		format = flag.String("format", "ascii", "output format: ascii, markdown or csv")
+	)
+	flag.Parse()
+
+	var tb *report.Table
+	switch *rule {
+	case "table1":
+		tb = gridtrust.ETSRows()
+	case "linear":
+		tb = report.NewTable(
+			"Table 1 (linear variant). Expected trust supplement values with ETS = max(RTL−OTL, 0).",
+			"requested TL", "A", "B", "C", "D", "E")
+		for r := grid.LevelA; r <= grid.LevelF; r++ {
+			row := []string{r.String()}
+			for o := grid.MinOfferable; o <= grid.MaxOfferable; o++ {
+				v, err := grid.ETSWith(grid.ETSLinear, r, o)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				row = append(row, fmt.Sprintf("%d", v))
+			}
+			tb.AddRow(row...)
+		}
+	default:
+		fatalf("-rule must be table1 or linear, got %q", *rule)
+	}
+
+	out, err := tb.Render(*format)
+	if err != nil {
+		fatalf("render: %v", err)
+	}
+	fmt.Print(out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "etstable: "+format+"\n", args...)
+	os.Exit(1)
+}

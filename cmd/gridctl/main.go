@@ -1,0 +1,159 @@
+// Command gridctl is the command-line client for gridtrustd: it submits
+// tasks, reports outcomes and queries daemon statistics over the rmswire
+// protocol.
+//
+// Usage:
+//
+//	gridctl -addr 127.0.0.1:7431 submit -client 0 -activities 0,1 -rtl E -eec 100,110,95
+//	gridctl -addr 127.0.0.1:7431 report -placement 3 -outcome 5.5
+//	gridctl -addr 127.0.0.1:7431 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gridtrust/internal/grid"
+	"gridtrust/internal/rmswire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7431", "gridtrustd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	client, err := rmswire.Dial(*addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "submit":
+		err = cmdSubmit(client, args[1:])
+	case "report":
+		err = cmdReport(client, args[1:])
+	case "stats":
+		err = cmdStats(client)
+	default:
+		usage()
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func cmdSubmit(client *rmswire.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	clientID := fs.Int("client", 0, "client id")
+	activities := fs.String("activities", "0", "comma-separated activity ids (0=compute,1=storage,2=print,3=display,4=network)")
+	rtl := fs.String("rtl", "C", "required trust level A-F")
+	eec := fs.String("eec", "", "comma-separated expected execution costs, one per machine")
+	now := fs.Float64("now", 0, "submission time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	acts, err := parseActivities(*activities)
+	if err != nil {
+		return err
+	}
+	level, err := grid.ParseLevel(*rtl)
+	if err != nil {
+		return err
+	}
+	costs, err := parseFloats(*eec)
+	if err != nil {
+		return fmt.Errorf("bad -eec: %w", err)
+	}
+	p, err := client.Submit(grid.ClientID(*clientID), acts, level, costs, *now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placement %d: machine %d (RD %d)  OTL=%s TC=%d  EEC=%.1f ESC=%.1f ECC=%.1f  start=%.1f finish=%.1f\n",
+		p.ID, p.Machine, p.RD, p.OTL, p.TC, p.EEC, p.ESC, p.ECC, p.Start, p.Finish)
+	return nil
+}
+
+func cmdReport(client *rmswire.Client, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	placement := fs.Uint64("placement", 0, "placement id from submit")
+	outcome := fs.Float64("outcome", 6, "observed behaviour on [1,6]")
+	now := fs.Float64("now", 0, "report time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := client.Report(*placement, *outcome, *now); err != nil {
+		return err
+	}
+	fmt.Printf("reported outcome %.1f for placement %d\n", *outcome, *placement)
+	return nil
+}
+
+func cmdStats(client *rmswire.Client) error {
+	st, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placed:            %d\n", st.Placed)
+	fmt.Printf("open placements:   %d\n", st.OpenPlacements)
+	fmt.Printf("agents processed:  %d (committed %d, rejected %d)\n",
+		st.AgentsProcessed, st.AgentsCommitted, st.AgentsRejected)
+	fmt.Printf("trust table:       version %d, %d entries\n", st.TableVersion, st.TableEntries)
+	return nil
+}
+
+func parseActivities(s string) ([]grid.Activity, error) {
+	parts := strings.Split(s, ",")
+	out := make([]grid.Activity, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad activity %q", p)
+		}
+		out = append(out, grid.Activity(v))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no activities given")
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats} [flags]")
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gridctl: "+format+"\n", args...)
+	os.Exit(1)
+}

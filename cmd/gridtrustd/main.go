@@ -1,0 +1,147 @@
+// Command gridtrustd runs the trust-aware resource management system as a
+// network daemon: the Figure 1 architecture (trust engine, monitoring
+// agents, central trust-level table, trust-aware scheduler) behind a
+// newline-delimited JSON protocol.
+//
+// Usage:
+//
+//	gridtrustd -addr 127.0.0.1:7431 -topology-seed 7
+//	gridtrustd -demo           # serve, drive a demo client, then exit
+//
+// The topology is drawn by internal/gridgen from -topology-seed; a real
+// deployment would construct its grid.Topology from inventory instead.
+// Protocol (one JSON object per line):
+//
+//	{"op":"submit","client":0,"activities":[0],"rtl":"E","eec":[100,110],"now":0}
+//	{"op":"report","placement_id":1,"outcome":6,"now":1}
+//	{"op":"stats"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gridtrust/internal/core"
+	"gridtrust/internal/grid"
+	"gridtrust/internal/gridgen"
+	"gridtrust/internal/rmswire"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/trust"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7431", "listen address")
+		seed     = flag.Uint64("topology-seed", 7, "seed for the generated grid topology")
+		domains  = flag.Int("domains", 3, "grid domains to generate")
+		agents   = flag.Int("agents", 2, "monitoring agents")
+		tcWeight = flag.Float64("tcweight", 15, "trust-cost weight of the ESC formula")
+		demo     = flag.Bool("demo", false, "drive a short demo client against the daemon and exit")
+		dot      = flag.Bool("dot", false, "print the topology as Graphviz DOT and exit")
+	)
+	flag.Parse()
+
+	top, err := gridgen.Generate(rng.New(*seed), gridgen.Spec{GridDomains: *domains})
+	if err != nil {
+		fatalf("topology: %v", err)
+	}
+	if *dot {
+		if err := grid.WriteDOT(os.Stdout, top, nil); err != nil {
+			fatalf("dot: %v", err)
+		}
+		return
+	}
+	trms, err := core.New(core.Config{
+		Topology: top,
+		Agents:   *agents,
+		TCWeight: *tcWeight,
+		Trust:    trust.Config{Alpha: 0.8, Beta: 0.2, Smoothing: 0.4},
+	})
+	if err != nil {
+		fatalf("TRMS: %v", err)
+	}
+	defer trms.Close()
+
+	srv, err := rmswire.NewServer(trms)
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("gridtrustd listening on %s\n", bound)
+	fmt.Printf("topology: %s, %d trust entries\n", grid.Summary(top), trms.Table().Len())
+
+	if *demo {
+		if err := runDemo(bound.String(), top); err != nil {
+			fatalf("demo: %v", err)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+// runDemo exercises the daemon end to end with a handful of tasks.
+func runDemo(addr string, top *grid.Topology) error {
+	client, err := rmswire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	clientID := top.Clients()[0].ID
+	nMachines := len(top.Machines())
+	// Find an activity every RD supports so the demo always schedules;
+	// fall back to compute.
+	act := grid.ActCompute
+	for a := grid.Activity(0); a < grid.NumBuiltinActivities; a++ {
+		supported := true
+		for _, rd := range top.ResourceDomains() {
+			if _, ok := rd.Supported[a]; !ok {
+				supported = false
+				break
+			}
+		}
+		if supported {
+			act = a
+			break
+		}
+	}
+	for i := 0; i < 5; i++ {
+		eec := make([]float64, nMachines)
+		for m := range eec {
+			eec[m] = 100 + float64((i*7+m*13)%40)
+		}
+		p, err := client.Submit(clientID, []grid.Activity{act}, grid.LevelD, eec, float64(i*10))
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		fmt.Printf("demo: task %d → machine %d (RD %d), TC=%d, ECC=%.1f\n",
+			i, p.Machine, p.RD, p.TC, p.ECC)
+		if err := client.Report(p.ID, 5.5, float64(i*10+5)); err != nil {
+			return fmt.Errorf("report %d: %w", i, err)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demo: placed=%d agents processed=%d committed=%d table v%d\n",
+		st.Placed, st.AgentsProcessed, st.AgentsCommitted, st.TableVersion)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gridtrustd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command secbench reproduces the security-overhead measurements of the
+// paper's Section 5.1: secure (scp) versus plain (rcp) file transfer on
+// 100 and 1000 Mbps networks (Tables 2 and 3) and the MiSFIT / SASI x86SFI
+// sandboxing overheads.
+//
+// Usage:
+//
+//	secbench                 # Tables 2 and 3 plus the sandboxing summary
+//	secbench -net 1000       # Table 3 only
+//	secbench -sandbox        # sandboxing summary only
+//	secbench -sizes 1,64,2048 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gridtrust"
+	"gridtrust/internal/report"
+	"gridtrust/internal/secover"
+)
+
+func main() {
+	var (
+		net     = flag.Float64("net", 0, "network speed in Mbps (100 or 1000; 0 = both)")
+		sandbox = flag.Bool("sandbox", false, "print only the sandboxing overheads")
+		format  = flag.String("format", "ascii", "output format: ascii, markdown or csv")
+		sizes   = flag.String("sizes", "", "comma-separated file sizes in MB (default: the paper's 1,10,100,500,1000)")
+	)
+	flag.Parse()
+
+	if *sandbox {
+		printTable(gridtrust.SandboxTable(), *format)
+		return
+	}
+
+	sizeList := secover.PaperSizes
+	if *sizes != "" {
+		var err error
+		sizeList, err = parseFloats(*sizes)
+		if err != nil {
+			fatalf("bad -sizes: %v", err)
+		}
+	}
+
+	speeds := []float64{100, 1000}
+	if *net != 0 {
+		speeds = []float64{*net}
+	}
+	for _, mbps := range speeds {
+		link, err := secover.LinkFor(mbps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rows, err := link.Table(sizeList)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		id := gridtrust.Table2Transfer100
+		if mbps == 1000 {
+			id = gridtrust.Table3Transfer1000
+		}
+		tb := report.NewTable(id.Title(),
+			"File size/MB", "Using rcp/(sec)", "Using scp/(sec)", "Overhead")
+		for _, r := range rows {
+			tb.AddRow(
+				fmt.Sprintf("%g", r.SizeMB),
+				fmt.Sprintf("%.2f", r.RcpSeconds),
+				fmt.Sprintf("%.2f", r.ScpSeconds),
+				report.Percent(r.OverheadPercent, 2),
+			)
+		}
+		printTable(tb, *format)
+		fmt.Printf("  asymptotic overhead (cipher-bound): %s\n\n",
+			report.Percent(link.AsymptoticOverheadPercent(), 1))
+	}
+
+	fmt.Println("Sandboxing overheads cited in Section 5.1:")
+	printTable(gridtrust.SandboxTable(), *format)
+}
+
+func printTable(tb *report.Table, format string) {
+	out, err := tb.Render(format)
+	if err != nil {
+		fatalf("render: %v", err)
+	}
+	fmt.Print(out)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("%q is not a non-negative number", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "secbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,353 @@
+// Command sweep runs the ablation studies DESIGN.md calls out, exploring
+// the design space around the paper's fixed choices:
+//
+//	sweep -mode heuristics     # all nine heuristics, aware vs unaware
+//	sweep -mode tcweight       # sensitivity to the "arbitrary" TC weight 15
+//	sweep -mode heterogeneity  # LoLo/LoHi/HiLo/HiHi × consistency classes
+//	sweep -mode batch          # batch-interval sensitivity (batch heuristics)
+//	sweep -mode machines       # machine-count scaling
+//	sweep -mode etsrule        # literal Table 1 F-row vs linear variant
+//	sweep -mode rate           # arrival-rate (load) sensitivity
+//	sweep -mode evolving       # evolving trust: incident-rate sensitivity
+//	sweep -mode deadline       # QoS extension: deadline miss rates
+//	sweep -mode staging        # data staging: rcp-when-trusted vs scp-always
+//
+// Every mode prints one row per configuration with the trust-aware
+// improvement over the trust-unaware baseline on identical workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridtrust/internal/grid"
+	"gridtrust/internal/report"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/sim"
+	"gridtrust/internal/workload"
+)
+
+type config struct {
+	seed    uint64
+	reps    int
+	workers int
+	format  string
+	tasks   int
+	chart   bool
+}
+
+func main() {
+	var (
+		mode    = flag.String("mode", "heuristics", "sweep mode: heuristics, tcweight, heterogeneity, batch, machines, etsrule, rate, evolving, deadline or staging")
+		seed    = flag.Uint64("seed", 2002, "master random seed")
+		reps    = flag.Int("reps", 30, "paired replications per configuration")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		format  = flag.String("format", "ascii", "output format: ascii, markdown or csv")
+		tasks   = flag.Int("tasks", 100, "tasks per run")
+		chart   = flag.Bool("chart", false, "also render an improvement bar chart for scalar sweeps")
+	)
+	flag.Parse()
+	cfg := config{seed: *seed, reps: *reps, workers: *workers, format: *format, tasks: *tasks, chart: *chart}
+
+	var err error
+	switch *mode {
+	case "heuristics":
+		err = sweepHeuristics(cfg)
+	case "tcweight":
+		err = sweepTCWeight(cfg)
+	case "heterogeneity":
+		err = sweepHeterogeneity(cfg)
+	case "batch":
+		err = sweepBatchInterval(cfg)
+	case "machines":
+		err = sweepMachines(cfg)
+	case "etsrule":
+		err = sweepETSRule(cfg)
+	case "rate":
+		err = sweepRate(cfg)
+	case "evolving":
+		err = sweepEvolving(cfg)
+	case "deadline":
+		err = sweepDeadline(cfg)
+	case "staging":
+		err = sweepStaging(cfg)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one paired comparison and returns the result row.
+func run(cfg config, sc sim.Scenario) (*sim.Comparison, error) {
+	return sim.Compare(sc, cfg.seed, cfg.reps, cfg.workers)
+}
+
+// addRow appends the standard metric row for a comparison, and the point
+// to an optional improvement series for charting.
+func addRowSeries(tb *report.Table, series *report.Series, label string, cmp *sim.Comparison) {
+	addRow(tb, label, cmp)
+	if series != nil {
+		series.AddPoint(label, cmp.ImprovementPercent())
+	}
+}
+
+// addRow appends the standard metric row for a comparison.
+func addRow(tb *report.Table, label string, cmp *sim.Comparison) {
+	tb.AddRow(label,
+		report.Fraction(cmp.Unaware.Utilization.Mean(), 1),
+		report.Seconds(cmp.Unaware.AvgCompletion.Mean()),
+		report.Seconds(cmp.Aware.AvgCompletion.Mean()),
+		report.Percent(cmp.ImprovementPercent(), 2),
+		fmt.Sprintf("%v", cmp.CompletionPairs.Significant()),
+	)
+}
+
+func newSweepTable(title string, label string) *report.Table {
+	tb := report.NewTable(title,
+		label, "util (unaware)", "avg completion (unaware)", "avg completion (aware)", "improvement", "significant")
+	return tb
+}
+
+func emit(cfg config, tb *report.Table) error {
+	return emitWithChart(cfg, tb, nil)
+}
+
+// emitWithChart prints the table and, when -chart is set and a series was
+// collected, an improvement bar chart underneath.
+func emitWithChart(cfg config, tb *report.Table, series *report.Series) error {
+	out, err := tb.Render(cfg.format)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	if cfg.chart && series != nil && series.Len() > 0 {
+		chart, err := report.BarChart(series, 76)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(chart)
+	}
+	fmt.Println()
+	return nil
+}
+
+func sweepHeuristics(cfg config) error {
+	tb := newSweepTable(fmt.Sprintf("Heuristic sweep (inconsistent LoLo, %d tasks)", cfg.tasks), "heuristic")
+	immediate := []string{"olb", "met", "mct", "kpb", "sa"}
+	batch := []string{"minmin", "maxmin", "sufferage", "duplex", "ga", "sanneal", "gsa"}
+	for _, h := range immediate {
+		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
+		sc.Heuristic, sc.Mode = h, sim.Immediate
+		sc.Name = h
+		cmp, err := run(cfg, sc)
+		if err != nil {
+			return err
+		}
+		addRow(tb, h+" (immediate)", cmp)
+	}
+	for _, h := range batch {
+		sc := sim.PaperScenario("minmin", cfg.tasks, workload.Inconsistent)
+		sc.Heuristic, sc.Mode = h, sim.Batch
+		sc.Name = h
+		cmp, err := run(cfg, sc)
+		if err != nil {
+			return err
+		}
+		addRow(tb, h+" (batch)", cmp)
+	}
+	return emit(cfg, tb)
+}
+
+func sweepTCWeight(cfg config) error {
+	tb := newSweepTable(
+		fmt.Sprintf("TC-weight sweep (MCT, inconsistent LoLo, %d tasks; the paper fixes 15)", cfg.tasks),
+		"TC weight")
+	series := &report.Series{Name: "trust-aware improvement (%) by TC weight"}
+	for _, w := range []float64{0, 5, 10, 15, 20, 25, 30, 50} {
+		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
+		sc.TCWeight = w
+		cmp, err := run(cfg, sc)
+		if err != nil {
+			return err
+		}
+		addRowSeries(tb, series, fmt.Sprintf("%g", w), cmp)
+	}
+	return emitWithChart(cfg, tb, series)
+}
+
+func sweepHeterogeneity(cfg config) error {
+	tb := newSweepTable(
+		fmt.Sprintf("Heterogeneity sweep (MCT, %d tasks)", cfg.tasks), "class")
+	classes := []struct {
+		name string
+		het  workload.Heterogeneity
+	}{
+		{"LoLo", workload.LoLo}, {"LoHi", workload.LoHi},
+		{"HiLo", workload.HiLo}, {"HiHi", workload.HiHi},
+	}
+	for _, cl := range classes {
+		for _, cons := range []workload.Consistency{workload.Inconsistent, workload.Consistent, workload.SemiConsistent} {
+			sc := sim.PaperScenario("mct", cfg.tasks, cons)
+			sc.Heterogeneity = cl.het
+			// Heavier classes need proportionally slower arrivals to
+			// stay in the near-saturation regime.
+			scale := (cl.het.TaskRange * cl.het.MachineRange) / (workload.LoLo.TaskRange * workload.LoLo.MachineRange)
+			sc.ArrivalRate = sc.ArrivalRate / scale
+			cmp, err := run(cfg, sc)
+			if err != nil {
+				return err
+			}
+			addRow(tb, fmt.Sprintf("%s/%s", cl.name, cons), cmp)
+		}
+	}
+	return emit(cfg, tb)
+}
+
+func sweepBatchInterval(cfg config) error {
+	tb := newSweepTable(
+		fmt.Sprintf("Batch-interval sweep (Min-min & Sufferage, inconsistent LoLo, %d tasks)", cfg.tasks),
+		"heuristic/interval")
+	for _, h := range []string{"minmin", "sufferage"} {
+		for _, bi := range []float64{12.5, 25, 50, 100, 200, 400} {
+			sc := sim.PaperScenario(h, cfg.tasks, workload.Inconsistent)
+			sc.BatchInterval = bi
+			cmp, err := run(cfg, sc)
+			if err != nil {
+				return err
+			}
+			addRow(tb, fmt.Sprintf("%s/%g s", h, bi), cmp)
+		}
+	}
+	return emit(cfg, tb)
+}
+
+func sweepMachines(cfg config) error {
+	tb := newSweepTable(
+		fmt.Sprintf("Machine-count sweep (MCT, inconsistent LoLo, %d tasks; the paper fixes 5)", cfg.tasks),
+		"machines")
+	for _, m := range []int{2, 5, 10, 20, 40} {
+		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
+		sc.Machines = m
+		// Keep per-machine load constant as the pool grows.
+		sc.ArrivalRate = sc.ArrivalRate * float64(m) / 5
+		cmp, err := run(cfg, sc)
+		if err != nil {
+			return err
+		}
+		addRow(tb, fmt.Sprintf("%d", m), cmp)
+	}
+	return emit(cfg, tb)
+}
+
+func sweepETSRule(cfg config) error {
+	tb := newSweepTable(
+		fmt.Sprintf("ETS-rule sweep (all paper heuristics, inconsistent LoLo, %d tasks)", cfg.tasks),
+		"heuristic/rule")
+	for _, h := range []string{"mct", "minmin", "sufferage"} {
+		for _, rule := range []grid.ETSRule{grid.ETSTable1, grid.ETSLinear} {
+			sc := sim.PaperScenario(h, cfg.tasks, workload.Inconsistent)
+			sc.ETSRule = rule
+			cmp, err := run(cfg, sc)
+			if err != nil {
+				return err
+			}
+			addRow(tb, fmt.Sprintf("%s/%s", h, rule), cmp)
+		}
+	}
+	return emit(cfg, tb)
+}
+
+func sweepRate(cfg config) error {
+	tb := newSweepTable(
+		fmt.Sprintf("Arrival-rate sweep (MCT, inconsistent LoLo, %d tasks)", cfg.tasks),
+		"rate (req/s)")
+	series := &report.Series{Name: "trust-aware improvement (%) by arrival rate"}
+	for _, r := range []float64{0.01, 0.02, 0.03, 0.04, 0.06, 0.1, 0.2} {
+		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
+		sc.ArrivalRate = r
+		cmp, err := run(cfg, sc)
+		if err != nil {
+			return err
+		}
+		addRowSeries(tb, series, fmt.Sprintf("%g", r), cmp)
+	}
+	return emitWithChart(cfg, tb, series)
+}
+
+// sweepEvolving varies the misbehaving domain's incident rate in the
+// evolving-trust experiment and reports how decisively placements shift.
+func sweepEvolving(cfg config) error {
+	tb := report.NewTable(
+		fmt.Sprintf("Evolving-trust sweep (%d requests per run)", cfg.tasks),
+		"incident prob", "early share on bad RD", "late share on bad RD",
+		"final trust (good/bad)", "incidents (good/bad)")
+	for _, prob := range []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75} {
+		res, err := sim.RunEvolving(sim.EvolvingConfig{
+			Requests:               cfg.tasks,
+			UnreliableIncidentProb: prob,
+		}, rng.New(cfg.seed))
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.2f", prob),
+			report.Fraction(res.EarlyUnreliableShare, 1),
+			report.Fraction(res.LateUnreliableShare, 1),
+			fmt.Sprintf("%v/%v", res.FinalTrustReliable, res.FinalTrustUnreliable),
+			fmt.Sprintf("%d/%d", res.Incidents[sim.ReliableRD], res.Incidents[sim.UnreliableRD]),
+		)
+	}
+	return emit(cfg, tb)
+}
+
+// sweepDeadline attaches deadlines of varying slack and reports the miss
+// rates of the trust-aware and trust-unaware schedulers — the QoS
+// extension of DESIGN.md §6.
+func sweepDeadline(cfg config) error {
+	tb := report.NewTable(
+		fmt.Sprintf("Deadline sweep (MCT, inconsistent LoLo, %d tasks)", cfg.tasks),
+		"slack x mean EEC", "miss rate (unaware)", "miss rate (aware)", "improvement (avg completion)")
+	for _, slack := range []float64{2, 4, 8, 16, 32} {
+		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
+		sc.DeadlineSlack = slack
+		cmp, err := run(cfg, sc)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			fmt.Sprintf("%g", slack),
+			report.Fraction(cmp.Unaware.MissRate.Mean(), 1),
+			report.Fraction(cmp.Aware.MissRate.Mean(), 1),
+			report.Percent(cmp.ImprovementPercent(), 2),
+		)
+	}
+	return emit(cfg, tb)
+}
+
+// sweepStaging varies the per-request input size and reports the gain of
+// trusting rcp transfers over blanket scp — the experiment connecting
+// Tables 2-3 to the scheduling story.
+func sweepStaging(cfg config) error {
+	tb := report.NewTable(
+		fmt.Sprintf("Data-staging sweep (greedy MCT, %d requests, 100 Mbps link)", cfg.tasks),
+		"max input MB", "improvement", "plain-transfer share")
+	for _, maxMB := range []float64{10, 100, 500, 1000, 2000} {
+		imp, plain, err := sim.StagingSeries(sim.StagingConfig{
+			Requests: cfg.tasks, MaxInputMB: maxMB,
+		}, cfg.seed, cfg.reps)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(
+			fmt.Sprintf("%g", maxMB),
+			report.Percent(imp.Mean(), 2),
+			report.Fraction(plain.Mean(), 1),
+		)
+	}
+	return emit(cfg, tb)
+}

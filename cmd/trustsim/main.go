@@ -1,0 +1,190 @@
+// Command trustsim reproduces the simulation tables of the paper
+// (Tables 4-9): paired trust-aware vs trust-unaware runs of the MCT,
+// Min-min and Sufferage heuristics on consistent and inconsistent LoLo
+// workloads.
+//
+// Usage:
+//
+//	trustsim -table all            # every simulation table
+//	trustsim -table 4              # one table
+//	trustsim -table 8 -reps 100 -seed 7 -format markdown
+//	trustsim -tasks 50,100,200     # extra task-count rows
+//
+// Output is deterministic for a fixed -seed regardless of -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridtrust"
+	"gridtrust/internal/report"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/sim"
+	"gridtrust/internal/trace"
+	"gridtrust/internal/workload"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "table to reproduce: 4..9 or \"all\"")
+		seed    = flag.Uint64("seed", 2002, "master random seed")
+		reps    = flag.Int("reps", 40, "paired replications per cell")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		format  = flag.String("format", "ascii", "output format: ascii, markdown or csv")
+		tasks   = flag.String("tasks", "50,100", "comma-separated task counts per table")
+		config  = flag.String("config", "", "JSON scenario file to run instead of the paper tables")
+		gantt   = flag.String("gantt", "", "render one run's execution timeline for a heuristic (mct, minmin or sufferage)")
+		verbose = flag.Bool("v", false, "print per-table timing and significance")
+	)
+	flag.Parse()
+
+	if *gantt != "" {
+		if err := runGantt(*gantt, *seed); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	if *config != "" {
+		if err := runConfig(*config, *seed, *reps, *workers, *format); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	taskCounts, err := parseInts(*tasks)
+	if err != nil {
+		fatalf("bad -tasks: %v", err)
+	}
+
+	ids, err := selectTables(*table)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	opts := gridtrust.SimOptions{
+		Seed: *seed, Reps: *reps, Workers: *workers, TaskCounts: taskCounts,
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := gridtrust.RunSimTable(id, opts)
+		if err != nil {
+			fatalf("table %d: %v", int(id), err)
+		}
+		out, err := res.Render().Render(*format)
+		if err != nil {
+			fatalf("render: %v", err)
+		}
+		fmt.Print(out)
+		if *verbose {
+			for _, c := range res.Cells {
+				fmt.Printf("  [%d tasks] improvement %.2f%% (paired diff CI95 ±%.2f, significant=%v)\n",
+					c.Tasks, c.ImprovementPct, c.CompletionCI95, c.Significant)
+			}
+			fmt.Printf("  (%d reps, %s)\n", *reps, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+}
+
+// runConfig runs every scenario of a JSON config file as a paired
+// comparison and prints one result table.
+func runConfig(path string, seed uint64, reps, workers int, format string) error {
+	scenarios, err := sim.LoadScenarios(path)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable(fmt.Sprintf("Scenarios from %s (%d reps, seed %d)", path, reps, seed),
+		"scenario", "util (unaware)", "avg completion (unaware)", "avg completion (aware)", "improvement", "significant")
+	for _, sc := range scenarios {
+		cmp, err := sim.Compare(sc, seed, reps, workers)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		tb.AddRow(sc.Name,
+			report.Fraction(cmp.Unaware.Utilization.Mean(), 1),
+			report.Seconds(cmp.Unaware.AvgCompletion.Mean()),
+			report.Seconds(cmp.Aware.AvgCompletion.Mean()),
+			report.Percent(cmp.ImprovementPercent(), 2),
+			fmt.Sprintf("%v", cmp.CompletionPairs.Significant()),
+		)
+	}
+	out, err := tb.Render(format)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+// runGantt executes one small paper scenario under both policies and
+// prints the execution timelines side by side.
+func runGantt(heuristic string, seed uint64) error {
+	sc := sim.PaperScenario(heuristic, 20, workload.Inconsistent)
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	w, err := workload.NewWorkload(rng.New(seed), sc.WorkloadSpec())
+	if err != nil {
+		return err
+	}
+	for _, policy := range []sched.Policy{
+		sched.MustTrustUnaware(sc.FlatOverheadPct),
+		sched.MustTrustAware(sc.TCWeight),
+	} {
+		var tr trace.Trace
+		res, err := sim.RunTraced(sc, w, policy, &tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s  (%s, 20 tasks, seed %d)  avg completion %s, makespan %s\n",
+			policy.Name, heuristic, seed,
+			report.Seconds(res.AvgCompletionTime), report.Seconds(res.Makespan))
+		fmt.Print(tr.Gantt(sc.Machines, 72))
+		fmt.Println()
+	}
+	return nil
+}
+
+// selectTables parses the -table flag.
+func selectTables(s string) ([]gridtrust.TableID, error) {
+	if s == "all" {
+		return gridtrust.SimTables(), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 4 || n > 9 {
+		return nil, fmt.Errorf("-table must be 4..9 or \"all\", got %q", s)
+	}
+	return []gridtrust.TableID{gridtrust.TableID(n)}, nil
+}
+
+// parseInts parses a comma-separated list of positive ints.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%q is not a positive integer", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "trustsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,202 @@
+// Command workloadtool generates, inspects and replays the exact workload
+// instances behind the simulation results, using the JSON persistence of
+// internal/workload.  A surprising number in a paper table can be pinned
+// to a file, shared, and replayed bit-exactly.
+//
+// Usage:
+//
+//	workloadtool gen -seed 7 -tasks 50 -consistency inconsistent -out w.json
+//	workloadtool describe -in w.json
+//	workloadtool run -in w.json -heuristic mct -policy aware -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridtrust/internal/report"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/sim"
+	"gridtrust/internal/trace"
+	"gridtrust/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "describe":
+		err = cmdDescribe(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workloadtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "random seed")
+	tasks := fs.Int("tasks", 50, "number of requests")
+	consistency := fs.String("consistency", "inconsistent", "inconsistent, consistent or semi-consistent")
+	slack := fs.Float64("deadline-slack", 0, "deadline slack (0 = no deadlines)")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cons, err := parseConsistency(*consistency)
+	if err != nil {
+		return err
+	}
+	spec := workload.PaperSpec(*tasks, cons)
+	spec.DeadlineSlack = *slack
+	w, err := workload.NewWorkload(rng.New(*seed), spec)
+	if err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := w.Save(dst); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d-task workload (seed %d, %s) to %s\n", *tasks, *seed, cons, *out)
+	}
+	return nil
+}
+
+func loadFrom(path string) (*workload.Workload, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -in")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.Load(f)
+}
+
+func cmdDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	in := fs.String("in", "", "workload file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := loadFrom(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d tasks x %d machines, %s %s\n",
+		w.Spec.Tasks, w.Spec.Machines, w.Spec.Consistency, w.Spec.Heterogeneity)
+	fmt.Printf("domains:  %d CDs, %d RDs (ETS rule %s)\n", w.NumCDs, w.NumRDs, w.Spec.ETSRule)
+	fmt.Printf("mean EEC: %s s;  arrival span: %s s\n",
+		report.Comma(w.EEC.MeanCost(), 1),
+		report.Comma(w.Requests[len(w.Requests)-1].ArrivalAt, 1))
+
+	// Trust-cost histogram over all (request, machine) pairs.
+	dist, err := w.TCStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trust costs (all request-machine pairs, mean %.2f):\n", dist.Mean)
+	values := make([]float64, len(dist.Counts))
+	for tc, c := range dist.Counts {
+		values[tc] = float64(c)
+		fmt.Printf("  TC=%d  %5d\n", tc, c)
+	}
+	if spark, err := report.Sparkline(values); err == nil {
+		fmt.Printf("  dist  %s\n", spark)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	in := fs.String("in", "", "workload file")
+	heuristic := fs.String("heuristic", "mct", "mct, minmin or sufferage")
+	policy := fs.String("policy", "aware", "aware, unaware or blind")
+	gantt := fs.Bool("gantt", false, "print the execution timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := loadFrom(*in)
+	if err != nil {
+		return err
+	}
+	sc := sim.PaperScenario(*heuristic, w.Spec.Tasks, w.Spec.Consistency)
+	sc.Machines = w.Spec.Machines
+	sc.ArrivalRate = w.Spec.ArrivalRate
+	sc.ETSRule = w.Spec.ETSRule
+	sc.DeadlineSlack = w.Spec.DeadlineSlack
+	sc.NumCDs, sc.NumRDs = w.Spec.NumCDs, w.Spec.NumRDs
+
+	var p sched.Policy
+	switch *policy {
+	case "aware":
+		p = sched.MustTrustAware(sc.TCWeight)
+	case "unaware":
+		p = sched.MustTrustUnaware(sc.FlatOverheadPct)
+	case "blind":
+		p = sched.MustTrustBlind(sc.TCWeight)
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	var tr trace.Trace
+	res, err := sim.RunTraced(sc, w, p, &tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / %s on %s:\n", *heuristic, p.Name, *in)
+	fmt.Printf("  avg completion: %s s  (p50 %s, p95 %s)\n",
+		report.Seconds(res.AvgCompletionTime),
+		report.Seconds(res.P50Completion), report.Seconds(res.P95Completion))
+	fmt.Printf("  makespan:       %s s\n", report.Seconds(res.Makespan))
+	fmt.Printf("  utilization:    %s\n", report.Fraction(res.MeanUtilization, 2))
+	fmt.Printf("  mean trust cost: %.2f\n", res.MeanTrustCost)
+	if res.DeadlineMissRate > 0 {
+		fmt.Printf("  deadline misses: %d (%s)\n",
+			res.DeadlineMisses, report.Fraction(res.DeadlineMissRate, 1))
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(tr.Gantt(sc.Machines, 72))
+	}
+	return nil
+}
+
+func parseConsistency(s string) (workload.Consistency, error) {
+	switch s {
+	case "inconsistent":
+		return workload.Inconsistent, nil
+	case "consistent":
+		return workload.Consistent, nil
+	case "semi-consistent":
+		return workload.SemiConsistent, nil
+	default:
+		return 0, fmt.Errorf("unknown consistency %q", s)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: workloadtool {gen|describe|run} [flags]")
+	os.Exit(2)
+}

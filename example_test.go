@@ -1,0 +1,63 @@
+package gridtrust_test
+
+import (
+	"fmt"
+
+	"gridtrust"
+	"gridtrust/internal/secover"
+)
+
+// ExampleETSRows renders the paper's Table 1.
+func ExampleETSRows() {
+	out, err := gridtrust.ETSRows().Render("ascii")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(out)
+	// Output:
+	// Table 1. Expected trust supplement values.
+	// +--------------+---+---+---+---+---+
+	// | requested TL | A | B | C | D | E |
+	// +--------------+---+---+---+---+---+
+	// | A            | 0 | 0 | 0 | 0 | 0 |
+	// | B            | 1 | 0 | 0 | 0 | 0 |
+	// | C            | 2 | 1 | 0 | 0 | 0 |
+	// | D            | 3 | 2 | 1 | 0 | 0 |
+	// | E            | 4 | 3 | 2 | 1 | 0 |
+	// | F            | 6 | 6 | 6 | 6 | 6 |
+	// +--------------+---+---+---+---+---+
+}
+
+// ExampleLink_OverheadPercent reproduces the paper's headline transfer
+// overheads: securing a 1 GB copy costs ~37% of the transfer on a
+// 100 Mbps LAN and ~67% on gigabit, where the cipher is the bottleneck.
+func ExampleLink_OverheadPercent() {
+	for _, link := range []secover.Link{secover.Link100, secover.Link1000} {
+		ov, err := link.OverheadPercent(1000)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%4.0f Mbps: %.1f%%\n", link.Mbps, ov)
+	}
+	// Output:
+	//  100 Mbps: 37.4%
+	// 1000 Mbps: 66.7%
+}
+
+// ExampleRunSimTable reproduces a (small, fast) slice of Table 4 and
+// verifies the paper's qualitative claim programmatically.
+func ExampleRunSimTable() {
+	res, err := gridtrust.RunSimTable(gridtrust.Table4MCTInconsistent, gridtrust.SimOptions{
+		Seed: 1, Reps: 8, TaskCounts: []int{30},
+	})
+	if err != nil {
+		panic(err)
+	}
+	cell := res.Cells[0]
+	fmt.Printf("trust-aware MCT improves average completion time: %v\n",
+		cell.AwareCompletion < cell.UnawareCompletion)
+	fmt.Printf("improvement is statistically significant: %v\n", cell.Significant)
+	// Output:
+	// trust-aware MCT improves average completion time: true
+	// improvement is statistically significant: true
+}

@@ -1,0 +1,63 @@
+// Evolvinggrid runs the paper's future-work loop end to end: a Grid with
+// one well-behaved and one misbehaving resource domain, a trust table that
+// starts optimistic, monitoring agents that score every transaction
+// (timeliness, integrity, security incidents), and a trust-aware scheduler
+// whose placements drift away from the domain that keeps causing
+// incidents.
+//
+// Run with: go run ./examples/evolvinggrid [-requests 400] [-incident 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gridtrust/internal/report"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/sim"
+)
+
+func main() {
+	requests := flag.Int("requests", 400, "number of submitted tasks")
+	incident := flag.Float64("incident", 0.5, "security-incident probability of the misbehaving domain")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	res, err := sim.RunEvolving(sim.EvolvingConfig{
+		Requests:               *requests,
+		UnreliableIncidentProb: *incident,
+	}, rng.New(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.NewTable("Evolving trust: placement shares on the misbehaving domain",
+		"phase", "share on misbehaving RD", "mean trust cost")
+	tb.AddRow("early (cold table)",
+		report.Fraction(res.EarlyUnreliableShare, 1),
+		fmt.Sprintf("%.2f", res.MeanTCEarly))
+	tb.AddRow("late (evolved table)",
+		report.Fraction(res.LateUnreliableShare, 1),
+		fmt.Sprintf("%.2f", res.MeanTCLate))
+	out, err := tb.Render("ascii")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+
+	fmt.Printf(`
+final trust-level table (compute):  reliable RD = %v   misbehaving RD = %v
+placements: %d reliable vs %d misbehaving; incidents observed: %d vs %d
+
+The monitoring agents (Figure 1) scored each completed transaction with
+the behavior package; security incidents floor the outcome at level A,
+the trust engine's EWMA drags the misbehaving domain's Γ down, the agents
+write the quantised level into the shared table, and the trust-aware MCT
+scheduler — seeing a growing expected security cost there — routes new
+work to the domain that earned its trust.
+`,
+		res.FinalTrustReliable, res.FinalTrustUnreliable,
+		res.Placements[sim.ReliableRD], res.Placements[sim.UnreliableRD],
+		res.Incidents[sim.ReliableRD], res.Incidents[sim.UnreliableRD])
+}

@@ -1,0 +1,3 @@
+module gridtrust
+
+go 1.22

@@ -1,0 +1,238 @@
+package behavior
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridtrust/internal/trust"
+)
+
+func clean() TransactionRecord {
+	return TransactionRecord{
+		PromisedDuration:  100,
+		ActualDuration:    90,
+		Completed:         true,
+		ResultIntegrityOK: true,
+	}
+}
+
+func TestCleanTransactionScoresTop(t *testing.T) {
+	s := MustDefaultScorer()
+	got, err := s.Score(clean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != trust.MaxScore {
+		t.Fatalf("clean transaction scored %g, want %g", got, trust.MaxScore)
+	}
+}
+
+func TestEarlyFinishIsNotPenalised(t *testing.T) {
+	s := MustDefaultScorer()
+	rec := clean()
+	rec.ActualDuration = 10 // far ahead of the deadline
+	got, err := s.Score(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != trust.MaxScore {
+		t.Fatalf("early finish scored %g", got)
+	}
+}
+
+func TestLatenessDegradesSmoothly(t *testing.T) {
+	s := MustDefaultScorer()
+	prev := trust.MaxScore
+	for _, actual := range []float64{100, 150, 200, 400, 1000} {
+		rec := clean()
+		rec.ActualDuration = actual
+		got, err := s.Score(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev {
+			t.Fatalf("score not monotone in lateness at %g: %g > %g", actual, got, prev)
+		}
+		prev = got
+	}
+	// At 100% lateness (LatenessHalf=1) the quality halves: 1 + 0.5*5 = 3.5.
+	rec := clean()
+	rec.ActualDuration = 200
+	got, _ := s.Score(rec)
+	if math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("double-duration score = %g, want 3.5", got)
+	}
+}
+
+func TestNoDeadlineMeansNoTimelinessPenalty(t *testing.T) {
+	s := MustDefaultScorer()
+	rec := clean()
+	rec.PromisedDuration = 0
+	rec.ActualDuration = 1e9
+	got, err := s.Score(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != trust.MaxScore {
+		t.Fatalf("deadline-free transaction scored %g", got)
+	}
+}
+
+func TestSecurityIncidentCapsScore(t *testing.T) {
+	s := MustDefaultScorer()
+	rec := clean()
+	rec.SecurityIncident = true
+	got, err := s.Score(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != trust.MinScore {
+		t.Fatalf("security incident scored %g, want the floor %g", got, trust.MinScore)
+	}
+}
+
+func TestIncompleteAndIntegrityFactors(t *testing.T) {
+	s := MustDefaultScorer()
+	rec := clean()
+	rec.Completed = false
+	got, _ := s.Score(rec)
+	// q = 0.4 → 1 + 0.4*5 = 3.
+	if math.Abs(got-3) > 1e-9 {
+		t.Fatalf("incomplete scored %g, want 3", got)
+	}
+	rec = clean()
+	rec.ResultIntegrityOK = false
+	got, _ = s.Score(rec)
+	// q = 0.3 → 1 + 1.5 = 2.5.
+	if math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("integrity failure scored %g, want 2.5", got)
+	}
+}
+
+func TestPolicyViolationsCompound(t *testing.T) {
+	s := MustDefaultScorer()
+	rec := clean()
+	rec.PolicyViolations = 1
+	one, _ := s.Score(rec)
+	rec.PolicyViolations = 2
+	two, _ := s.Score(rec)
+	if !(two < one && one < trust.MaxScore) {
+		t.Fatalf("policy penalties not compounding: %g, %g", one, two)
+	}
+	// 1 + 0.7*5 = 4.5; 1 + 0.49*5 = 3.45.
+	if math.Abs(one-4.5) > 1e-9 || math.Abs(two-3.45) > 1e-9 {
+		t.Fatalf("penalty math wrong: %g, %g", one, two)
+	}
+}
+
+func TestScoreAlwaysOnScaleProperty(t *testing.T) {
+	s := MustDefaultScorer()
+	f := func(promised, actual uint16, violations uint8, completed, integrity, incident bool) bool {
+		rec := TransactionRecord{
+			PromisedDuration:  float64(promised),
+			ActualDuration:    float64(actual),
+			Completed:         completed,
+			ResultIntegrityOK: integrity,
+			PolicyViolations:  int(violations % 20),
+			SecurityIncident:  incident,
+		}
+		got, err := s.Score(rec)
+		if err != nil {
+			return false
+		}
+		return got >= trust.MinScore && got <= trust.MaxScore
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreRejectsBadDurations(t *testing.T) {
+	s := MustDefaultScorer()
+	rec := clean()
+	rec.ActualDuration = -1
+	if _, err := s.Score(rec); err == nil {
+		t.Error("accepted negative duration")
+	}
+	rec = clean()
+	rec.PromisedDuration = math.NaN()
+	if _, err := s.Score(rec); err == nil {
+		t.Error("accepted NaN duration")
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	bad := []Weights{
+		{LatenessHalf: 0, PolicyPenalty: 0.5, IncidentCeiling: 1},
+		{LatenessHalf: 1, PolicyPenalty: 0, IncidentCeiling: 1},
+		{LatenessHalf: 1, PolicyPenalty: 1.5, IncidentCeiling: 1},
+		{LatenessHalf: 1, PolicyPenalty: 0.5, IncompleteFactor: -0.1, IncidentCeiling: 1},
+		{LatenessHalf: 1, PolicyPenalty: 0.5, IntegrityFactor: 2, IncidentCeiling: 1},
+		{LatenessHalf: 1, PolicyPenalty: 0.5, IncidentCeiling: 9},
+	}
+	for i, w := range bad {
+		if _, err := NewScorer(w); err == nil {
+			t.Errorf("weights %d accepted: %+v", i, w)
+		}
+	}
+	if _, err := NewScorer(DefaultWeights()); err != nil {
+		t.Fatalf("default weights rejected: %v", err)
+	}
+}
+
+func TestScoreToTransaction(t *testing.T) {
+	s := MustDefaultScorer()
+	tx, err := ScoreToTransaction(s, clean(), "cd:0", "rd:1", "compute", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.From != "cd:0" || tx.To != "rd:1" || tx.Ctx != "compute" || tx.Now != 42 {
+		t.Fatalf("transaction fields wrong: %+v", tx)
+	}
+	if tx.Outcome != trust.MaxScore {
+		t.Fatalf("outcome %g", tx.Outcome)
+	}
+	bad := clean()
+	bad.ActualDuration = -5
+	if _, err := ScoreToTransaction(s, bad, "a", "b", "c", 0); err == nil {
+		t.Fatal("bad record accepted")
+	}
+}
+
+// TestEndToEndWithEngine drives scored outcomes into a trust engine: a
+// reliable resource's trust climbs while an unreliable one's sinks.
+func TestEndToEndWithEngine(t *testing.T) {
+	engine, err := trust.NewEngine(trust.Config{Alpha: 1, Beta: 0, Smoothing: 0.5, InitialScore: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustDefaultScorer()
+	for day := 1.0; day <= 10; day++ {
+		good := clean()
+		tx, err := ScoreToTransaction(s, good, "cd:0", "rd:good", "compute", day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.Observe(tx.From, tx.To, tx.Ctx, tx.Outcome, tx.Now); err != nil {
+			t.Fatal(err)
+		}
+		badRec := clean()
+		badRec.SecurityIncident = true
+		tx, err = ScoreToTransaction(s, badRec, "cd:0", "rd:bad", "compute", day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.Observe(tx.From, tx.To, tx.Ctx, tx.Outcome, tx.Now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodTrust, _ := engine.Trust("cd:0", "rd:good", "compute", 10)
+	badTrust, _ := engine.Trust("cd:0", "rd:bad", "compute", 10)
+	if goodTrust < 5.5 {
+		t.Fatalf("reliable resource trust %g, want near 6", goodTrust)
+	}
+	if badTrust > 1.5 {
+		t.Fatalf("incident-ridden resource trust %g, want near 1", badTrust)
+	}
+}

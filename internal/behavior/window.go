@@ -1,0 +1,120 @@
+package behavior
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowTracker estimates a counterpart's recent reliability from a
+// sliding window of scored transactions.  Where the trust engine's EWMA
+// answers "what do I believe overall", the window answers the operational
+// questions a monitoring agent acts on: what is the recent incident rate,
+// is behaviour degrading, has the counterpart produced enough evidence to
+// judge at all ("a significant amount of transactional data",
+// Section 3.1).
+type WindowTracker struct {
+	size    int
+	scores  []float64
+	times   []float64
+	next    int
+	count   int
+	total   int64
+	badness float64 // score threshold counting as an incident
+}
+
+// NewWindowTracker builds a tracker over the last `size` transactions;
+// scores at or below incidentBelow count as incidents.
+func NewWindowTracker(size int, incidentBelow float64) (*WindowTracker, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("behavior: window size %d < 1", size)
+	}
+	if incidentBelow < 1 || incidentBelow > 6 {
+		return nil, fmt.Errorf("behavior: incident threshold %g outside the trust scale", incidentBelow)
+	}
+	return &WindowTracker{
+		size:    size,
+		scores:  make([]float64, size),
+		times:   make([]float64, size),
+		badness: incidentBelow,
+	}, nil
+}
+
+// Record adds one scored transaction at time now.
+func (w *WindowTracker) Record(score, now float64) error {
+	if score < 1 || score > 6 || math.IsNaN(score) {
+		return fmt.Errorf("behavior: score %g outside the trust scale", score)
+	}
+	w.scores[w.next] = score
+	w.times[w.next] = now
+	w.next = (w.next + 1) % w.size
+	if w.count < w.size {
+		w.count++
+	}
+	w.total++
+	return nil
+}
+
+// Count returns how many transactions are currently in the window; Total
+// returns how many were ever recorded.
+func (w *WindowTracker) Count() int   { return w.count }
+func (w *WindowTracker) Total() int64 { return w.total }
+
+// Mean returns the mean score over the window, or NaN when empty.
+func (w *WindowTracker) Mean() float64 {
+	if w.count == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := 0; i < w.count; i++ {
+		sum += w.scores[i]
+	}
+	return sum / float64(w.count)
+}
+
+// IncidentRate returns the fraction of windowed transactions at or below
+// the incident threshold, or NaN when empty.
+func (w *WindowTracker) IncidentRate() float64 {
+	if w.count == 0 {
+		return math.NaN()
+	}
+	bad := 0
+	for i := 0; i < w.count; i++ {
+		if w.scores[i] <= w.badness {
+			bad++
+		}
+	}
+	return float64(bad) / float64(w.count)
+}
+
+// Trend returns the mean of the newer half of the window minus the mean
+// of the older half: negative means behaviour is degrading.  It returns 0
+// until the window holds at least four samples.
+func (w *WindowTracker) Trend() float64 {
+	if w.count < 4 {
+		return 0
+	}
+	// Reconstruct chronological order from the ring.
+	ordered := make([]float64, 0, w.count)
+	start := 0
+	if w.count == w.size {
+		start = w.next
+	}
+	for i := 0; i < w.count; i++ {
+		ordered = append(ordered, w.scores[(start+i)%w.size])
+	}
+	half := len(ordered) / 2
+	var oldSum, newSum float64
+	for i := 0; i < half; i++ {
+		oldSum += ordered[i]
+	}
+	for i := half; i < len(ordered); i++ {
+		newSum += ordered[i]
+	}
+	return newSum/float64(len(ordered)-half) - oldSum/float64(half)
+}
+
+// Significant reports whether the window holds at least `need` samples —
+// the gate before an agent commits a table revision.
+func (w *WindowTracker) Significant(need int) bool {
+	return w.count >= need
+}

@@ -1,0 +1,140 @@
+package behavior
+
+import (
+	"math"
+	"testing"
+)
+
+func mustTracker(t *testing.T, size int, thresh float64) *WindowTracker {
+	t.Helper()
+	w, err := NewWindowTracker(size, thresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWindowTrackerValidation(t *testing.T) {
+	if _, err := NewWindowTracker(0, 2); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewWindowTracker(5, 0.5); err == nil {
+		t.Error("off-scale threshold accepted")
+	}
+	w := mustTracker(t, 4, 2)
+	if err := w.Record(0.5, 0); err == nil {
+		t.Error("off-scale score accepted")
+	}
+	if err := w.Record(math.NaN(), 0); err == nil {
+		t.Error("NaN score accepted")
+	}
+}
+
+func TestWindowTrackerEmpty(t *testing.T) {
+	w := mustTracker(t, 4, 2)
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.IncidentRate()) {
+		t.Error("empty window should report NaN")
+	}
+	if w.Trend() != 0 {
+		t.Error("empty window trend should be 0")
+	}
+	if w.Significant(1) {
+		t.Error("empty window should not be significant")
+	}
+}
+
+func TestWindowTrackerMeanAndIncidents(t *testing.T) {
+	w := mustTracker(t, 10, 2)
+	for i, s := range []float64{6, 6, 1, 6} {
+		if err := w.Record(s, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Mean(); math.Abs(got-4.75) > 1e-12 {
+		t.Fatalf("mean = %g, want 4.75", got)
+	}
+	if got := w.IncidentRate(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("incident rate = %g, want 0.25", got)
+	}
+	if w.Count() != 4 || w.Total() != 4 {
+		t.Fatalf("count/total = %d/%d", w.Count(), w.Total())
+	}
+}
+
+func TestWindowTrackerSlides(t *testing.T) {
+	w := mustTracker(t, 3, 2)
+	for i, s := range []float64{1, 1, 1, 6, 6, 6} {
+		if err := w.Record(s, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the last three scores remain.
+	if got := w.Mean(); got != 6 {
+		t.Fatalf("windowed mean = %g, want 6", got)
+	}
+	if got := w.IncidentRate(); got != 0 {
+		t.Fatalf("windowed incident rate = %g, want 0", got)
+	}
+	if w.Count() != 3 || w.Total() != 6 {
+		t.Fatalf("count/total = %d/%d", w.Count(), w.Total())
+	}
+}
+
+func TestWindowTrackerTrend(t *testing.T) {
+	w := mustTracker(t, 8, 2)
+	// Degrading: good scores followed by bad ones.
+	for i, s := range []float64{6, 6, 6, 6, 2, 2, 2, 2} {
+		if err := w.Record(s, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Trend(); got >= 0 {
+		t.Fatalf("degrading trend = %g, want negative", got)
+	}
+	// Improving case, exercising the wrapped ring.
+	w2 := mustTracker(t, 4, 2)
+	for i, s := range []float64{1, 1, 1, 1, 1, 1, 6, 6} {
+		if err := w2.Record(s, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w2.Trend(); got <= 0 {
+		t.Fatalf("improving trend = %g, want positive", got)
+	}
+}
+
+func TestWindowTrackerSignificance(t *testing.T) {
+	w := mustTracker(t, 10, 2)
+	for i := 0; i < 5; i++ {
+		if err := w.Record(4, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !w.Significant(5) {
+		t.Error("five samples should satisfy need=5")
+	}
+	if w.Significant(6) {
+		t.Error("five samples should not satisfy need=6")
+	}
+}
+
+// TestWindowTrackerWithScorer wires the tracker behind the default scorer
+// the way a monitoring agent would.
+func TestWindowTrackerWithScorer(t *testing.T) {
+	s := MustDefaultScorer()
+	w := mustTracker(t, 20, 2)
+	for i := 0; i < 10; i++ {
+		rec := clean()
+		rec.SecurityIncident = i%2 == 0 // every other transaction snoops
+		score, err := s.Score(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Record(score, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.IncidentRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("incident rate = %g, want 0.5", got)
+	}
+}

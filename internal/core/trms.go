@@ -1,0 +1,436 @@
+// Package core implements the paper's primary contribution as a running
+// system: the trust-aware resource management system (TRMS) of Figure 1.
+//
+// A TRMS owns (a) the grid topology of GDs with their client and resource
+// domains, (b) the central trust-level table, (c) the trust engine that
+// evolves Γ values from transaction outcomes, and (d) monitoring agents
+// that observe completed Grid-level transactions and write revised trust
+// levels back into the table — exactly the block diagram of Figure 1.
+// Scheduling requests flow through a trust-aware mapping heuristic whose
+// expected security cost comes from the live table.
+//
+// The simulation experiments of Tables 4-9 bypass this package and use
+// internal/sim directly (their trust tables are statically drawn, as in
+// the paper); core is the architecture a deployment would embed, and its
+// integration tests demonstrate the closed loop: placements influence
+// outcomes, outcomes move trust, trust moves placements.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"gridtrust/internal/grid"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/trust"
+)
+
+// Config assembles a TRMS.
+type Config struct {
+	// Topology is the static Grid structure.  Required.
+	Topology *grid.Topology
+
+	// Heuristic maps arriving tasks; nil defaults to sched.MCT.
+	Heuristic sched.Immediate
+
+	// TCWeight is the trust-cost weight of the ESC formula (paper: 15).
+	// Zero defaults to sched.DefaultTCWeight.
+	TCWeight float64
+
+	// ETSRule selects the Table 1 reading (default: literal ETSTable1).
+	ETSRule grid.ETSRule
+
+	// Trust configures the evolving trust engine.  A zero value gets
+	// sensible defaults (α=0.7, β=0.3, batch 1, smoothing 0.3).
+	Trust trust.Config
+
+	// InitialTrust seeds the trust-level table for every
+	// (CD, RD, activity) triple where the RD supports the activity.
+	// Zero defaults to grid.LevelC.
+	InitialTrust grid.TrustLevel
+
+	// Agents is the number of monitoring agents draining the
+	// transaction stream (Figure 1 shows one per domain; any positive
+	// count works since they share the engine).  Zero defaults to 2.
+	Agents int
+}
+
+// Task is a request submitted to the TRMS: which client wants to run what
+// kind of activity, at what required trust level, with per-machine
+// expected execution costs (topology machine order).
+type Task struct {
+	Client grid.ClientID
+	ToA    grid.ToA
+	RTL    grid.TrustLevel
+	EEC    []float64
+}
+
+// Placement describes where the TRMS put a task and at what expected cost.
+type Placement struct {
+	Machine *grid.Machine
+	RD      grid.DomainID
+	CD      grid.DomainID
+	OTL     grid.TrustLevel
+	TC      int
+	EEC     float64
+	ESC     float64
+	ECC     float64
+	Start   float64
+	Finish  float64
+}
+
+// TRMS is the trust-aware resource management system.  Its methods are
+// safe for concurrent use.
+type TRMS struct {
+	cfg    Config
+	policy sched.Policy
+
+	table  *grid.TrustTable
+	engine *trust.Engine
+
+	txCh   chan trust.Transaction
+	agents []*trust.Agent
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	freeTime []float64 // indexed by topology machine order
+	placed   int
+	reported int
+	closed   bool
+}
+
+// New builds and starts a TRMS; call Close to stop its agents.
+func New(cfg Config) (*TRMS, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: config requires a topology")
+	}
+	if cfg.Heuristic == nil {
+		cfg.Heuristic = sched.MCT{}
+	}
+	if cfg.TCWeight == 0 {
+		cfg.TCWeight = sched.DefaultTCWeight
+	}
+	if cfg.InitialTrust == grid.LevelNone {
+		cfg.InitialTrust = grid.LevelC
+	}
+	if !cfg.InitialTrust.Offerable() {
+		return nil, fmt.Errorf("core: initial trust %v is not offerable", cfg.InitialTrust)
+	}
+	if cfg.Agents == 0 {
+		cfg.Agents = 2
+	}
+	if cfg.Agents < 0 {
+		return nil, fmt.Errorf("core: negative agent count %d", cfg.Agents)
+	}
+	if !cfg.ETSRule.Valid() {
+		return nil, fmt.Errorf("core: invalid ETS rule %d", int(cfg.ETSRule))
+	}
+	if cfg.Trust.Alpha == 0 && cfg.Trust.Beta == 0 {
+		cfg.Trust.Alpha, cfg.Trust.Beta = 0.7, 0.3
+	}
+	policy, err := sched.TrustAware(cfg.TCWeight)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := trust.NewEngine(cfg.Trust)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &TRMS{
+		cfg:      cfg,
+		policy:   policy,
+		table:    grid.NewTrustTable(),
+		engine:   engine,
+		txCh:     make(chan trust.Transaction, 128),
+		freeTime: make([]float64, len(cfg.Topology.Machines())),
+	}
+
+	// Seed the table: every CD trusts every RD at the initial level for
+	// each activity the RD supports.
+	for _, cd := range cfg.Topology.ClientDomains() {
+		for _, rd := range cfg.Topology.ResourceDomains() {
+			for act := range rd.Supported {
+				if err := t.table.Set(cd.ID, rd.ID, act, cfg.InitialTrust); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Figure 1: monitoring agents share the transaction stream, feed the
+	// engine, and push committed trust revisions into the table.
+	update := t.applyTrustUpdate
+	for i := 0; i < cfg.Agents; i++ {
+		agent, err := trust.NewAgent(fmt.Sprintf("agent-%d", i), engine, t.txCh, update)
+		if err != nil {
+			return nil, err
+		}
+		t.agents = append(t.agents, agent)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			agent.Run()
+		}()
+	}
+	return t, nil
+}
+
+// entity naming: trust-engine entities are domains, matching the paper's
+// CD/RD-granularity trust ("resources and clients within a GD inherit the
+// parameters associated with the RD and CD").
+func cdEntity(id grid.DomainID) trust.EntityID {
+	return trust.EntityID(fmt.Sprintf("cd:%d", id))
+}
+
+func rdEntity(id grid.DomainID) trust.EntityID {
+	return trust.EntityID(fmt.Sprintf("rd:%d", id))
+}
+
+func activityContext(a grid.Activity) trust.Context {
+	return trust.Context(a.String())
+}
+
+// applyTrustUpdate is the agents' table hook: quantise the fresh Γ score
+// onto the discrete scale and update the table if the level changed.
+// Entities that are not a cd→rd pair (or contexts that are not activities)
+// are ignored; the engine may track them but the table cannot.
+func (t *TRMS) applyTrustUpdate(x, y trust.EntityID, c trust.Context, score float64) {
+	var cd, rd grid.DomainID
+	if _, err := fmt.Sscanf(string(x), "cd:%d", &cd); err != nil {
+		return
+	}
+	if _, err := fmt.Sscanf(string(y), "rd:%d", &rd); err != nil {
+		return
+	}
+	act, ok := activityByName(string(c))
+	if !ok {
+		return
+	}
+	level := grid.LevelFromScore(score)
+	if !level.Offerable() {
+		level = grid.MaxOfferable // F quantises down: F is requirable only
+	}
+	if cur, exists := t.table.Get(cd, rd, act); exists && cur == level {
+		return // "if the new trust values ... are different ... update"
+	}
+	_ = t.table.Set(cd, rd, act, level)
+}
+
+// activityByName inverts grid.Activity.String for the built-in vocabulary.
+func activityByName(name string) (grid.Activity, bool) {
+	for a := grid.Activity(0); a < grid.NumBuiltinActivities; a++ {
+		if a.String() == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Table exposes the live trust-level table (read it, snapshot it; direct
+// writes are legal and mirror out-of-band administrative overrides).
+func (t *TRMS) Table() *grid.TrustTable { return t.table }
+
+// Engine exposes the trust engine, e.g. to declare alliances or inject
+// recommender factors.
+func (t *TRMS) Engine() *trust.Engine { return t.engine }
+
+// Placed returns how many tasks have been placed.
+func (t *TRMS) Placed() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.placed
+}
+
+// Submit maps a task at time now and commits it to the chosen machine's
+// queue.  The expected security cost is computed from the *current* trust
+// table: ESC = EEC × (TC × weight)/100 with TC = ETS(max(task RTL, RD
+// RTL), OTL) per Section 4.1.
+func (t *TRMS) Submit(task Task, now float64) (*Placement, error) {
+	machines := t.cfg.Topology.Machines()
+	if len(task.EEC) != len(machines) {
+		return nil, fmt.Errorf("core: task has %d EEC entries for %d machines",
+			len(task.EEC), len(machines))
+	}
+	if len(task.ToA.Activities) == 0 {
+		return nil, fmt.Errorf("core: task has an empty ToA")
+	}
+	if !task.RTL.Valid() {
+		return nil, fmt.Errorf("core: task RTL %v invalid", task.RTL)
+	}
+	cd, err := t.cfg.Topology.ClientCD(task.Client)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the 1×M scheduling instance against a consistent table
+	// snapshot.
+	snap := t.table.Snapshot()
+	tcs := make([]int, len(machines))
+	otls := make([]grid.TrustLevel, len(machines))
+	eligible := false
+	for m, machine := range machines {
+		rd, err := t.cfg.Topology.MachineRD(machine.ID)
+		if err != nil {
+			return nil, err
+		}
+		if !rd.Supports(task.ToA) {
+			tcs[m] = -1 // ineligible marker
+			continue
+		}
+		otl, err := snap.OTL(cd.ID, rd.ID, task.ToA)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := grid.TrustCostWith(t.cfg.ETSRule, task.RTL, rd.RTL, otl)
+		if err != nil {
+			return nil, err
+		}
+		tcs[m], otls[m] = tc, otl
+		eligible = true
+	}
+	if !eligible {
+		return nil, fmt.Errorf("core: no resource domain supports ToA %v", task.ToA)
+	}
+
+	costs := &submitCosts{eec: task.EEC, tc: tcs}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("core: TRMS is closed")
+	}
+	avail := make([]float64, len(t.freeTime))
+	for m, ft := range t.freeTime {
+		avail[m] = math.Max(ft, now)
+	}
+	asg, err := t.cfg.Heuristic.AssignOne(costs, t.policy, 0, avail)
+	if err != nil {
+		return nil, err
+	}
+	m := asg.Machine
+	if tcs[m] < 0 {
+		return nil, fmt.Errorf("core: heuristic chose ineligible machine %d", m)
+	}
+	machine := machines[m]
+	rd, err := t.cfg.Topology.MachineRD(machine.ID)
+	if err != nil {
+		return nil, err
+	}
+	eec := task.EEC[m]
+	esc := t.policy.ChargedESC(eec, tcs[m])
+	start := avail[m]
+	finish := start + eec + esc
+	t.freeTime[m] = finish
+	t.placed++
+	return &Placement{
+		Machine: machine,
+		RD:      rd.ID,
+		CD:      cd.ID,
+		OTL:     otls[m],
+		TC:      tcs[m],
+		EEC:     eec,
+		ESC:     esc,
+		ECC:     eec + esc,
+		Start:   start,
+		Finish:  finish,
+	}, nil
+}
+
+// submitCosts is the single-task scheduling instance Submit hands to the
+// heuristic.  Ineligible machines (tc == -1) carry an infinite EEC so no
+// sane heuristic selects them.
+type submitCosts struct {
+	eec []float64
+	tc  []int
+}
+
+func (c *submitCosts) NumRequests() int { return 1 }
+func (c *submitCosts) NumMachines() int { return len(c.eec) }
+func (c *submitCosts) EEC(_, m int) float64 {
+	if c.tc[m] < 0 {
+		return math.Inf(1)
+	}
+	return c.eec[m]
+}
+func (c *submitCosts) TrustCost(_, m int) (int, error) {
+	if c.tc[m] < 0 {
+		return 0, nil
+	}
+	return c.tc[m], nil
+}
+
+// ReportOutcome feeds the observed behaviour of a completed placement back
+// into the trust fabric: one transaction per activity of the ToA, from the
+// client's domain about the resource's domain.  outcome is on the [1,6]
+// scale.  The table update happens asynchronously via the agents; callers
+// needing a synchronous view can Drain first.
+func (t *TRMS) ReportOutcome(p *Placement, toa grid.ToA, outcome, now float64) error {
+	if p == nil {
+		return fmt.Errorf("core: nil placement")
+	}
+	if outcome < trust.MinScore || outcome > trust.MaxScore {
+		return fmt.Errorf("core: outcome %g outside [%g,%g]", outcome, trust.MinScore, trust.MaxScore)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("core: TRMS is closed")
+	}
+	t.mu.Unlock()
+	for _, act := range toa.Activities {
+		t.mu.Lock()
+		t.reported++
+		t.mu.Unlock()
+		t.txCh <- trust.Transaction{
+			From:    cdEntity(p.CD),
+			To:      rdEntity(p.RD),
+			Ctx:     activityContext(act),
+			Outcome: outcome,
+			Now:     now,
+		}
+	}
+	return nil
+}
+
+// Close stops the monitoring agents after draining queued transactions.
+// Close is idempotent.
+func (t *TRMS) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.txCh)
+	t.wg.Wait()
+}
+
+// Drain blocks until every transaction reported so far has been processed
+// by the agents.  Concurrent ReportOutcome calls extend the wait.
+func (t *TRMS) Drain() {
+	for {
+		t.mu.Lock()
+		want := t.reported
+		t.mu.Unlock()
+		got, _, _ := t.AgentStats()
+		if got >= want {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// AgentStats sums processed/committed/rejected across the agents.
+func (t *TRMS) AgentStats() (processed, committed, rejected int) {
+	for _, a := range t.agents {
+		p, c, r := a.Stats()
+		processed += p
+		committed += c
+		rejected += r
+	}
+	return
+}

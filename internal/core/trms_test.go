@@ -1,0 +1,329 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"gridtrust/internal/grid"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/trust"
+)
+
+// twoDomainTopology builds two GDs: GD0 has clients and one machine, GD1
+// has one machine.  Both RDs support compute and storage.
+func twoDomainTopology(t *testing.T) *grid.Topology {
+	t.Helper()
+	mkRD := func(id grid.DomainID, rtl grid.TrustLevel) *grid.ResourceDomain {
+		return &grid.ResourceDomain{
+			ID:    id,
+			Owner: "org",
+			Supported: map[grid.Activity]grid.TrustLevel{
+				grid.ActCompute: grid.LevelC,
+				grid.ActStorage: grid.LevelC,
+			},
+			RTL: rtl,
+			Machines: []*grid.Machine{
+				{ID: grid.MachineID(id), Name: "m", RD: id},
+			},
+		}
+	}
+	gd0 := &grid.GridDomain{
+		ID: 0, Name: "gd0", Owner: "org",
+		RD: mkRD(0, grid.LevelA),
+		CD: &grid.ClientDomain{
+			ID:     0,
+			Owner:  "org",
+			Sought: map[grid.Activity]grid.TrustLevel{grid.ActCompute: grid.LevelC},
+			RTL:    grid.LevelA,
+			Clients: []*grid.Client{
+				{ID: 0, Name: "c0", CD: 0},
+			},
+		},
+	}
+	gd1 := &grid.GridDomain{
+		ID: 1, Name: "gd1", Owner: "org2",
+		RD: mkRD(1, grid.LevelA),
+	}
+	top, err := grid.NewTopology(gd0, gd1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func newTRMS(t *testing.T, cfg Config) *TRMS {
+	t.Helper()
+	trms, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(trms.Close)
+	return trms
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted nil topology")
+	}
+	top := twoDomainTopology(t)
+	if _, err := New(Config{Topology: top, InitialTrust: grid.LevelF}); err == nil {
+		t.Error("accepted non-offerable initial trust")
+	}
+	if _, err := New(Config{Topology: top, Agents: -1}); err == nil {
+		t.Error("accepted negative agents")
+	}
+	if _, err := New(Config{Topology: top, ETSRule: grid.ETSRule(9)}); err == nil {
+		t.Error("accepted invalid ETS rule")
+	}
+	if _, err := New(Config{Topology: top, TCWeight: -3}); err == nil {
+		t.Error("accepted negative TC weight")
+	}
+}
+
+func TestSubmitBasicPlacement(t *testing.T) {
+	trms := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	task := Task{
+		Client: 0,
+		ToA:    grid.MustToA(grid.ActCompute),
+		RTL:    grid.LevelA,
+		EEC:    []float64{10, 20},
+	}
+	p, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both RDs offer C >= required A: TC = 0 everywhere, so MCT picks
+	// the faster machine 0.
+	if p.Machine.ID != 0 || p.TC != 0 || p.ESC != 0 {
+		t.Fatalf("placement %+v, want machine 0 with zero trust cost", p)
+	}
+	if p.Finish != 10 || p.Start != 0 {
+		t.Fatalf("timing %+v", p)
+	}
+	if trms.Placed() != 1 {
+		t.Fatal("placed counter wrong")
+	}
+	// Second identical task: machine 0 is busy until 10; 10+10=20 vs
+	// 0+20=20 tie -> machine 0 (lower index).
+	p2, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Start != 10 && p2.Machine.ID != 1 {
+		t.Fatalf("second placement %+v ignored queueing", p2)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	trms := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	base := Task{Client: 0, ToA: grid.MustToA(grid.ActCompute), RTL: grid.LevelA, EEC: []float64{1, 2}}
+	bad := base
+	bad.EEC = []float64{1}
+	if _, err := trms.Submit(bad, 0); err == nil {
+		t.Error("accepted wrong EEC length")
+	}
+	bad = base
+	bad.ToA = grid.ToA{}
+	if _, err := trms.Submit(bad, 0); err == nil {
+		t.Error("accepted empty ToA")
+	}
+	bad = base
+	bad.RTL = grid.LevelNone
+	if _, err := trms.Submit(bad, 0); err == nil {
+		t.Error("accepted invalid RTL")
+	}
+	bad = base
+	bad.Client = 99
+	if _, err := trms.Submit(bad, 0); err == nil {
+		t.Error("accepted unknown client")
+	}
+	bad = base
+	bad.ToA = grid.MustToA(grid.ActNetwork) // unsupported everywhere
+	if _, err := trms.Submit(bad, 0); err == nil {
+		t.Error("accepted unsupported ToA")
+	}
+}
+
+func TestTrustCostInfluencesPlacement(t *testing.T) {
+	// Requiring level E with the default C table means TC = 2 on both
+	// machines (ETS(E, C) = 2).  Raise RD 1's offered trust to E via a
+	// direct table write: the scheduler should now prefer machine 1 even
+	// though it is slower, when the trust saving outweighs speed.
+	trms := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	if err := trms.Table().Set(0, 1, grid.ActCompute, grid.LevelE); err != nil {
+		t.Fatal(err)
+	}
+	task := Task{
+		Client: 0,
+		ToA:    grid.MustToA(grid.ActCompute),
+		RTL:    grid.LevelE,
+		EEC:    []float64{100, 105},
+	}
+	p, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine 0: 100 * (1 + 0.15*2) = 130.  Machine 1: 105 * 1 = 105.
+	if p.Machine.ID != 1 {
+		t.Fatalf("placement chose machine %d; trust table ignored", p.Machine.ID)
+	}
+	if p.TC != 0 || p.ECC != 105 {
+		t.Fatalf("placement costs %+v", p)
+	}
+}
+
+// TestFigure1Architecture exercises the full closed loop of Figure 1:
+// schedule → execute → report outcome → agents update the trust table →
+// later schedules shift.
+func TestFigure1Architecture(t *testing.T) {
+	trms := newTRMS(t, Config{
+		Topology: twoDomainTopology(t),
+		Trust:    trust.Config{Alpha: 1, Beta: 0, Smoothing: 1},
+	})
+	task := Task{
+		Client: 0,
+		ToA:    grid.MustToA(grid.ActCompute),
+		RTL:    grid.LevelE,
+		EEC:    []float64{100, 100},
+	}
+	// Initially both RDs offer C: TC = ETS(E,C) = 2 on both; MCT picks
+	// machine 0.
+	p, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine.ID != 0 || p.TC != 2 {
+		t.Fatalf("initial placement %+v", p)
+	}
+
+	// The interaction goes extremely well: outcome 6 (level F region,
+	// quantised to offerable E).  Report it repeatedly so the EWMA-free
+	// (smoothing=1) engine jumps immediately.
+	if err := trms.ReportOutcome(p, task.ToA, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	trms.Drain()
+
+	tl, ok := trms.Table().Get(0, 0, grid.ActCompute)
+	if !ok {
+		t.Fatal("table entry vanished")
+	}
+	if tl != grid.LevelE {
+		t.Fatalf("table entry = %v after glowing outcome, want E", tl)
+	}
+
+	// A new task at a much later time, machines idle: RD0 now offers E
+	// (TC 0), RD1 still C (TC 2).  MCT must choose machine 0 every time.
+	p2, err := trms.Submit(task, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Machine.ID != 0 || p2.TC != 0 {
+		t.Fatalf("post-update placement %+v, want machine 0 with TC 0", p2)
+	}
+
+	processed, committed, rejected := trms.AgentStats()
+	if processed == 0 || committed == 0 || rejected != 0 {
+		t.Fatalf("agent stats %d/%d/%d", processed, committed, rejected)
+	}
+}
+
+func TestBadOutcomeLowersTrust(t *testing.T) {
+	trms := newTRMS(t, Config{
+		Topology: twoDomainTopology(t),
+		Trust:    trust.Config{Alpha: 1, Beta: 0, Smoothing: 1},
+	})
+	task := Task{
+		Client: 0,
+		ToA:    grid.MustToA(grid.ActCompute),
+		RTL:    grid.LevelC,
+		EEC:    []float64{100, 100},
+	}
+	p, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trms.ReportOutcome(p, task.ToA, 1, 1); err != nil { // terrible
+		t.Fatal(err)
+	}
+	trms.Drain()
+	tl, _ := trms.Table().Get(0, p.RD, grid.ActCompute)
+	if tl >= grid.LevelC {
+		t.Fatalf("trust did not fall after bad outcome: %v", tl)
+	}
+}
+
+func TestReportOutcomeValidation(t *testing.T) {
+	trms := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	if err := trms.ReportOutcome(nil, grid.MustToA(grid.ActCompute), 3, 0); err == nil {
+		t.Error("accepted nil placement")
+	}
+	p := &Placement{CD: 0, RD: 0}
+	if err := trms.ReportOutcome(p, grid.MustToA(grid.ActCompute), 9, 0); err == nil {
+		t.Error("accepted off-scale outcome")
+	}
+}
+
+func TestCloseIdempotentAndRejects(t *testing.T) {
+	trms, err := New(Config{Topology: twoDomainTopology(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trms.Close()
+	trms.Close() // must not panic
+	task := Task{Client: 0, ToA: grid.MustToA(grid.ActCompute), RTL: grid.LevelA, EEC: []float64{1, 2}}
+	if _, err := trms.Submit(task, 0); err == nil {
+		t.Error("closed TRMS accepted a task")
+	}
+	if err := trms.ReportOutcome(&Placement{}, task.ToA, 3, 0); err == nil {
+		t.Error("closed TRMS accepted an outcome")
+	}
+}
+
+func TestConcurrentSubmitAndReport(t *testing.T) {
+	trms := newTRMS(t, Config{Topology: twoDomainTopology(t), Agents: 4})
+	task := Task{Client: 0, ToA: grid.MustToA(grid.ActCompute), RTL: grid.LevelC, EEC: []float64{5, 7}}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p, err := trms.Submit(task, float64(i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := trms.ReportOutcome(p, task.ToA, 4, float64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	trms.Drain()
+	if trms.Placed() != 400 {
+		t.Fatalf("placed %d, want 400", trms.Placed())
+	}
+	processed, _, rejected := trms.AgentStats()
+	if processed != 400 || rejected != 0 {
+		t.Fatalf("agents processed %d (rejected %d), want 400/0", processed, rejected)
+	}
+}
+
+func TestCustomHeuristic(t *testing.T) {
+	// OLB ignores cost: with machine 0 busy it must pick machine 1.
+	trms := newTRMS(t, Config{Topology: twoDomainTopology(t), Heuristic: sched.OLB{}})
+	task := Task{Client: 0, ToA: grid.MustToA(grid.ActCompute), RTL: grid.LevelA, EEC: []float64{1, 1000}}
+	if _, err := trms.Submit(task, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine.ID != 1 {
+		t.Fatalf("OLB placement %+v, want machine 1", p)
+	}
+}

@@ -1,0 +1,387 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gridtrust/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		if _, err := s.ScheduleAt(at, func(sim *Simulator) {
+			fired = append(fired, sim.Now())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Run(); n != 5 {
+		t.Fatalf("ran %d events, want 5", n)
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock at %g, want 5", s.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.ScheduleAt(7, func(*Simulator) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	s := New()
+	var log []string
+	if _, err := s.ScheduleAt(1, func(sim *Simulator) {
+		log = append(log, "a")
+		if _, err := sim.ScheduleAfter(1, func(*Simulator) { log = append(log, "b") }); err != nil {
+			t.Error(err)
+		}
+		// Same-time follow-up fires after currently queued same-time events.
+		if _, err := sim.ScheduleAfter(0, func(*Simulator) { log = append(log, "a2") }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	want := []string{"a", "a2", "b"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	s := New()
+	if _, err := s.ScheduleAt(5, func(*Simulator) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if _, err := s.ScheduleAt(1, func(*Simulator) {}); err == nil {
+		t.Fatal("scheduled an event in the past")
+	}
+	if _, err := s.ScheduleAfter(-1, func(*Simulator) {}); err == nil {
+		t.Fatal("accepted negative delay")
+	}
+	if _, err := s.ScheduleAt(math.NaN(), func(*Simulator) {}); err == nil {
+		t.Fatal("accepted NaN time")
+	}
+	if _, err := s.ScheduleAt(6, nil); err == nil {
+		t.Fatal("accepted nil handler")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	id, err := s.ScheduleAt(1, func(*Simulator) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel(id) {
+		t.Fatal("cancel failed")
+	}
+	if s.Cancel(id) {
+		t.Fatal("double cancel succeeded")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Cancel(EventID{}) {
+		t.Fatal("cancelling the zero EventID succeeded")
+	}
+}
+
+func TestRunUntilDeadline(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		if _, err := s.ScheduleAt(at, func(sim *Simulator) { fired = append(fired, sim.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := s.RunUntil(3)
+	if n != 3 || len(fired) != 3 {
+		t.Fatalf("ran %d events before deadline, want 3", n)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock at %g after deadline run, want 3", s.Now())
+	}
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	n = s.Run()
+	if n != 2 || s.Now() != 5 {
+		t.Fatalf("resume ran %d ended at %g", n, s.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	s := New()
+	if _, err := s.ScheduleAt(10, func(*Simulator) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(4)
+	if s.Now() != 4 {
+		t.Fatalf("clock at %g, want 4 (deadline)", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		i := i
+		if _, err := s.ScheduleAt(float64(i), func(sim *Simulator) {
+			count++
+			if i == 2 {
+				sim.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("Stop did not halt the loop: ran %d", count)
+	}
+	// Run resumes after Stop.
+	s.Run()
+	if count != 5 {
+		t.Fatalf("resume after Stop ran to %d, want 5", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 3; i++ {
+		if _, err := s.ScheduleAt(float64(i), func(*Simulator) { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Step() || count != 1 {
+		t.Fatal("Step did not execute one event")
+	}
+	s.Run()
+	if s.Step() {
+		t.Fatal("Step on a drained queue returned true")
+	}
+	if s.Executed() != 3 {
+		t.Fatalf("Executed = %d, want 3", s.Executed())
+	}
+}
+
+// TestOrderProperty: random event times always fire in non-decreasing time
+// order with FIFO tie-break.
+func TestOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		type rec struct {
+			at  float64
+			seq int
+		}
+		var fired []rec
+		for i, v := range raw {
+			at := float64(v % 100)
+			i := i
+			if _, err := s.ScheduleAt(at, func(sim *Simulator) {
+				fired = append(fired, rec{sim.Now(), i})
+			}); err != nil {
+				return false
+			}
+		}
+		s.Run()
+		for k := 1; k < len(fired); k++ {
+			if fired[k].at < fired[k-1].at {
+				return false
+			}
+			if fired[k].at == fired[k-1].at && fired[k].seq < fired[k-1].seq {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMM1QueueSanity runs an M/M/1 queue through the kernel and checks
+// Little's law within tolerance — an end-to-end correctness check that
+// exercises schedule-during-run heavily.
+func TestMM1QueueSanity(t *testing.T) {
+	const (
+		lambda = 0.7
+		mu     = 1.0
+		n      = 200000
+	)
+	src := rng.New(123)
+	s := New()
+
+	var (
+		queueLen   int
+		busy       bool
+		arrivals   int
+		totalWait  float64 // sum of sojourn times
+		arriveTime []float64
+	)
+	var startService func(sim *Simulator)
+	startService = func(sim *Simulator) {
+		if busy || queueLen == 0 {
+			return
+		}
+		busy = true
+		queueLen--
+		t0 := arriveTime[0]
+		arriveTime = arriveTime[1:]
+		svc := src.Exponential(mu)
+		if _, err := sim.ScheduleAfter(svc, func(sim *Simulator) {
+			totalWait += sim.Now() - t0
+			busy = false
+			startService(sim)
+		}); err != nil {
+			t.Error(err)
+		}
+	}
+	var arrive func(sim *Simulator)
+	arrive = func(sim *Simulator) {
+		arrivals++
+		queueLen++
+		arriveTime = append(arriveTime, sim.Now())
+		startService(sim)
+		if arrivals < n {
+			if _, err := sim.ScheduleAfter(src.Exponential(lambda), arrive); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if _, err := s.ScheduleAt(0, arrive); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+
+	// M/M/1 mean sojourn = 1/(mu-lambda) = 1/0.3 ≈ 3.33.
+	meanSojourn := totalWait / float64(n)
+	want := 1 / (mu - lambda)
+	if math.Abs(meanSojourn-want)/want > 0.1 {
+		t.Fatalf("M/M/1 mean sojourn = %g, want ~%g", meanSojourn, want)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	src := rng.New(1)
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = src.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, at := range times {
+			_, _ = s.ScheduleAt(at, func(*Simulator) {})
+		}
+		s.Run()
+	}
+}
+
+func TestPeriodicFiresUntilFalse(t *testing.T) {
+	s := New()
+	count := 0
+	if _, err := s.Periodic(10, func(sim *Simulator) bool {
+		count++
+		return count < 4
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if count != 4 {
+		t.Fatalf("periodic fired %d times, want 4", count)
+	}
+	if s.Now() != 40 {
+		t.Fatalf("clock at %g, want 40", s.Now())
+	}
+}
+
+func TestPeriodicCancel(t *testing.T) {
+	s := New()
+	count := 0
+	cancel, err := s.Periodic(5, func(*Simulator) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel after the second firing via a one-shot event.
+	if _, err := s.ScheduleAt(12, func(*Simulator) { cancel() }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(100)
+	if count != 2 {
+		t.Fatalf("cancelled periodic fired %d times, want 2", count)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	s := New()
+	if _, err := s.Periodic(0, func(*Simulator) bool { return true }); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := s.Periodic(1, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestPeriodicInterleavesWithEvents(t *testing.T) {
+	s := New()
+	var log []string
+	if _, err := s.Periodic(10, func(sim *Simulator) bool {
+		log = append(log, fmt.Sprintf("tick@%g", sim.Now()))
+		return sim.Now() < 30
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ScheduleAt(15, func(sim *Simulator) {
+		log = append(log, "event@15")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	want := []string{"tick@10", "event@15", "tick@20", "tick@30"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package des
+
+import (
+	"sort"
+	"testing"
+
+	"gridtrust/internal/rng"
+)
+
+// TestKernelAgainstListOracle model-checks the heap-based kernel against a
+// naive reference implementation (a sorted list re-scanned on every pop)
+// over randomized schedules including cancellations and mid-run insertions.
+// Any divergence in firing order or count is a kernel bug.
+func TestKernelAgainstListOracle(t *testing.T) {
+	src := rng.New(987)
+	for trial := 0; trial < 50; trial++ {
+		nInitial := 1 + src.Intn(40)
+		ops := make([]kernelOp, nInitial)
+		for i := range ops {
+			ops[i] = kernelOp{at: float64(src.Intn(50))}
+			if i > 0 && src.Bool(0.2) {
+				ops[i].cancelAt = src.Intn(i)
+			} else {
+				ops[i].cancelAt = -1
+			}
+			if src.Bool(0.3) {
+				ops[i].spawnAt = float64(src.Intn(20)) + 1
+			}
+		}
+
+		// Run through the kernel.
+		kernelOrder := runKernel(t, ops)
+		// Run through the oracle.
+		oracleOrder := runOracle(ops)
+
+		if len(kernelOrder) != len(oracleOrder) {
+			t.Fatalf("trial %d: kernel fired %d events, oracle %d",
+				trial, len(kernelOrder), len(oracleOrder))
+		}
+		for i := range kernelOrder {
+			if kernelOrder[i] != oracleOrder[i] {
+				t.Fatalf("trial %d: order diverges at %d: kernel %v vs oracle %v",
+					trial, i, kernelOrder, oracleOrder)
+			}
+		}
+	}
+}
+
+// oracleEvent mirrors the kernel's scheduling semantics in the reference
+// implementation.
+type oracleEvent struct {
+	at   float64
+	seq  int
+	id   int
+	dead bool
+	// behaviour attached to the source op (only initial events carry it)
+	cancelAt int
+	spawnAt  float64
+}
+
+// kernelOp describes one randomly generated scheduling operation: fire at
+// `at`, optionally cancel an earlier op's event, optionally spawn a
+// follow-up event spawnAt time units later.
+type kernelOp struct {
+	at       float64
+	cancelAt int // index of an earlier event to cancel when fired, -1 none
+	spawnAt  float64
+}
+
+// runKernel executes the schedule on the production simulator, returning
+// fired event ids (initial events are 0..n-1, spawned events n, n+1, ...
+// in spawn order).
+func runKernel(t *testing.T, ops []kernelOp) []int {
+	t.Helper()
+	s := New()
+	var fired []int
+	ids := make([]EventID, len(ops))
+	nextSpawn := len(ops)
+	for i, o := range ops {
+		i, o := i, o
+		var err error
+		ids[i], err = s.ScheduleAt(o.at, func(sim *Simulator) {
+			fired = append(fired, i)
+			if o.cancelAt >= 0 {
+				sim.Cancel(ids[o.cancelAt])
+			}
+			if o.spawnAt > 0 {
+				id := nextSpawn
+				nextSpawn++
+				if _, err := sim.ScheduleAfter(o.spawnAt, func(*Simulator) {
+					fired = append(fired, id)
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	return fired
+}
+
+// runOracle executes the same schedule with a naive list: on each step,
+// scan for the live event with the smallest (at, seq).
+func runOracle(ops []kernelOp) []int {
+	events := make([]*oracleEvent, 0, len(ops)*2)
+	for i, o := range ops {
+		events = append(events, &oracleEvent{
+			at: o.at, seq: i, id: i, cancelAt: o.cancelAt, spawnAt: o.spawnAt,
+		})
+	}
+	seq := len(ops)
+	nextSpawn := len(ops)
+	var fired []int
+	now := 0.0
+	for {
+		// Find the earliest live, unfired event.
+		live := make([]*oracleEvent, 0, len(events))
+		for _, e := range events {
+			if !e.dead {
+				live = append(live, e)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		sort.Slice(live, func(i, j int) bool {
+			if live[i].at != live[j].at {
+				return live[i].at < live[j].at
+			}
+			return live[i].seq < live[j].seq
+		})
+		e := live[0]
+		e.dead = true
+		now = e.at
+		fired = append(fired, e.id)
+		if e.cancelAt >= 0 {
+			// Cancel the original event with that id if still pending.
+			for _, other := range events {
+				if other.id == e.cancelAt && !other.dead {
+					other.dead = true
+				}
+			}
+		}
+		if e.spawnAt > 0 {
+			events = append(events, &oracleEvent{
+				at: now + e.spawnAt, seq: seq, id: nextSpawn, cancelAt: -1,
+			})
+			seq++
+			nextSpawn++
+		}
+	}
+	return fired
+}

@@ -1,0 +1,103 @@
+package grid
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func dotTopology(t *testing.T) (*Topology, *TrustTable) {
+	t.Helper()
+	top, err := NewTopology(makeGD(0, 2, 1), makeGD(1, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewTrustTable()
+	if err := table.Set(0, 1, ActCompute, LevelD); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Set(0, 1, ActStorage, LevelB); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Set(1, 0, ActCompute, LevelE); err != nil {
+		t.Fatal(err)
+	}
+	return top, table
+}
+
+func TestWriteDOTStructure(t *testing.T) {
+	top, table := dotTopology(t)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, top, table); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph gridtrust {",
+		"subgraph cluster_gd0",
+		"subgraph cluster_gd1",
+		"rd0 [",
+		"cd1 [",
+		"machine 100", // GD1's first machine id = 100
+		`cd0 -> rd1 [label="compute:D\nstorage:B"`,
+		`cd1 -> rd0 [label="compute:E"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT not terminated")
+	}
+}
+
+func TestWriteDOTWithoutTable(t *testing.T) {
+	top, _ := dotTopology(t)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, top, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "label=\"compute") {
+		t.Error("structure-only DOT rendered trust edges")
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	top, table := dotTopology(t)
+	var a, b strings.Builder
+	if err := WriteDOT(&a, top, table); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDOT(&b, top, table); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("DOT output is not deterministic")
+	}
+}
+
+func TestWriteDOTErrors(t *testing.T) {
+	if err := WriteDOT(&strings.Builder{}, nil, nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+	top, _ := dotTopology(t)
+	if err := WriteDOT(failWriter{}, top, nil); err == nil {
+		t.Error("write error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+func TestSummary(t *testing.T) {
+	top, _ := dotTopology(t)
+	s := Summary(top)
+	if !strings.Contains(s, "2 grid domains") || !strings.Contains(s, "3 machines") ||
+		!strings.Contains(s, "3 clients") {
+		t.Errorf("summary = %q", s)
+	}
+	if Summary(nil) != "<nil topology>" {
+		t.Error("nil summary wrong")
+	}
+}

@@ -1,0 +1,129 @@
+package grid
+
+import "fmt"
+
+// ETSRule selects between the two readings of the paper's Table 1 for the
+// RTL = F row.
+//
+// Table 1 literally lists the supplement "F" (numeric 6) in every cell of
+// the F row: a domain that requires F can never be satisfied by an offered
+// level, so the full supplement applies regardless of the OTL.  That is
+// ETSTable1.
+//
+// The simulation results of Tables 4-9, however, are only reproducible
+// when the F row degrades linearly like every other row (supplement =
+// RTL − OTL, i.e. 1..5 across the columns): under the literal rule,
+// requests with an effective RTL of F (≈31% of them, since both RTLs are
+// drawn from [1,6]) carry TC = 6 on *every* machine, the trust-aware
+// scheduler cannot dodge them, and the measured improvement collapses to
+// roughly half the paper's reported 23-40%.  ETSLinear is therefore the
+// rule the paper-reproduction scenarios use; see EXPERIMENTS.md for the
+// calibration data behind this choice.
+type ETSRule int
+
+const (
+	// ETSTable1 is the literal Table 1: ETS(F, otl) = 6 for every OTL.
+	ETSTable1 ETSRule = iota
+	// ETSLinear treats the F row like the others: ETS = max(RTL−OTL, 0).
+	ETSLinear
+)
+
+// String names the rule.
+func (r ETSRule) String() string {
+	switch r {
+	case ETSTable1:
+		return "table1"
+	case ETSLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("ETSRule(%d)", int(r))
+	}
+}
+
+// Valid reports whether the rule is one of the defined constants.
+func (r ETSRule) Valid() bool { return r == ETSTable1 || r == ETSLinear }
+
+// ETS returns the expected trust supplement of Table 1 (literal reading)
+// for a required trust level rtl and an offered trust level otl.
+//
+// The table's rule is ETS = RTL − OTL clamped at zero ("The ETS value is
+// zero, when RTL-OTL < 0"), with one special row: RTL = F always yields
+// the full supplement F (numeric 6) because "the RTL has a value F that is
+// not provided by OTL ... so that client or resource domains can enforce
+// enhanced security" (Section 3.1).
+//
+// The returned value is the paper's trust cost TC in [0,6].
+func ETS(rtl, otl TrustLevel) (int, error) {
+	return ETSWith(ETSTable1, rtl, otl)
+}
+
+// ETSWith returns the expected trust supplement under the given rule.
+func ETSWith(rule ETSRule, rtl, otl TrustLevel) (int, error) {
+	if !rule.Valid() {
+		return 0, fmt.Errorf("grid: unknown ETS rule %d", int(rule))
+	}
+	if !rtl.Valid() {
+		return 0, fmt.Errorf("grid: ETS requires a valid RTL, got %v", rtl)
+	}
+	if !otl.Offerable() {
+		return 0, fmt.Errorf("grid: ETS requires an offerable OTL (A-E), got %v", otl)
+	}
+	if rule == ETSTable1 && rtl == LevelF {
+		return int(LevelF), nil
+	}
+	d := int(rtl) - int(otl)
+	if d < 0 {
+		return 0, nil
+	}
+	return d, nil
+}
+
+// MustETS is ETS for statically valid levels; it panics on invalid input
+// and exists for table construction and tests.
+func MustETS(rtl, otl TrustLevel) int {
+	v, err := ETS(rtl, otl)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TCMin and TCMax bound the trust cost produced by ETS.
+const (
+	TCMin = 0
+	TCMax = int(LevelF)
+)
+
+// ETSTable materialises the full Table 1 (literal reading): rows indexed
+// by RTL A-F, columns by OTL A-E.  Cell [r][o] holds ETS(A+r, A+o).
+func ETSTable() [6][5]int {
+	var t [6][5]int
+	for r := LevelA; r <= LevelF; r++ {
+		for o := MinOfferable; o <= MaxOfferable; o++ {
+			t[int(r)-1][int(o)-1] = MustETS(r, o)
+		}
+	}
+	return t
+}
+
+// TrustCost computes the trust cost TC under the literal Table 1 rule for
+// a request whose client requires clientRTL, whose resource requires
+// resourceRTL, and whose offered trust level is otl.  Per Section 3.1,
+// "if the OTL is greater than or equal to the maximum of client and
+// resource RTLs, then the activity can proceed with no additional
+// overhead"; the effective requirement is therefore
+// max(clientRTL, resourceRTL).
+func TrustCost(clientRTL, resourceRTL, otl TrustLevel) (int, error) {
+	return TrustCostWith(ETSTable1, clientRTL, resourceRTL, otl)
+}
+
+// TrustCostWith computes the trust cost under the given ETS rule.
+func TrustCostWith(rule ETSRule, clientRTL, resourceRTL, otl TrustLevel) (int, error) {
+	if !clientRTL.Valid() {
+		return 0, fmt.Errorf("grid: invalid client RTL %v", clientRTL)
+	}
+	if !resourceRTL.Valid() {
+		return 0, fmt.Errorf("grid: invalid resource RTL %v", resourceRTL)
+	}
+	return ETSWith(rule, maxLevel(clientRTL, resourceRTL), otl)
+}

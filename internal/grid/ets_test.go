@@ -1,0 +1,236 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestETSMatchesPaperTable1 enumerates every cell of the paper's Table 1.
+// Rows are RTL A-F, columns OTL A-E; symbolic differences like "C - A" are
+// the numeric level differences, and the F row is the constant F (=6).
+func TestETSMatchesPaperTable1(t *testing.T) {
+	want := [6][5]int{
+		//        OTL:  A  B  C  D  E
+		/* RTL A */ {0, 0, 0, 0, 0},
+		/* RTL B */ {1, 0, 0, 0, 0},
+		/* RTL C */ {2, 1, 0, 0, 0},
+		/* RTL D */ {3, 2, 1, 0, 0},
+		/* RTL E */ {4, 3, 2, 1, 0},
+		/* RTL F */ {6, 6, 6, 6, 6},
+	}
+	got := ETSTable()
+	for r := 0; r < 6; r++ {
+		for o := 0; o < 5; o++ {
+			if got[r][o] != want[r][o] {
+				t.Errorf("ETS(RTL=%v, OTL=%v) = %d, want %d",
+					TrustLevel(r+1), TrustLevel(o+1), got[r][o], want[r][o])
+			}
+		}
+	}
+}
+
+func TestETSErrors(t *testing.T) {
+	if _, err := ETS(LevelNone, LevelA); err == nil {
+		t.Error("ETS accepted invalid RTL")
+	}
+	if _, err := ETS(LevelA, LevelF); err == nil {
+		t.Error("ETS accepted non-offerable OTL=F")
+	}
+	if _, err := ETS(LevelA, LevelNone); err == nil {
+		t.Error("ETS accepted OTL=none")
+	}
+	if _, err := ETS(TrustLevel(7), LevelA); err == nil {
+		t.Error("ETS accepted out-of-range RTL")
+	}
+}
+
+func TestETSProperties(t *testing.T) {
+	// ETS is in [0,6]; zero exactly when OTL >= RTL (except the F row);
+	// monotone non-decreasing in RTL and non-increasing in OTL.
+	f := func(rRaw, oRaw uint8) bool {
+		rtl := TrustLevel(int(rRaw)%6) + LevelA
+		otl := TrustLevel(int(oRaw)%5) + LevelA
+		v := MustETS(rtl, otl)
+		if v < TCMin || v > TCMax {
+			return false
+		}
+		if rtl == LevelF {
+			return v == 6
+		}
+		if otl >= rtl && v != 0 {
+			return false
+		}
+		if otl < rtl && v != int(rtl)-int(otl) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestETSMonotonicity(t *testing.T) {
+	for otl := MinOfferable; otl <= MaxOfferable; otl++ {
+		prev := -1
+		for rtl := LevelA; rtl <= LevelF; rtl++ {
+			v := MustETS(rtl, otl)
+			if v < prev {
+				t.Errorf("ETS not monotone in RTL at (%v,%v)", rtl, otl)
+			}
+			prev = v
+		}
+	}
+	for rtl := LevelA; rtl <= LevelF; rtl++ {
+		prev := TCMax + 1
+		for otl := MinOfferable; otl <= MaxOfferable; otl++ {
+			v := MustETS(rtl, otl)
+			if v > prev {
+				t.Errorf("ETS not anti-monotone in OTL at (%v,%v)", rtl, otl)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestMustETSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustETS did not panic on invalid input")
+		}
+	}()
+	MustETS(LevelNone, LevelA)
+}
+
+// TestETSLinearRule enumerates the linear variant: every row, including F,
+// is max(RTL−OTL, 0).
+func TestETSLinearRule(t *testing.T) {
+	for rtl := LevelA; rtl <= LevelF; rtl++ {
+		for otl := MinOfferable; otl <= MaxOfferable; otl++ {
+			got, err := ETSWith(ETSLinear, rtl, otl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int(rtl) - int(otl)
+			if want < 0 {
+				want = 0
+			}
+			if got != want {
+				t.Errorf("ETSLinear(%v,%v) = %d, want %d", rtl, otl, got, want)
+			}
+		}
+	}
+}
+
+func TestETSRulesAgreeBelowF(t *testing.T) {
+	for rtl := LevelA; rtl < LevelF; rtl++ {
+		for otl := MinOfferable; otl <= MaxOfferable; otl++ {
+			a, err := ETSWith(ETSTable1, rtl, otl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ETSWith(ETSLinear, rtl, otl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("rules disagree at (%v,%v): %d vs %d", rtl, otl, a, b)
+			}
+		}
+	}
+}
+
+func TestETSRuleValidation(t *testing.T) {
+	if _, err := ETSWith(ETSRule(9), LevelA, LevelA); err == nil {
+		t.Error("accepted unknown rule")
+	}
+	if !ETSTable1.Valid() || !ETSLinear.Valid() || ETSRule(9).Valid() {
+		t.Error("rule validity wrong")
+	}
+	if ETSTable1.String() != "table1" || ETSLinear.String() != "linear" {
+		t.Error("rule names wrong")
+	}
+}
+
+func TestTrustCostWithLinear(t *testing.T) {
+	// Under the linear rule the F row can be partially satisfied.
+	got, err := TrustCostWith(ETSLinear, LevelF, LevelA, LevelE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("linear TC(F,A,E) = %d, want 1", got)
+	}
+	got, err = TrustCostWith(ETSTable1, LevelF, LevelA, LevelE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("table1 TC(F,A,E) = %d, want 6", got)
+	}
+}
+
+func TestTrustCost(t *testing.T) {
+	// Effective RTL is max(client, resource).
+	cases := []struct {
+		client, resource, otl TrustLevel
+		want                  int
+	}{
+		{LevelA, LevelA, LevelE, 0},
+		{LevelC, LevelB, LevelA, 2}, // max=C, C-A=2
+		{LevelB, LevelD, LevelB, 2}, // max=D, D-B=2
+		{LevelF, LevelA, LevelE, 6}, // F row
+		{LevelA, LevelF, LevelE, 6},
+		{LevelE, LevelE, LevelE, 0},
+		{LevelE, LevelE, LevelA, 4},
+	}
+	for _, tc := range cases {
+		got, err := TrustCost(tc.client, tc.resource, tc.otl)
+		if err != nil {
+			t.Errorf("TrustCost(%v,%v,%v): %v", tc.client, tc.resource, tc.otl, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("TrustCost(%v,%v,%v) = %d, want %d",
+				tc.client, tc.resource, tc.otl, got, tc.want)
+		}
+	}
+}
+
+func TestTrustCostErrors(t *testing.T) {
+	if _, err := TrustCost(LevelNone, LevelA, LevelA); err == nil {
+		t.Error("accepted invalid client RTL")
+	}
+	if _, err := TrustCost(LevelA, LevelNone, LevelA); err == nil {
+		t.Error("accepted invalid resource RTL")
+	}
+	if _, err := TrustCost(LevelA, LevelA, LevelF); err == nil {
+		t.Error("accepted non-offerable OTL")
+	}
+}
+
+// TestTrustCostNoOverheadCondition encodes Section 3.1's rule: "If the OTL
+// is greater than or equal to the maximum of client and resource RTLs, then
+// the activity can proceed with no additional overhead."
+func TestTrustCostNoOverheadCondition(t *testing.T) {
+	f := func(cRaw, rRaw, oRaw uint8) bool {
+		client := TrustLevel(int(cRaw)%6) + LevelA
+		resource := TrustLevel(int(rRaw)%6) + LevelA
+		otl := TrustLevel(int(oRaw)%5) + LevelA
+		tc, err := TrustCost(client, resource, otl)
+		if err != nil {
+			return false
+		}
+		eff := MaxLevel(client, resource)
+		if eff == LevelF {
+			return tc == 6 // F can never be satisfied by an OTL
+		}
+		if otl >= eff {
+			return tc == 0
+		}
+		return tc > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

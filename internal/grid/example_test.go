@@ -1,0 +1,43 @@
+package grid_test
+
+import (
+	"fmt"
+
+	"gridtrust/internal/grid"
+)
+
+// ExampleETS reproduces cells of the paper's Table 1.
+func ExampleETS() {
+	for _, pair := range []struct{ rtl, otl grid.TrustLevel }{
+		{grid.LevelC, grid.LevelA}, // C - A = 2
+		{grid.LevelB, grid.LevelE}, // satisfied: 0
+		{grid.LevelF, grid.LevelE}, // F row: always the full supplement
+	} {
+		v, err := grid.ETS(pair.rtl, pair.otl)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("ETS(%v, %v) = %d\n", pair.rtl, pair.otl, v)
+	}
+	// Output:
+	// ETS(C, A) = 2
+	// ETS(B, E) = 0
+	// ETS(F, E) = 6
+}
+
+// ExampleTrustTable_OTL shows the composed-activity rule: the offered
+// trust level of a ToA is the minimum over its activities.
+func ExampleTrustTable_OTL() {
+	table := grid.NewTrustTable()
+	_ = table.Set(0, 1, grid.ActCompute, grid.LevelD)
+	_ = table.Set(0, 1, grid.ActStorage, grid.LevelB)
+	_ = table.Set(0, 1, grid.ActPrint, grid.LevelE)
+
+	otl, err := table.OTL(0, 1, grid.MustToA(grid.ActCompute, grid.ActStorage, grid.ActPrint))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("OTL(compute+storage+print) = min(D, B, E) = %v\n", otl)
+	// Output:
+	// OTL(compute+storage+print) = min(D, B, E) = B
+}

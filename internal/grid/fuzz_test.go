@@ -1,0 +1,61 @@
+package grid
+
+import "testing"
+
+// FuzzParseLevel checks ParseLevel never panics and that accepted inputs
+// round-trip through String.
+func FuzzParseLevel(f *testing.F) {
+	for _, seed := range []string{"A", "f", "", "G", "AB", "1", "\x00", "Æ"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ParseLevel(s)
+		if err != nil {
+			return
+		}
+		if !l.Valid() {
+			t.Fatalf("ParseLevel(%q) accepted invalid level %d", s, int(l))
+		}
+		back, err := ParseLevel(l.String())
+		if err != nil || back != l {
+			t.Fatalf("round trip of %q failed: %v %v", s, back, err)
+		}
+	})
+}
+
+// FuzzETSWith checks both ETS rules across the whole input space: valid
+// inputs produce values in [0,6]; invalid inputs produce errors, never
+// panics.
+func FuzzETSWith(f *testing.F) {
+	f.Add(0, 1, 1)
+	f.Add(1, 6, 5)
+	f.Add(1, 6, 1)
+	f.Add(0, -3, 99)
+	f.Fuzz(func(t *testing.T, rule, rtl, otl int) {
+		v, err := ETSWith(ETSRule(rule), TrustLevel(rtl), TrustLevel(otl))
+		if err != nil {
+			return
+		}
+		if v < TCMin || v > TCMax {
+			t.Fatalf("ETSWith(%d,%d,%d) = %d outside [0,6]", rule, rtl, otl, v)
+		}
+		// Valid output implies valid inputs.
+		if !ETSRule(rule).Valid() || !TrustLevel(rtl).Valid() || !TrustLevel(otl).Offerable() {
+			t.Fatalf("ETSWith accepted invalid inputs (%d,%d,%d)", rule, rtl, otl)
+		}
+	})
+}
+
+// FuzzLevelFromScore checks quantisation totality.
+func FuzzLevelFromScore(f *testing.F) {
+	f.Add(0.0)
+	f.Add(3.49)
+	f.Add(6.0)
+	f.Add(-1e300)
+	f.Fuzz(func(t *testing.T, score float64) {
+		l := LevelFromScore(score)
+		if !l.Valid() {
+			t.Fatalf("LevelFromScore(%g) = %d invalid", score, int(l))
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// Package grid implements the paper's Grid trust model (Section 3): trust
+// levels A-F, types of activity (ToA), Grid domains with their virtual
+// resource domains (RDs) and client domains (CDs), the CDxRD trust-level
+// table, the offered/required trust level computation, and the expected
+// trust supplement (ETS) of Table 1.
+package grid
+
+import "fmt"
+
+// TrustLevel is one of the six discrete trust levels of the paper's model.
+// "The trust levels A to F are assigned corresponding numeric values that
+// range from 1 to 6, respectively" (Section 4.1).  A is "very low trust
+// level" and F is "extremely high trust level"; F is only ever *required*
+// (RTL), never *offered* (OTL), which lets a domain force maximal security.
+type TrustLevel int
+
+// The six trust levels.  LevelNone (0) is the zero value and marks an
+// absent table entry; it is not a paper trust level.
+const (
+	LevelNone TrustLevel = iota
+	LevelA               // 1: very low trust
+	LevelB               // 2
+	LevelC               // 3
+	LevelD               // 4
+	LevelE               // 5: highest offerable trust
+	LevelF               // 6: extremely high trust, requirable only
+)
+
+// MinOfferable and MaxOfferable bound OTL values; MaxRequirable bounds RTLs.
+// Section 5.3: "the OTL values were randomly generated from [1, 5]" and
+// "the two RTL values were randomly generated from [1, 6]".
+const (
+	MinOfferable  = LevelA
+	MaxOfferable  = LevelE
+	MinRequirable = LevelA
+	MaxRequirable = LevelF
+)
+
+// Valid reports whether l is one of the six paper levels A-F.
+func (l TrustLevel) Valid() bool { return l >= LevelA && l <= LevelF }
+
+// Offerable reports whether l may appear as an offered trust level.
+func (l TrustLevel) Offerable() bool { return l >= MinOfferable && l <= MaxOfferable }
+
+// String renders the paper's letter name.
+func (l TrustLevel) String() string {
+	switch {
+	case l == LevelNone:
+		return "-"
+	case l.Valid():
+		return string(rune('A' + int(l) - 1))
+	default:
+		return fmt.Sprintf("TrustLevel(%d)", int(l))
+	}
+}
+
+// ParseLevel converts a letter A-F (upper or lower case) to a TrustLevel.
+func ParseLevel(s string) (TrustLevel, error) {
+	if len(s) != 1 {
+		return LevelNone, fmt.Errorf("grid: trust level must be a single letter A-F, got %q", s)
+	}
+	c := s[0]
+	if c >= 'a' && c <= 'f' {
+		c -= 'a' - 'A'
+	}
+	if c < 'A' || c > 'F' {
+		return LevelNone, fmt.Errorf("grid: trust level must be A-F, got %q", s)
+	}
+	return TrustLevel(c-'A') + LevelA, nil
+}
+
+// LevelFromScore maps a continuous trust score in [1,6] (as produced by the
+// trust engine's Γ computation) onto the nearest discrete level, clamping
+// out-of-range scores.  This is the quantisation step by which the evolving
+// trust values of Section 2 populate the scheduling table of Section 3.
+func LevelFromScore(score float64) TrustLevel {
+	switch {
+	case score < 1:
+		return LevelA
+	case score > 6:
+		return LevelF
+	default:
+		// Round to nearest integer level.
+		l := TrustLevel(int(score + 0.5))
+		if l > LevelF {
+			l = LevelF
+		}
+		if l < LevelA {
+			l = LevelA
+		}
+		return l
+	}
+}
+
+// minLevel returns the lower of two levels; used for composing activities.
+func minLevel(a, b TrustLevel) TrustLevel {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// maxLevel returns the higher of two levels; used for combining the client
+// and resource RTLs.
+func maxLevel(a, b TrustLevel) TrustLevel {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxLevel is the exported form of maxLevel for callers combining RTLs.
+func MaxLevel(a, b TrustLevel) TrustLevel { return maxLevel(a, b) }

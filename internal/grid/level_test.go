@@ -1,0 +1,114 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrustLevelNumericValues(t *testing.T) {
+	// "The trust levels A to F are assigned corresponding numeric values
+	// that range from 1 to 6" (Section 4.1).
+	want := map[TrustLevel]int{
+		LevelA: 1, LevelB: 2, LevelC: 3, LevelD: 4, LevelE: 5, LevelF: 6,
+	}
+	for l, v := range want {
+		if int(l) != v {
+			t.Errorf("%v has numeric value %d, want %d", l, int(l), v)
+		}
+	}
+}
+
+func TestTrustLevelString(t *testing.T) {
+	cases := map[TrustLevel]string{
+		LevelNone: "-", LevelA: "A", LevelB: "B", LevelC: "C",
+		LevelD: "D", LevelE: "E", LevelF: "F",
+		TrustLevel(9): "TrustLevel(9)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want TrustLevel
+		err  bool
+	}{
+		{"A", LevelA, false},
+		{"f", LevelF, false},
+		{"c", LevelC, false},
+		{"G", LevelNone, true},
+		{"", LevelNone, true},
+		{"AB", LevelNone, true},
+		{"1", LevelNone, true},
+	} {
+		got, err := ParseLevel(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseLevel(%q) error = %v, want error=%v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseLevelRoundTrip(t *testing.T) {
+	for l := LevelA; l <= LevelF; l++ {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Errorf("round trip of %v failed: got %v err %v", l, got, err)
+		}
+	}
+}
+
+func TestOfferable(t *testing.T) {
+	for l := LevelA; l <= LevelE; l++ {
+		if !l.Offerable() {
+			t.Errorf("%v should be offerable", l)
+		}
+	}
+	if LevelF.Offerable() {
+		t.Error("F must not be offerable (Section 3.1)")
+	}
+	if LevelNone.Offerable() {
+		t.Error("LevelNone must not be offerable")
+	}
+}
+
+func TestLevelFromScore(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  TrustLevel
+	}{
+		{-3, LevelA}, {0, LevelA}, {1, LevelA}, {1.49, LevelA},
+		{1.5, LevelB}, {2.4, LevelB}, {3.0, LevelC}, {5.5, LevelF},
+		{6, LevelF}, {100, LevelF},
+	}
+	for _, tc := range cases {
+		if got := LevelFromScore(tc.score); got != tc.want {
+			t.Errorf("LevelFromScore(%g) = %v, want %v", tc.score, got, tc.want)
+		}
+	}
+}
+
+func TestLevelFromScoreAlwaysValid(t *testing.T) {
+	f := func(score float64) bool {
+		return LevelFromScore(score).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxLevel(t *testing.T) {
+	if minLevel(LevelB, LevelD) != LevelB || minLevel(LevelD, LevelB) != LevelB {
+		t.Error("minLevel wrong")
+	}
+	if MaxLevel(LevelB, LevelD) != LevelD || MaxLevel(LevelD, LevelB) != LevelD {
+		t.Error("MaxLevel wrong")
+	}
+}

@@ -1,0 +1,152 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TrustTable is the trust-level table of Section 3.1: a symmetric
+// quantifier TL[i][j][k] for client domain i and resource domain j engaging
+// in activity A_k.  "In this study, we maintain a single table in a
+// centrally organized RMS.  The table may, however, be replicated at
+// different domains for reading purposes."
+//
+// The table is safe for concurrent use: the CD/RD monitoring agents of
+// Figure 1 update entries while the scheduler reads them.  Updates are rare
+// relative to reads — "trust is a slow varying attribute, therefore, the
+// update overhead associated with the trust level table is not significant"
+// — so a single RWMutex suffices and keeps read paths cheap.
+type TrustTable struct {
+	mu      sync.RWMutex
+	entries map[tableKey]TrustLevel
+	version uint64 // bumped on every successful Set, for replication
+}
+
+type tableKey struct {
+	cd  DomainID
+	rd  DomainID
+	act Activity
+}
+
+// NewTrustTable returns an empty trust-level table.
+func NewTrustTable() *TrustTable {
+	return &TrustTable{entries: make(map[tableKey]TrustLevel)}
+}
+
+// Set records the trust level for (cd, rd, activity).  Only offerable
+// levels A-E may be stored: F exists solely as a requirement.
+func (t *TrustTable) Set(cd, rd DomainID, act Activity, tl TrustLevel) error {
+	if !tl.Offerable() {
+		return fmt.Errorf("grid: table entries must be offerable levels A-E, got %v", tl)
+	}
+	if !act.Valid() {
+		return fmt.Errorf("grid: invalid activity %d", int(act))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[tableKey{cd, rd, act}] = tl
+	t.version++
+	return nil
+}
+
+// Get returns the trust level for (cd, rd, activity) and whether an entry
+// exists.
+func (t *TrustTable) Get(cd, rd DomainID, act Activity) (TrustLevel, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	tl, ok := t.entries[tableKey{cd, rd, act}]
+	return tl, ok
+}
+
+// Version returns a monotonically increasing counter of table mutations.
+// Read-only replicas use it to decide when to refresh.
+func (t *TrustTable) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Len returns the number of entries.
+func (t *TrustTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// OTL computes the offered trust level for a client of cd engaging in the
+// (possibly composed) ToA on a resource of rd: the minimum of the per-
+// activity table entries.  "TL_ij^o = min(TL for A_p, TL for A_q, TL for
+// A_r)" (Section 3.1).  It returns an error if any activity has no entry,
+// which means the pairing is simply not offered.
+func (t *TrustTable) OTL(cd, rd DomainID, toa ToA) (TrustLevel, error) {
+	if len(toa.Activities) == 0 {
+		return LevelNone, fmt.Errorf("grid: OTL of an empty ToA")
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	otl := MaxOfferable + 1 // sentinel above any offerable level
+	for _, a := range toa.Activities {
+		tl, ok := t.entries[tableKey{cd, rd, a}]
+		if !ok {
+			return LevelNone, fmt.Errorf("grid: no trust entry for CD %d / RD %d / %v", cd, rd, a)
+		}
+		otl = minLevel(otl, tl)
+	}
+	return otl, nil
+}
+
+// ForEach invokes fn for every entry under the read lock.  fn must not
+// call back into the table (it would deadlock on the RWMutex).
+func (t *TrustTable) ForEach(fn func(cd, rd DomainID, act Activity, tl TrustLevel)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for k, tl := range t.entries {
+		fn(k.cd, k.rd, k.act, tl)
+	}
+}
+
+// Snapshot returns a read-only copy of the table, the "replicated at
+// different domains for reading purposes" mechanism of Section 3.1.  The
+// replica is immutable and does not track later updates; compare Version
+// with the live table to detect staleness.
+func (t *TrustTable) Snapshot() *TableReplica {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cp := make(map[tableKey]TrustLevel, len(t.entries))
+	for k, v := range t.entries {
+		cp[k] = v
+	}
+	return &TableReplica{entries: cp, version: t.version}
+}
+
+// TableReplica is an immutable point-in-time copy of a TrustTable.
+type TableReplica struct {
+	entries map[tableKey]TrustLevel
+	version uint64
+}
+
+// Get returns the replicated trust level for (cd, rd, activity).
+func (r *TableReplica) Get(cd, rd DomainID, act Activity) (TrustLevel, bool) {
+	tl, ok := r.entries[tableKey{cd, rd, act}]
+	return tl, ok
+}
+
+// Version returns the version of the source table at snapshot time.
+func (r *TableReplica) Version() uint64 { return r.version }
+
+// OTL computes the offered trust level from the replica, mirroring
+// TrustTable.OTL.
+func (r *TableReplica) OTL(cd, rd DomainID, toa ToA) (TrustLevel, error) {
+	if len(toa.Activities) == 0 {
+		return LevelNone, fmt.Errorf("grid: OTL of an empty ToA")
+	}
+	otl := MaxOfferable + 1
+	for _, a := range toa.Activities {
+		tl, ok := r.entries[tableKey{cd, rd, a}]
+		if !ok {
+			return LevelNone, fmt.Errorf("grid: no trust entry for CD %d / RD %d / %v", cd, rd, a)
+		}
+		otl = minLevel(otl, tl)
+	}
+	return otl, nil
+}

@@ -1,0 +1,252 @@
+package grid
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrustTableSetGet(t *testing.T) {
+	tt := NewTrustTable()
+	if _, ok := tt.Get(0, 1, ActCompute); ok {
+		t.Fatal("empty table returned an entry")
+	}
+	if err := tt.Set(0, 1, ActCompute, LevelC); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tt.Get(0, 1, ActCompute)
+	if !ok || got != LevelC {
+		t.Fatalf("Get = %v/%v, want C/true", got, ok)
+	}
+	// Distinct keys are independent.
+	if _, ok := tt.Get(1, 0, ActCompute); ok {
+		t.Fatal("table is not keyed by (cd, rd) order")
+	}
+	if _, ok := tt.Get(0, 1, ActStorage); ok {
+		t.Fatal("table is not keyed by activity")
+	}
+}
+
+func TestTrustTableRejectsBadEntries(t *testing.T) {
+	tt := NewTrustTable()
+	if err := tt.Set(0, 1, ActCompute, LevelF); err == nil {
+		t.Error("table accepted OTL=F (F is requirable only)")
+	}
+	if err := tt.Set(0, 1, ActCompute, LevelNone); err == nil {
+		t.Error("table accepted LevelNone")
+	}
+	if err := tt.Set(0, 1, Activity(-1), LevelB); err == nil {
+		t.Error("table accepted a negative activity")
+	}
+	if tt.Len() != 0 {
+		t.Error("rejected entries were stored")
+	}
+}
+
+func TestTrustTableVersion(t *testing.T) {
+	tt := NewTrustTable()
+	v0 := tt.Version()
+	if err := tt.Set(0, 1, ActCompute, LevelB); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Version() != v0+1 {
+		t.Fatal("version did not advance on Set")
+	}
+	_ = tt.Set(0, 1, ActCompute, LevelF) // rejected
+	if tt.Version() != v0+1 {
+		t.Fatal("version advanced on a rejected Set")
+	}
+}
+
+func TestOTLIsMinOverActivities(t *testing.T) {
+	// Section 3.1: TL^o = min(TL for A_p, TL for A_q, TL for A_r).
+	tt := NewTrustTable()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tt.Set(3, 7, ActCompute, LevelD))
+	must(tt.Set(3, 7, ActStorage, LevelB))
+	must(tt.Set(3, 7, ActPrint, LevelE))
+
+	otl, err := tt.OTL(3, 7, MustToA(ActCompute, ActStorage, ActPrint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otl != LevelB {
+		t.Fatalf("OTL = %v, want B (the minimum)", otl)
+	}
+
+	// Atomic ToA returns its own level.
+	otl, err = tt.OTL(3, 7, MustToA(ActPrint))
+	if err != nil || otl != LevelE {
+		t.Fatalf("atomic OTL = %v/%v, want E", otl, err)
+	}
+}
+
+func TestOTLMissingActivity(t *testing.T) {
+	tt := NewTrustTable()
+	if err := tt.Set(0, 0, ActCompute, LevelC); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.OTL(0, 0, MustToA(ActCompute, ActNetwork)); err == nil {
+		t.Fatal("OTL succeeded despite a missing activity entry")
+	}
+	if _, err := tt.OTL(0, 0, ToA{}); err == nil {
+		t.Fatal("OTL accepted an empty ToA")
+	}
+}
+
+// TestOTLMinProperty checks that OTL equals the minimum entry for random
+// activity subsets.
+func TestOTLMinProperty(t *testing.T) {
+	f := func(levels [5]uint8, mask uint8) bool {
+		tt := NewTrustTable()
+		min := MaxOfferable + 1
+		var acts []Activity
+		for i, lv := range levels {
+			l := TrustLevel(int(lv)%5) + LevelA
+			if err := tt.Set(1, 2, Activity(i), l); err != nil {
+				return false
+			}
+			if mask&(1<<uint(i)) != 0 {
+				acts = append(acts, Activity(i))
+				if l < min {
+					min = l
+				}
+			}
+		}
+		if len(acts) == 0 {
+			return true
+		}
+		otl, err := tt.OTL(1, 2, MustToA(acts...))
+		return err == nil && otl == min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tt := NewTrustTable()
+	if err := tt.Set(0, 1, ActCompute, LevelB); err != nil {
+		t.Fatal(err)
+	}
+	rep := tt.Snapshot()
+	if err := tt.Set(0, 1, ActCompute, LevelE); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Get(0, 1, ActCompute)
+	if !ok || got != LevelB {
+		t.Fatalf("replica saw later update: %v/%v", got, ok)
+	}
+	if rep.Version() == tt.Version() {
+		t.Fatal("replica version should be stale after update")
+	}
+	live, _ := tt.Get(0, 1, ActCompute)
+	if live != LevelE {
+		t.Fatal("live table lost the update")
+	}
+}
+
+func TestReplicaOTL(t *testing.T) {
+	tt := NewTrustTable()
+	_ = tt.Set(2, 4, ActCompute, LevelC)
+	_ = tt.Set(2, 4, ActStorage, LevelA)
+	rep := tt.Snapshot()
+	otl, err := rep.OTL(2, 4, MustToA(ActCompute, ActStorage))
+	if err != nil || otl != LevelA {
+		t.Fatalf("replica OTL = %v/%v, want A", otl, err)
+	}
+	if _, err := rep.OTL(2, 4, ToA{}); err == nil {
+		t.Fatal("replica OTL accepted empty ToA")
+	}
+	if _, err := rep.OTL(9, 9, MustToA(ActCompute)); err == nil {
+		t.Fatal("replica OTL invented a missing entry")
+	}
+}
+
+// TestTrustTableConcurrency exercises the agents-write / scheduler-reads
+// pattern of Figure 1 under the race detector.
+func TestTrustTableConcurrency(t *testing.T) {
+	tt := NewTrustTable()
+	for a := Activity(0); a < NumBuiltinActivities; a++ {
+		if err := tt.Set(0, 1, a, LevelC); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: four agents cycling levels.
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			lvl := LevelA
+			for i := 0; i < 500; i++ {
+				_ = tt.Set(0, 1, Activity(w%NumBuiltinActivities), lvl)
+				lvl++
+				if lvl > MaxOfferable {
+					lvl = LevelA
+				}
+			}
+		}(w)
+	}
+	// Readers: schedulers computing OTLs and snapshotting.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			toa := MustToA(ActCompute, ActStorage, ActPrint)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if otl, err := tt.OTL(0, 1, toa); err == nil && !otl.Offerable() {
+					t.Error("concurrent OTL out of range")
+					return
+				}
+				_ = tt.Snapshot().Version()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if tt.Version() < 2000 {
+		t.Fatalf("expected ~2000 writes, saw version %d", tt.Version())
+	}
+}
+
+func TestForEachVisitsEveryEntry(t *testing.T) {
+	tt := NewTrustTable()
+	want := map[[3]int]TrustLevel{}
+	for cd := 0; cd < 2; cd++ {
+		for rd := 0; rd < 2; rd++ {
+			lvl := TrustLevel(cd+rd+1) + 0
+			if lvl > MaxOfferable {
+				lvl = MaxOfferable
+			}
+			if err := tt.Set(DomainID(cd), DomainID(rd), ActCompute, lvl); err != nil {
+				t.Fatal(err)
+			}
+			want[[3]int{cd, rd, int(ActCompute)}] = lvl
+		}
+	}
+	got := map[[3]int]TrustLevel{}
+	tt.ForEach(func(cd, rd DomainID, act Activity, tl TrustLevel) {
+		got[[3]int{int(cd), int(rd), int(act)}] = tl
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("entry %v = %v, want %v", k, got[k], v)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a labelled sequence of (x-label, value) points for terminal
+// charts.  The sweeps use it to render their sensitivity curves — the
+// paper has no data figures, but the ablations produce series worth
+// eyeballing without leaving the terminal.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// AddPoint appends one point.
+func (s *Series) AddPoint(label string, value float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, value)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// BarChart renders the series as a horizontal bar chart of the given
+// width.  Negative values extend left of a zero axis when present.
+// Returns an error for empty or non-finite series.
+func BarChart(s *Series, width int) (string, error) {
+	if s == nil || s.Len() == 0 {
+		return "", fmt.Errorf("report: empty series")
+	}
+	if width < 20 {
+		return "", fmt.Errorf("report: chart width %d too narrow", width)
+	}
+	if len(s.Labels) != len(s.Values) {
+		return "", fmt.Errorf("report: series has %d labels for %d values", len(s.Labels), len(s.Values))
+	}
+	minV, maxV := s.Values[0], s.Values[0]
+	for _, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", fmt.Errorf("report: non-finite value %v in series", v)
+		}
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if minV > 0 {
+		minV = 0
+	}
+	if maxV < 0 {
+		maxV = 0
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+
+	labelW := 0
+	for _, l := range s.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	barW := width - labelW - 12
+	if barW < 8 {
+		barW = 8
+	}
+	zeroCol := int(math.Round(-minV / span * float64(barW)))
+
+	var sb strings.Builder
+	if s.Name != "" {
+		fmt.Fprintf(&sb, "%s\n", s.Name)
+	}
+	for i, v := range s.Values {
+		row := make([]byte, barW)
+		for c := range row {
+			row[c] = ' '
+		}
+		col := int(math.Round((v - minV) / span * float64(barW)))
+		if col >= barW {
+			col = barW - 1
+		}
+		if v >= 0 {
+			for c := zeroCol; c <= col && c < barW; c++ {
+				row[c] = '#'
+			}
+		} else {
+			for c := col; c <= zeroCol && c >= 0; c++ {
+				if c < barW {
+					row[c] = '#'
+				}
+			}
+		}
+		// The zero axis stays visible on top of the bars.
+		if zeroCol >= 0 && zeroCol < barW {
+			row[zeroCol] = '|'
+		}
+		fmt.Fprintf(&sb, "%-*s %s %10.2f\n", labelW, s.Labels[i], string(row), v)
+	}
+	return sb.String(), nil
+}
+
+// Sparkline renders the series values as a one-line block-character
+// sparkline, handy for compact logs.
+func Sparkline(values []float64) (string, error) {
+	if len(values) == 0 {
+		return "", fmt.Errorf("report: empty sparkline")
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	minV, maxV := values[0], values[0]
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", fmt.Errorf("report: non-finite value %v in sparkline", v)
+		}
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - minV) / span * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func demoSeries() *Series {
+	s := &Series{Name: "improvement by TC weight"}
+	s.AddPoint("0", 65.6)
+	s.AddPoint("15", 26.2)
+	s.AddPoint("25", 0.7)
+	s.AddPoint("30", -12.8)
+	return s
+}
+
+func TestBarChartBasics(t *testing.T) {
+	out, err := BarChart(demoSeries(), 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + 4 rows
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "TC weight") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	// The largest value should have the longest bar.
+	bars := make([]int, 0, 4)
+	for _, l := range lines[1:] {
+		bars = append(bars, strings.Count(l, "#"))
+	}
+	if !(bars[0] > bars[1] && bars[1] > bars[2]) {
+		t.Fatalf("bar lengths not ordered: %v\n%s", bars, out)
+	}
+	// The negative row must render a bar too (left of the axis).
+	if bars[3] == 0 {
+		t.Fatalf("negative bar missing:\n%s", out)
+	}
+	// Values echoed at line ends.
+	if !strings.Contains(lines[1], "65.60") || !strings.Contains(lines[4], "-12.80") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestBarChartZeroAxis(t *testing.T) {
+	out, err := BarChart(demoSeries(), 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatalf("zero axis missing:\n%s", out)
+	}
+}
+
+func TestBarChartAllPositiveAndAllEqual(t *testing.T) {
+	s := &Series{}
+	s.AddPoint("a", 5)
+	s.AddPoint("b", 5)
+	out, err := BarChart(s, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "#") == 0 {
+		t.Fatalf("flat series rendered no bars:\n%s", out)
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := BarChart(nil, 60); err == nil {
+		t.Error("nil series accepted")
+	}
+	if _, err := BarChart(&Series{}, 60); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := BarChart(demoSeries(), 5); err == nil {
+		t.Error("tiny width accepted")
+	}
+	bad := &Series{Labels: []string{"x"}, Values: []float64{math.NaN()}}
+	if _, err := BarChart(bad, 60); err == nil {
+		t.Error("NaN accepted")
+	}
+	ragged := &Series{Labels: []string{"x"}, Values: []float64{1, 2}}
+	if _, err := BarChart(ragged, 60); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out, err := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if utf8.RuneCountInString(out) != 8 {
+		t.Fatalf("sparkline runes = %d", utf8.RuneCountInString(out))
+	}
+	if !strings.HasPrefix(out, "▁") || !strings.HasSuffix(out, "█") {
+		t.Fatalf("sparkline shape wrong: %q", out)
+	}
+	flat, err := Sparkline([]float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+	if _, err := Sparkline(nil); err == nil {
+		t.Error("empty sparkline accepted")
+	}
+	if _, err := Sparkline([]float64{math.Inf(1)}); err == nil {
+		t.Error("Inf accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Comma formats v with thousands separators and the given number of
+// decimals, matching the paper's "5,817.38" style.
+func Comma(v float64, decimals int) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if math.IsInf(v, 0) {
+		if v > 0 {
+			return "+Inf"
+		}
+		return "-Inf"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%.*f", decimals, v)
+	intPart := s
+	fracPart := ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart, fracPart = s[:i], s[i:]
+	}
+	var sb strings.Builder
+	n := len(intPart)
+	for i, r := range intPart {
+		if i > 0 && (n-i)%3 == 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteRune(r)
+	}
+	out := sb.String() + fracPart
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Percent formats a percentage value (already in percent units) with the
+// given decimals and a trailing %, e.g. Percent(36.99, 2) = "36.99%".
+func Percent(v float64, decimals int) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.*f%%", decimals, v)
+}
+
+// Fraction formats a fraction in [0,1] as a percentage, e.g.
+// Fraction(0.9286, 2) = "92.86%".
+func Fraction(v float64, decimals int) string {
+	return Percent(v*100, decimals)
+}
+
+// Seconds formats a duration in simulated seconds with two decimals, the
+// paper's time style.
+func Seconds(v float64) string { return Comma(v, 2) }
+
+// PlusMinus formats a value with its confidence half-width, e.g.
+// "3,665.23 ± 120.55".
+func PlusMinus(v, ci float64, decimals int) string {
+	return Comma(v, decimals) + " ± " + Comma(ci, decimals)
+}

@@ -1,0 +1,179 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommaFormatting(t *testing.T) {
+	cases := []struct {
+		v        float64
+		decimals int
+		want     string
+	}{
+		{5817.38, 2, "5,817.38"},
+		{97.00, 2, "97.00"},
+		{1234567.891, 2, "1,234,567.89"},
+		{0, 0, "0"},
+		{999, 0, "999"},
+		{1000, 0, "1,000"},
+		{-1234.5, 1, "-1,234.5"},
+		{12, 3, "12.000"},
+	}
+	for _, tc := range cases {
+		if got := Comma(tc.v, tc.decimals); got != tc.want {
+			t.Errorf("Comma(%g,%d) = %q, want %q", tc.v, tc.decimals, got, tc.want)
+		}
+	}
+	if Comma(math.NaN(), 2) != "NaN" {
+		t.Error("NaN formatting wrong")
+	}
+	if Comma(math.Inf(1), 2) != "+Inf" || Comma(math.Inf(-1), 2) != "-Inf" {
+		t.Error("Inf formatting wrong")
+	}
+}
+
+func TestCommaRoundTripProperty(t *testing.T) {
+	// Stripping separators must reparse to the rounded value.
+	f := func(raw int32) bool {
+		v := float64(raw) / 100
+		s := strings.ReplaceAll(Comma(v, 2), ",", "")
+		var back float64
+		if _, err := sscan(s, &back); err != nil {
+			return false
+		}
+		return math.Abs(back-v) < 0.005+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sscan wraps fmt.Sscan to keep the property test tidy.
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}
+
+func TestPercentAndFraction(t *testing.T) {
+	if got := Percent(36.99, 2); got != "36.99%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Fraction(0.9286, 2); got != "92.86%" {
+		t.Errorf("Fraction = %q", got)
+	}
+	if Percent(math.NaN(), 2) != "NaN" {
+		t.Error("NaN percent wrong")
+	}
+}
+
+func TestSecondsAndPlusMinus(t *testing.T) {
+	if got := Seconds(3665.234); got != "3,665.23" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := PlusMinus(3665.23, 120.551, 2); got != "3,665.23 ± 120.55" {
+		t.Errorf("PlusMinus = %q", got)
+	}
+}
+
+func buildTable() *Table {
+	tb := NewTable("Table 4", "# of tasks", "Using trust", "Ave. completion")
+	tb.AddRow("50", "No", "5,817.38")
+	tb.AddRow("50", "Yes", "3,665.23")
+	return tb
+}
+
+func TestASCIIRendering(t *testing.T) {
+	out, err := buildTable().Render("ascii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 4", "# of tasks", "5,817.38", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ascii output missing %q:\n%s", want, out)
+		}
+	}
+	// All data lines must be equal width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("ragged ascii table:\n%s", out)
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	out, err := buildTable().Render("markdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "| # of tasks | Using trust | Ave. completion |") {
+		t.Errorf("markdown header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, ":--- | ---: | ---:") {
+		t.Errorf("markdown alignment wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "**Table 4**") {
+		t.Errorf("markdown title missing:\n%s", out)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`with"quote`, "with,comma")
+	out, err := tb.Render("csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"with""quote"`) || !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("csv quoting wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+}
+
+func TestRenderUnknownFormat(t *testing.T) {
+	if _, err := buildTable().Render("xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")                     // short
+	tb.AddRow("1", "2", "3", "4", "5") // long
+	if tb.NumRows() != 2 {
+		t.Fatal("row count wrong")
+	}
+	out, err := tb.Render("csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[1] != "1,," || lines[2] != "1,2,3" {
+		t.Fatalf("padding/truncation wrong: %q", lines[1:])
+	}
+}
+
+func TestSetAlign(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.SetAlign(1, Left)
+	tb.SetAlign(99, Right) // ignored
+	tb.AddRow("x", "y")
+	out, err := tb.Render("markdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ":--- | :---") {
+		t.Errorf("SetAlign not honoured:\n%s", out)
+	}
+}
+
+// fmtSscan is a test-local alias to avoid importing fmt twice in examples.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

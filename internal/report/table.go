@@ -1,0 +1,202 @@
+// Package report renders result tables in the styles used by the command
+// line tools and the experiment log: aligned ASCII, GitHub markdown and
+// CSV, with the paper's number formatting (thousands separators, fixed
+// decimals, percent signs).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Align controls column alignment.
+type Align int
+
+// Column alignments.
+const (
+	Left Align = iota
+	Right
+)
+
+// Table is a simple column-oriented table builder.
+type Table struct {
+	Title   string
+	headers []string
+	aligns  []Align
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers, all
+// right-aligned except the first.
+func NewTable(title string, headers ...string) *Table {
+	aligns := make([]Align, len(headers))
+	for i := range aligns {
+		if i > 0 {
+			aligns[i] = Right
+		}
+	}
+	return &Table{Title: title, headers: headers, aligns: aligns}
+}
+
+// SetAlign overrides one column's alignment.  Out-of-range columns are
+// ignored.
+func (t *Table) SetAlign(col int, a Align) {
+	if col >= 0 && col < len(t.aligns) {
+		t.aligns[col] = a
+	}
+}
+
+// AddRow appends a row; short rows are padded with empty cells and long
+// rows truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// widths computes per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// pad aligns s into a field of width w.
+func pad(s string, w int, a Align) string {
+	if a == Right {
+		return strings.Repeat(" ", w-len(s)) + s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteASCII renders the table with box-drawing rules to w.
+func (t *Table) WriteASCII(w io.Writer) error {
+	widths := t.widths()
+	line := func(l, m, r string) string {
+		parts := make([]string, len(widths))
+		for i, cw := range widths {
+			parts[i] = strings.Repeat("-", cw+2)
+		}
+		return l + strings.Join(parts, m) + r
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, line("+", "+", "+")); err != nil {
+		return err
+	}
+	cells := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		cells[i] = pad(h, widths[i], Left)
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line("+", "+", "+")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			cells[i] = pad(c, widths[i], t.aligns[i])
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, line("+", "+", "+"))
+	return err
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.headers, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.headers))
+	for i, a := range t.aligns {
+		if a == Right {
+			seps[i] = "---:"
+		} else {
+			seps[i] = ":---"
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (quoting cells containing
+// commas, quotes or newlines).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render returns the table in the named format: "ascii", "markdown" or
+// "csv".
+func (t *Table) Render(format string) (string, error) {
+	var sb strings.Builder
+	var err error
+	switch format {
+	case "ascii", "":
+		err = t.WriteASCII(&sb)
+	case "markdown", "md":
+		err = t.WriteMarkdown(&sb)
+	case "csv":
+		err = t.WriteCSV(&sb)
+	default:
+		return "", fmt.Errorf("report: unknown format %q (want ascii, markdown or csv)", format)
+	}
+	if err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,95 @@
+package rmswire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"gridtrust/internal/grid"
+)
+
+// Client is a synchronous RMS client over one connection.  It is safe for
+// concurrent use; requests are serialised on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a gridtrustd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmswire: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64<<10)}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := readFrame(c.r, &resp); err != nil {
+		return Response{}, err
+	}
+	if resp.Status == StatusError {
+		return resp, fmt.Errorf("rmswire: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit schedules a task and returns its placement.
+func (c *Client) Submit(client grid.ClientID, activities []grid.Activity, rtl grid.TrustLevel, eec []float64, now float64) (*PlacementInfo, error) {
+	ids := make([]int, len(activities))
+	for i, a := range activities {
+		ids[i] = int(a)
+	}
+	resp, err := c.roundTrip(Request{
+		Op:         OpSubmit,
+		Client:     int(client),
+		Activities: ids,
+		RTL:        rtl.String(),
+		EEC:        eec,
+		Now:        now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Placement == nil {
+		return nil, fmt.Errorf("rmswire: submit response missing placement")
+	}
+	return resp.Placement, nil
+}
+
+// Report feeds back the observed outcome (on [1,6]) of a placement.
+func (c *Client) Report(placementID uint64, outcome, now float64) error {
+	_, err := c.roundTrip(Request{
+		Op: OpReport, PlacementID: placementID, Outcome: outcome, Now: now,
+	})
+	return err
+}
+
+// Stats fetches daemon statistics.
+func (c *Client) Stats() (*StatsInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("rmswire: stats response missing stats")
+	}
+	return resp.Stats, nil
+}

@@ -1,0 +1,135 @@
+// Package rmswire exposes a running TRMS (internal/core) over a
+// stream-oriented transport, making the trust-aware resource management
+// system deployable as a daemon: clients submit tasks, receive placements,
+// and report transaction outcomes; the server schedules against the live
+// trust table and feeds outcomes to the monitoring agents.
+//
+// The wire format is newline-delimited JSON frames, one request and one
+// response per line, mirroring internal/trustwire.  The protocol is
+// deliberately synchronous (request/response over one connection) — the
+// paper's RMS is centrally organised, and scheduling throughput is bounded
+// by the mapping heuristic, not the transport.
+package rmswire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gridtrust/internal/grid"
+)
+
+// MaxFrameBytes bounds one JSON frame.
+const MaxFrameBytes = 1 << 20
+
+// Operation names.
+const (
+	OpSubmit = "submit"
+	OpReport = "report"
+	OpStats  = "stats"
+)
+
+// Request is one client request frame.
+type Request struct {
+	Op string `json:"op"`
+
+	// Submit fields.
+	Client     int       `json:"client,omitempty"`
+	Activities []int     `json:"activities,omitempty"`
+	RTL        string    `json:"rtl,omitempty"`
+	EEC        []float64 `json:"eec,omitempty"`
+
+	// Report fields.
+	PlacementID uint64  `json:"placement_id,omitempty"`
+	Outcome     float64 `json:"outcome,omitempty"`
+
+	// Shared simulated-time stamp.
+	Now float64 `json:"now,omitempty"`
+}
+
+// PlacementInfo is the wire form of a core.Placement.
+type PlacementInfo struct {
+	ID      uint64  `json:"id"`
+	Machine int     `json:"machine"`
+	RD      int     `json:"rd"`
+	CD      int     `json:"cd"`
+	OTL     string  `json:"otl"`
+	TC      int     `json:"tc"`
+	EEC     float64 `json:"eec"`
+	ESC     float64 `json:"esc"`
+	ECC     float64 `json:"ecc"`
+	Start   float64 `json:"start"`
+	Finish  float64 `json:"finish"`
+}
+
+// StatsInfo summarises the daemon state.
+type StatsInfo struct {
+	Placed          int    `json:"placed"`
+	AgentsProcessed int    `json:"agents_processed"`
+	AgentsCommitted int    `json:"agents_committed"`
+	AgentsRejected  int    `json:"agents_rejected"`
+	TableVersion    uint64 `json:"table_version"`
+	TableEntries    int    `json:"table_entries"`
+	OpenPlacements  int    `json:"open_placements"`
+}
+
+// Response is one server response frame.
+type Response struct {
+	Status    string         `json:"status"` // "ok" | "error"
+	Error     string         `json:"error,omitempty"`
+	Placement *PlacementInfo `json:"placement,omitempty"`
+	Stats     *StatsInfo     `json:"stats,omitempty"`
+}
+
+// Response statuses.
+const (
+	StatusOK    = "ok"
+	StatusError = "error"
+)
+
+// writeFrame marshals v as one newline-terminated frame.
+func writeFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("rmswire: marshal: %w", err)
+	}
+	if len(data) > MaxFrameBytes {
+		return fmt.Errorf("rmswire: frame of %d bytes exceeds limit", len(data))
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("rmswire: write: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one newline-terminated frame into v.
+func readFrame(r *bufio.Reader, v any) error {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	if len(line) > MaxFrameBytes {
+		return fmt.Errorf("rmswire: frame of %d bytes exceeds limit", len(line))
+	}
+	if err := json.Unmarshal(line, v); err != nil {
+		return fmt.Errorf("rmswire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// activitiesToToA validates and converts wire activity ids.
+func activitiesToToA(ids []int) (grid.ToA, error) {
+	if len(ids) == 0 {
+		return grid.ToA{}, fmt.Errorf("rmswire: empty activity list")
+	}
+	acts := make([]grid.Activity, len(ids))
+	for i, id := range ids {
+		if id < 0 {
+			return grid.ToA{}, fmt.Errorf("rmswire: negative activity id %d", id)
+		}
+		acts[i] = grid.Activity(id)
+	}
+	return grid.NewToA(acts...)
+}

@@ -1,0 +1,215 @@
+package rmswire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gridtrust/internal/core"
+	"gridtrust/internal/grid"
+)
+
+// Server exposes one TRMS over the wire.  It owns a placement registry so
+// outcome reports can reference placements by id across connections.
+type Server struct {
+	trms *core.TRMS
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	mu         sync.Mutex
+	nextID     uint64
+	placements map[uint64]openPlacement
+}
+
+// openPlacement pairs a placement with the ToA it was submitted under so
+// ReportOutcome can attribute per-activity transactions.
+type openPlacement struct {
+	p   *core.Placement
+	toa grid.ToA
+}
+
+// NewServer wraps a TRMS.  The server does not own the TRMS: callers
+// close both, server first.
+func NewServer(trms *core.TRMS) (*Server, error) {
+	if trms == nil {
+		return nil, fmt.Errorf("rmswire: nil TRMS")
+	}
+	return &Server{
+		trms:       trms,
+		placements: make(map[uint64]openPlacement),
+		conns:      make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// ListenAndServe binds addr and serves in the background, returning the
+// bound address.
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		if s.closed.Load() {
+			s.connMu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				_ = conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, force-closes connections and waits for handlers.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
+
+// handle serves one connection's request stream.
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		var req Request
+		if err := readFrame(r, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !s.closed.Load() {
+				_ = writeFrame(conn, Response{Status: StatusError, Error: err.Error()})
+			}
+			return
+		}
+		resp := s.respond(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// respond executes one request against the TRMS.
+func (s *Server) respond(req Request) Response {
+	switch req.Op {
+	case OpSubmit:
+		return s.handleSubmit(req)
+	case OpReport:
+		return s.handleReport(req)
+	case OpStats:
+		return s.handleStats()
+	default:
+		return Response{Status: StatusError, Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) handleSubmit(req Request) Response {
+	toa, err := activitiesToToA(req.Activities)
+	if err != nil {
+		return Response{Status: StatusError, Error: err.Error()}
+	}
+	rtl, err := grid.ParseLevel(req.RTL)
+	if err != nil {
+		return Response{Status: StatusError, Error: err.Error()}
+	}
+	p, err := s.trms.Submit(core.Task{
+		Client: grid.ClientID(req.Client),
+		ToA:    toa,
+		RTL:    rtl,
+		EEC:    req.EEC,
+	}, req.Now)
+	if err != nil {
+		return Response{Status: StatusError, Error: err.Error()}
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.placements[id] = openPlacement{p: p, toa: toa}
+	s.mu.Unlock()
+	return Response{Status: StatusOK, Placement: &PlacementInfo{
+		ID:      id,
+		Machine: int(p.Machine.ID),
+		RD:      int(p.RD),
+		CD:      int(p.CD),
+		OTL:     p.OTL.String(),
+		TC:      p.TC,
+		EEC:     p.EEC,
+		ESC:     p.ESC,
+		ECC:     p.ECC,
+		Start:   p.Start,
+		Finish:  p.Finish,
+	}}
+}
+
+func (s *Server) handleReport(req Request) Response {
+	s.mu.Lock()
+	op, ok := s.placements[req.PlacementID]
+	if ok {
+		delete(s.placements, req.PlacementID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return Response{Status: StatusError,
+			Error: fmt.Sprintf("unknown or already-reported placement %d", req.PlacementID)}
+	}
+	if err := s.trms.ReportOutcome(op.p, op.toa, req.Outcome, req.Now); err != nil {
+		// Reporting failed (e.g. off-scale outcome): restore the
+		// placement so the client can retry with a valid outcome.
+		s.mu.Lock()
+		s.placements[req.PlacementID] = op
+		s.mu.Unlock()
+		return Response{Status: StatusError, Error: err.Error()}
+	}
+	return Response{Status: StatusOK}
+}
+
+func (s *Server) handleStats() Response {
+	processed, committed, rejected := s.trms.AgentStats()
+	s.mu.Lock()
+	open := len(s.placements)
+	s.mu.Unlock()
+	return Response{Status: StatusOK, Stats: &StatsInfo{
+		Placed:          s.trms.Placed(),
+		AgentsProcessed: processed,
+		AgentsCommitted: committed,
+		AgentsRejected:  rejected,
+		TableVersion:    s.trms.Table().Version(),
+		TableEntries:    s.trms.Table().Len(),
+		OpenPlacements:  open,
+	}}
+}

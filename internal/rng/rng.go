@@ -1,0 +1,322 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the sampling distributions used throughout the gridtrust
+// simulator.
+//
+// Reproducibility is a hard requirement for the paper's experiments: a
+// paired trust-aware vs trust-unaware comparison (Tables 4-9) is only
+// meaningful if both runs see byte-identical workloads.  math/rand's global
+// source is unsuitable because its stream may change between Go releases
+// and cannot be split deterministically across parallel replications.  This
+// package implements xoshiro256** seeded via splitmix64, with a 2^128 jump
+// function so that each replication of a parameter sweep gets an
+// independent, reproducible sub-stream.
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Source is a xoshiro256** generator.  The zero value is invalid; use New
+// or NewFromState.  Source is not safe for concurrent use: hand each
+// goroutine its own Source (see Jump and Split).
+type Source struct {
+	s [4]uint64
+
+	// Cached second variate from the polar Box-Muller transform.
+	spare     float64
+	haveSpare bool
+}
+
+// New returns a Source seeded from seed using splitmix64, which guarantees
+// the four state words are well mixed even for small or similar seeds.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro256** must not start from the all-zero state.  splitmix64
+	// cannot produce four zero outputs in a row, but guard anyway so the
+	// invariant is locally evident.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// NewFromState restores a Source from a previously captured state.  It
+// returns an error if the state is all zero, which is the one invalid
+// xoshiro256** state.
+func NewFromState(state [4]uint64) (*Source, error) {
+	if state[0]|state[1]|state[2]|state[3] == 0 {
+		return nil, fmt.Errorf("rng: all-zero state is invalid for xoshiro256**")
+	}
+	return &Source{s: state}, nil
+}
+
+// State returns a copy of the internal state, suitable for NewFromState.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative int64, satisfying math/rand.Source.
+func (r *Source) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed reseeds the generator in place, satisfying math/rand.Source.
+func (r *Source) Seed(seed int64) { *r = *New(uint64(seed)) }
+
+// jumpPoly is the xoshiro256** 2^128 jump polynomial.
+var jumpPoly = [4]uint64{
+	0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+	0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+}
+
+// Jump advances the generator by 2^128 steps in place.  Successive Jump
+// calls partition the full 2^256 period into non-overlapping sub-streams of
+// length 2^128, which is how parallel replications obtain independent
+// randomness from a single master seed.
+func (r *Source) Jump() {
+	var s0, s1, s2, s3 uint64
+	for _, jp := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if jp&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// Split returns a new Source whose stream is disjoint from the receiver's
+// next 2^128 outputs, and advances the receiver past the returned stream.
+// Calling Split n times yields n independent generators for n workers.
+func (r *Source) Split() *Source {
+	child := &Source{s: r.s}
+	r.Jump()
+	return child
+}
+
+// Streams derives n independent Sources from a master seed.  Stream i is
+// identical regardless of how many total streams are requested, so adding
+// replications to an experiment does not perturb earlier ones.
+func Streams(seed uint64, n int) []*Source {
+	master := New(seed)
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = master.Split()
+	}
+	return out
+}
+
+// Float64 returns a uniform value in [0,1) with 53 random bits.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo,hi).  It panics if hi < lo, which
+// is always a programming error in scenario construction.
+func (r *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: Uniform bounds inverted: [%g,%g)", lo, hi))
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform int in [0,n).  It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's unbiased bounded generation.
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// IntRange returns a uniform int in the inclusive range [lo,hi].  The
+// paper's workloads draw ToA counts from [1,4], RTLs from [1,6] and OTLs
+// from [1,5] with exactly this convention.
+func (r *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: IntRange bounds inverted: [%d,%d]", lo, hi))
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Exponential returns a sample from an exponential distribution with the
+// given rate (mean 1/rate).  Poisson arrival processes are generated from
+// exponential inter-arrival times.
+func (r *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	// -log(1-U) avoids log(0) because Float64 is in [0,1).
+	return -math.Log1p(-r.Float64()) / rate
+}
+
+// Poisson returns a sample from a Poisson distribution with mean lambda.
+// For small lambda it uses Knuth's product method; for large lambda it uses
+// the PTRS transformed-rejection method of Hörmann (1993), which is exact
+// and O(1).
+func (r *Source) Poisson(lambda float64) int {
+	switch {
+	case lambda < 0:
+		panic("rng: Poisson with negative lambda")
+	case lambda == 0:
+		return 0
+	case lambda < 30:
+		return r.poissonKnuth(lambda)
+	default:
+		return r.poissonPTRS(lambda)
+	}
+}
+
+func (r *Source) poissonKnuth(lambda float64) int {
+	limit := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+func (r *Source) poissonPTRS(lambda float64) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLambda := math.Log(lambda)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLambda-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// Normal returns a sample from N(mean, stddev^2) via the polar Box-Muller
+// method.  One of the two generated variates is cached.
+func (r *Source) Normal(mean, stddev float64) float64 {
+	if stddev < 0 {
+		panic("rng: Normal with negative stddev")
+	}
+	if r.haveSpare {
+		r.haveSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	mul := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * mul
+	r.haveSpare = true
+	return mean + stddev*u*mul
+}
+
+// Gamma returns a sample from a Gamma(shape, scale) distribution using the
+// Marsaglia-Tsang squeeze method.  Gamma deviates parameterise the
+// high-variance heterogeneity classes in the extended workload models.
+func (r *Source) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma with non-positive shape or scale")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Normal(0, 1)
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}

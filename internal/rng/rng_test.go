@@ -1,0 +1,414 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		t.Fatal("seed 0 produced the invalid all-zero state")
+	}
+	// The stream must not be stuck at zero.
+	var nonzero bool
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("seed 0 produced a degenerate all-zero stream")
+	}
+}
+
+func TestNewFromState(t *testing.T) {
+	a := New(7)
+	a.Uint64()
+	st := a.State()
+	b, err := NewFromState(st)
+	if err != nil {
+		t.Fatalf("NewFromState: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("restored stream diverged at step %d", i)
+		}
+	}
+	if _, err := NewFromState([4]uint64{}); err == nil {
+		t.Fatal("NewFromState accepted the all-zero state")
+	}
+}
+
+func TestJumpDisjoint(t *testing.T) {
+	// A jumped stream must not overlap the original's near-term outputs.
+	a := New(99)
+	b := New(99)
+	b.Jump()
+	seen := make(map[uint64]bool, 4096)
+	for i := 0; i < 4096; i++ {
+		seen[a.Uint64()] = true
+	}
+	collisions := 0
+	for i := 0; i < 4096; i++ {
+		if seen[b.Uint64()] {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("jumped stream collided with original %d times", collisions)
+	}
+}
+
+func TestSplitIndependenceAndStability(t *testing.T) {
+	// Stream i must be identical no matter how many streams are drawn.
+	s3 := Streams(123, 3)
+	s8 := Streams(123, 8)
+	for i := 0; i < 3; i++ {
+		for k := 0; k < 64; k++ {
+			if s3[i].Uint64() != s8[i].Uint64() {
+				t.Fatalf("stream %d differs depending on total stream count", i)
+			}
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnBoundsProperty(t *testing.T) {
+	r := New(7)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(8)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %g", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(1, 6)
+		if v < 1 || v > 6 {
+			t.Fatalf("IntRange(1,6) = %d", v)
+		}
+	}
+	if v := r.IntRange(3, 3); v != 3 {
+		t.Fatalf("IntRange(3,3) = %d, want 3", v)
+	}
+}
+
+func TestIntRangeCoversEndpoints(t *testing.T) {
+	r := New(10)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		seen[r.IntRange(1, 4)] = true
+	}
+	for v := 1; v <= 4; v++ {
+		if !seen[v] {
+			t.Fatalf("IntRange(1,4) never produced %d", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(11)
+	const rate, n = 0.5, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exponential(rate)
+		if v < 0 {
+			t.Fatalf("Exponential produced negative %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.05 {
+		t.Fatalf("Exponential(0.5) mean = %g, want ~2", mean)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(12)
+	for _, lambda := range []float64{0.5, 3, 12, 30, 100, 500} {
+		const n = 50000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(lambda))
+			if v < 0 {
+				t.Fatalf("Poisson(%g) produced negative %g", lambda, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		tol := 6 * math.Sqrt(lambda/n) // ~6 sigma on the mean estimator
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("Poisson(%g) mean = %g, tolerance %g", lambda, mean, tol)
+		}
+		if math.Abs(variance-lambda) > 0.1*lambda+1 {
+			t.Errorf("Poisson(%g) variance = %g, want ~lambda", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	r := New(13)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(14)
+	const mean, sd, n = 5.0, 2.0, 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(mean, sd)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.03 {
+		t.Fatalf("Normal mean = %g, want ~%g", m, mean)
+	}
+	if math.Abs(variance-sd*sd) > 0.1 {
+		t.Fatalf("Normal variance = %g, want ~%g", variance, sd*sd)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(15)
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.5, 1}, {1, 2}, {3, 0.5}, {9, 1.5},
+	} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := r.Gamma(tc.shape, tc.scale)
+			if v < 0 {
+				t.Fatalf("Gamma(%g,%g) produced negative %g", tc.shape, tc.scale, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		want := tc.shape * tc.scale
+		if math.Abs(mean-want) > 0.05*want+0.02 {
+			t.Errorf("Gamma(%g,%g) mean = %g, want ~%g", tc.shape, tc.scale, mean, want)
+		}
+	}
+}
+
+func TestUniformProperty(t *testing.T) {
+	r := New(16)
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if math.IsNaN(lo) || math.IsNaN(hi) ||
+			math.Abs(lo) > 1e150 || math.Abs(hi) > 1e150 {
+			// Avoid hi-lo overflow; simulation quantities are far smaller.
+			return true
+		}
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := r.Uniform(lo, hi)
+		return v >= lo && (v < hi || lo == hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// All 6 permutations of 3 elements should occur roughly equally.
+	r := New(18)
+	counts := make(map[[3]int]int)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		a := [3]int{0, 1, 2}
+		r.Shuffle(3, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		counts[a]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	want := float64(trials) / 6
+	for p, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("permutation %v count %d deviates from %g", p, c, want)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %g", frac)
+	}
+	if r.Bool(0) {
+		// Bool(0) can never fire because Float64 < 0 is impossible... but
+		// Float64 returns values in [0,1), so Float64 < 0 is false always.
+		t.Fatal("Bool(0) returned true")
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	r := New(20)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Intn0", func() { r.Intn(0) }},
+		{"IntnNeg", func() { r.Intn(-3) }},
+		{"IntRangeInverted", func() { r.IntRange(5, 2) }},
+		{"UniformInverted", func() { r.Uniform(2, 1) }},
+		{"ExponentialZeroRate", func() { r.Exponential(0) }},
+		{"PoissonNegative", func() { _ = r.Poisson(-1) }},
+		{"NormalNegativeSD", func() { r.Normal(0, -1) }},
+		{"GammaZeroShape", func() { r.Gamma(0, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(21)
+	for i := 0; i < 10000; i++ {
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(1)
+	r.Uint64()
+	r.Seed(1)
+	want := New(1)
+	for i := 0; i < 16; i++ {
+		if r.Uint64() != want.Uint64() {
+			t.Fatal("Seed did not reset the stream")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonSmall(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(5)
+	}
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(500)
+	}
+}

@@ -1,0 +1,128 @@
+// Package sched implements the mapping heuristics of the paper (Section 4)
+// and its reference [10] (Maheswaran, Ali, Siegel, Hensgen, Freund —
+// "Dynamic mapping of a class of independent tasks onto heterogeneous
+// computing systems"): the immediate-mode heuristics OLB, MET, MCT, KPB
+// and SA, and the batch-mode heuristics Min-min, Max-min, Sufferage and
+// Duplex.  Every heuristic runs either trust-aware or trust-unaware via a
+// cost Policy.
+//
+// Cost vocabulary (Section 4.1):
+//
+//	EEC(M_i, t)  expected execution cost
+//	ESC(M_i, t)  expected security cost
+//	ECC = EEC + ESC   expected completion cost
+//
+// Trust-aware:   ESC = EEC × (TC × 15)/100, TC ∈ [0,6] from the ETS table.
+// Trust-unaware: ESC = EEC × 50/100 — but the mapper does not see it:
+// "the security overhead is not considered when mapping" (Section 5.3).
+// A Policy therefore exposes two views: the DecisionESC the heuristic
+// minimises, and the ChargedESC the simulator bills.
+package sched
+
+import "fmt"
+
+// DefaultTCWeight is the paper's "arbitrarily chosen" weight of 15 for the
+// trust cost: with TC averaging 3, trust-aware ESC averages 45% of EEC.
+const DefaultTCWeight = 15.0
+
+// DefaultFlatOverheadPct is the flat 50% security overhead charged when the
+// RMS does not consider trust.
+const DefaultFlatOverheadPct = 50.0
+
+// Policy decides how security cost enters the mapping decision and the
+// charged completion cost.
+type Policy struct {
+	// Name labels the policy in reports ("trust-aware"/"trust-unaware").
+	Name string
+
+	// DecisionESC is the security cost the heuristic sees when ranking
+	// machines.
+	DecisionESC func(eec float64, tc int) float64
+
+	// ChargedESC is the security cost actually incurred when the task
+	// runs.
+	ChargedESC func(eec float64, tc int) float64
+}
+
+// TrustAware returns the paper's trust-aware policy with the given TC
+// weight (use DefaultTCWeight for the paper's 15).  Decision and charged
+// costs coincide: the scheduler optimises the cost the system pays.
+func TrustAware(tcWeight float64) (Policy, error) {
+	if tcWeight < 0 {
+		return Policy{}, fmt.Errorf("sched: negative TC weight %g", tcWeight)
+	}
+	esc := func(eec float64, tc int) float64 {
+		return eec * (float64(tc) * tcWeight) / 100
+	}
+	return Policy{Name: "trust-aware", DecisionESC: esc, ChargedESC: esc}, nil
+}
+
+// TrustUnaware returns the paper's trust-unaware policy: the mapper ignores
+// security entirely (decision ESC = 0) while the system pays a flat
+// overhead of flatPct percent of EEC on every task.
+func TrustUnaware(flatPct float64) (Policy, error) {
+	if flatPct < 0 {
+		return Policy{}, fmt.Errorf("sched: negative flat overhead %g%%", flatPct)
+	}
+	return Policy{
+		Name:        "trust-unaware",
+		DecisionESC: func(float64, int) float64 { return 0 },
+		ChargedESC:  func(eec float64, _ int) float64 { return eec * flatPct / 100 },
+	}, nil
+}
+
+// TrustBlind returns the policy of the paper's Section 5.2 theorem: the
+// mapper ignores security (decision ESC = 0) but the system is charged the
+// *same* TC-based ESC a trust-aware run would pay.  This isolates the value
+// of informed placement: both policies pay identical per-pair costs, and
+// only the assignment differs.  The theorem — trust-aware makespan <=
+// trust-unaware makespan under the same heuristic — is stated in exactly
+// this setting (both makespans sum EEC + ESC over the chosen mapping).
+func TrustBlind(tcWeight float64) (Policy, error) {
+	if tcWeight < 0 {
+		return Policy{}, fmt.Errorf("sched: negative TC weight %g", tcWeight)
+	}
+	return Policy{
+		Name:        "trust-blind",
+		DecisionESC: func(float64, int) float64 { return 0 },
+		ChargedESC: func(eec float64, tc int) float64 {
+			return eec * (float64(tc) * tcWeight) / 100
+		},
+	}, nil
+}
+
+// MustTrustBlind is the panicking form of TrustBlind.
+func MustTrustBlind(tcWeight float64) Policy {
+	p, err := TrustBlind(tcWeight)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustTrustAware and MustTrustUnaware panic on invalid arguments; they are
+// for statically valid literals in tests, examples and the bench harness.
+func MustTrustAware(tcWeight float64) Policy {
+	p, err := TrustAware(tcWeight)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustTrustUnaware is the panicking form of TrustUnaware.
+func MustTrustUnaware(flatPct float64) Policy {
+	p, err := TrustUnaware(flatPct)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// validatePolicy guards heuristic entry points.
+func validatePolicy(p Policy) error {
+	if p.DecisionESC == nil || p.ChargedESC == nil {
+		return fmt.Errorf("sched: policy %q missing ESC functions", p.Name)
+	}
+	return nil
+}

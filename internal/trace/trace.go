@@ -1,0 +1,210 @@
+// Package trace records simulation execution events (arrivals, scheduling
+// decisions, task starts and finishes, batch ticks) and renders them as
+// CSV or as a text Gantt chart.  Traces make individual runs inspectable:
+// the paper reports aggregates, but debugging a heuristic or explaining a
+// surprising improvement number needs the per-task timeline.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// The event kinds emitted by the simulator.
+const (
+	// Arrival: a request entered the system.
+	Arrival Kind = iota
+	// Scheduled: the mapper committed a request to a machine.
+	Scheduled
+	// Start: a machine began executing a request.
+	Start
+	// Finish: a machine completed a request.
+	Finish
+	// BatchTick: a batch-mode meta-request was dispatched.
+	BatchTick
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Arrival:
+		return "arrival"
+	case Scheduled:
+		return "scheduled"
+	case Start:
+		return "start"
+	case Finish:
+		return "finish"
+	case BatchTick:
+		return "batch-tick"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one timeline record.  Request and Machine are -1 when not
+// applicable (e.g. batch ticks carry no single request).
+type Event struct {
+	Time    float64
+	Kind    Kind
+	Request int
+	Machine int
+	// Cost carries the charged ECC for Start/Finish events, the batch
+	// size for BatchTick.
+	Cost float64
+}
+
+// Trace collects events in emission order.  It is not safe for concurrent
+// use; a simulation is single-threaded (parallelism is across runs).
+type Trace struct {
+	events []Event
+}
+
+// Add appends one event.
+func (t *Trace) Add(e Event) { t.events = append(t.events, e) }
+
+// Events returns the recorded events in order.
+func (t *Trace) Events() []Event {
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// ByKind returns the events of one kind, in order.
+func (t *Trace) ByKind(k Kind) []Event {
+	var out []Event
+	for _, e := range t.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Span is one executed task interval on a machine.
+type Span struct {
+	Request    int
+	Machine    int
+	Start, End float64
+}
+
+// Spans pairs Start/Finish events per request into execution intervals.
+// Incomplete pairs (started but never finished) are dropped.
+func (t *Trace) Spans() []Span {
+	starts := make(map[int]Event)
+	var out []Span
+	for _, e := range t.events {
+		switch e.Kind {
+		case Start:
+			starts[e.Request] = e
+		case Finish:
+			if s, ok := starts[e.Request]; ok && s.Machine == e.Machine {
+				out = append(out, Span{
+					Request: e.Request, Machine: e.Machine,
+					Start: s.Time, End: e.Time,
+				})
+				delete(starts, e.Request)
+			}
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the trace as time,kind,request,machine,cost rows.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time,kind,request,machine,cost"); err != nil {
+		return err
+	}
+	for _, e := range t.events {
+		if _, err := fmt.Fprintf(w, "%.3f,%s,%d,%d,%.3f\n",
+			e.Time, e.Kind, e.Request, e.Machine, e.Cost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gantt renders the trace's execution spans as a text chart, one row per
+// machine, width columns wide.  Each span is drawn with the request id's
+// last digit; '.' marks idle time.  Returns an empty string when the
+// trace holds no spans.
+func (t *Trace) Gantt(machines, width int) string {
+	if machines <= 0 || width <= 8 {
+		return ""
+	}
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	tMax := 0.0
+	for _, s := range spans {
+		if s.End > tMax {
+			tMax = s.End
+		}
+	}
+	if tMax <= 0 {
+		return ""
+	}
+	rows := make([][]byte, machines)
+	for m := range rows {
+		rows[m] = []byte(strings.Repeat(".", width))
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	scale := float64(width) / tMax
+	for _, s := range spans {
+		if s.Machine < 0 || s.Machine >= machines {
+			continue
+		}
+		lo := int(math.Floor(s.Start * scale))
+		hi := int(math.Ceil(s.End * scale))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		ch := byte('0' + s.Request%10)
+		for c := lo; c < hi; c++ {
+			rows[s.Machine][c] = ch
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time 0 %s %.1f\n", strings.Repeat(" ", width-10), tMax)
+	for m, row := range rows {
+		fmt.Fprintf(&sb, "M%-3d |%s|\n", m, row)
+	}
+	return sb.String()
+}
+
+// Stats summarises a trace: counts per kind and the busy fraction implied
+// by the spans.
+func (t *Trace) Stats(machines int) (counts map[Kind]int, busyFraction float64) {
+	counts = make(map[Kind]int)
+	for _, e := range t.events {
+		counts[e.Kind]++
+	}
+	spans := t.Spans()
+	if len(spans) == 0 || machines <= 0 {
+		return counts, 0
+	}
+	var busy, tMax float64
+	for _, s := range spans {
+		busy += s.End - s.Start
+		if s.End > tMax {
+			tMax = s.End
+		}
+	}
+	if tMax == 0 {
+		return counts, 0
+	}
+	return counts, busy / (tMax * float64(machines))
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	var tr Trace
+	tr.Add(Event{Time: 0, Kind: Arrival, Request: 0, Machine: -1})
+	tr.Add(Event{Time: 0, Kind: Scheduled, Request: 0, Machine: 0, Cost: 10})
+	tr.Add(Event{Time: 0, Kind: Start, Request: 0, Machine: 0, Cost: 10})
+	tr.Add(Event{Time: 5, Kind: Arrival, Request: 1, Machine: -1})
+	tr.Add(Event{Time: 5, Kind: Scheduled, Request: 1, Machine: 1, Cost: 10})
+	tr.Add(Event{Time: 5, Kind: Start, Request: 1, Machine: 1, Cost: 10})
+	tr.Add(Event{Time: 10, Kind: Finish, Request: 0, Machine: 0, Cost: 10})
+	tr.Add(Event{Time: 15, Kind: Finish, Request: 1, Machine: 1, Cost: 10})
+	return &tr
+}
+
+func TestEventsAndByKind(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Len() != 8 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if got := len(tr.ByKind(Arrival)); got != 2 {
+		t.Fatalf("arrivals = %d", got)
+	}
+	if got := len(tr.ByKind(BatchTick)); got != 0 {
+		t.Fatalf("batch ticks = %d", got)
+	}
+	evs := tr.Events()
+	evs[0].Time = 99
+	if tr.Events()[0].Time == 99 {
+		t.Fatal("Events aliases internal storage")
+	}
+}
+
+func TestSpansPairing(t *testing.T) {
+	tr := sampleTrace()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].Request != 0 || spans[0].Start != 0 || spans[0].End != 10 || spans[0].Machine != 0 {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Request != 1 || spans[1].Start != 5 || spans[1].End != 15 {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+}
+
+func TestSpansDropIncomplete(t *testing.T) {
+	var tr Trace
+	tr.Add(Event{Time: 0, Kind: Start, Request: 0, Machine: 0})
+	// Never finishes; and a finish without a start:
+	tr.Add(Event{Time: 5, Kind: Finish, Request: 9, Machine: 0})
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("spans = %v", got)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := sampleTrace()
+	g := tr.Gantt(2, 40)
+	if g == "" {
+		t.Fatal("empty gantt")
+	}
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), g)
+	}
+	if !strings.HasPrefix(lines[1], "M0") || !strings.HasPrefix(lines[2], "M1") {
+		t.Fatalf("machine rows mislabeled:\n%s", g)
+	}
+	// Machine 0 ran request 0 in the first two-thirds; machine 1 ran
+	// request 1 starting at a third.
+	if !strings.Contains(lines[1], "0") || !strings.Contains(lines[2], "1") {
+		t.Fatalf("request digits missing:\n%s", g)
+	}
+	// Machine 1 idles before request 1 starts.
+	m1 := lines[2]
+	if !strings.Contains(m1[:10], ".") {
+		t.Fatalf("no idle marker at start of M1:\n%s", g)
+	}
+}
+
+func TestGanttDegenerateInputs(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Gantt(0, 40) != "" || tr.Gantt(2, 4) != "" {
+		t.Fatal("degenerate dimensions should render nothing")
+	}
+	var empty Trace
+	if empty.Gantt(2, 40) != "" {
+		t.Fatal("empty trace should render nothing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := sampleTrace()
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "time,kind,request,machine,cost\n") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "10.000,finish,0,0,10.000") {
+		t.Fatalf("csv rows wrong:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 9 {
+		t.Fatalf("csv has %d lines", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := sampleTrace()
+	counts, busy := tr.Stats(2)
+	if counts[Arrival] != 2 || counts[Finish] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// 20 busy units over 15 time units on 2 machines = 2/3.
+	if busy < 0.66 || busy > 0.67 {
+		t.Fatalf("busy fraction = %g", busy)
+	}
+	var empty Trace
+	if _, b := empty.Stats(2); b != 0 {
+		t.Fatal("empty trace busy fraction should be 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Arrival: "arrival", Scheduled: "scheduled", Start: "start",
+		Finish: "finish", BatchTick: "batch-tick",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}

@@ -1,0 +1,116 @@
+// Package trust implements the paper's trust and reputation machinery
+// (Section 2.2): per-context direct-trust and reputation tables, the time
+// decay function Υ, the recommender trust factor R that defends against
+// collusion, and the eventual trust computation
+//
+//	Γ(x,y,t,c) = α·Θ(x,y,t,c) + β·Ω(y,t,c)
+//	Θ(x,y,t,c) = DTT(x,y,c) · Υ(t−t_xy, c)
+//	Ω(y,t,c)   = Σ_{z≠x} RTT(z,y,c)·R(z,y)·Υ(t−t_zy, c) / |{z≠x}|
+//
+// Trust values are continuous scores on the paper's numeric scale [1,6]
+// (levels A-F).  The scheduling layer quantises them onto discrete levels
+// via grid.LevelFromScore; this package is deliberately independent of the
+// grid model so the engine can manage trust for any entity vocabulary.
+package trust
+
+import (
+	"fmt"
+	"math"
+)
+
+// Context identifies the context of a trust relationship, e.g. a type of
+// activity.  "Entity y might trust entity x to use its storage resources
+// but not to execute programs using these resources" (Section 2.1).
+type Context string
+
+// EntityID names a trust-holding entity (a client domain, resource domain,
+// or any principal).
+type EntityID string
+
+// DecayFunc is the paper's Υ(Δt, c): a multiplicative decay applied to a
+// trust level recorded Δt time units ago, in context c.  Implementations
+// must return values in [0,1], with Υ(0,c)=1 and non-increasing in Δt:
+// "the trust decays with time" (Section 2.2).
+type DecayFunc func(elapsed float64, c Context) float64
+
+// ExponentialDecay returns Υ(Δt) = 2^(−Δt/halfLife): after one half-life a
+// remembered trust level counts half.  The paper does not fix a functional
+// form, only the monotone-decay requirement; exponential decay is the
+// canonical memoryless choice.
+func ExponentialDecay(halfLife float64) DecayFunc {
+	if halfLife <= 0 {
+		panic("trust: ExponentialDecay requires a positive half-life")
+	}
+	return func(elapsed float64, _ Context) float64 {
+		if elapsed <= 0 {
+			return 1
+		}
+		return math.Exp2(-elapsed / halfLife)
+	}
+}
+
+// LinearDecay returns Υ(Δt) = max(0, 1−Δt/horizon): trust from longer ago
+// than horizon is worthless.
+func LinearDecay(horizon float64) DecayFunc {
+	if horizon <= 0 {
+		panic("trust: LinearDecay requires a positive horizon")
+	}
+	return func(elapsed float64, _ Context) float64 {
+		if elapsed <= 0 {
+			return 1
+		}
+		v := 1 - elapsed/horizon
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// StepDecay returns Υ(Δt) = 1 for Δt < fresh, then floor thereafter.  It
+// models systems that treat all sufficiently recent experience as current.
+func StepDecay(fresh, floor float64) DecayFunc {
+	if fresh <= 0 {
+		panic("trust: StepDecay requires a positive freshness window")
+	}
+	if floor < 0 || floor > 1 {
+		panic("trust: StepDecay floor must be in [0,1]")
+	}
+	return func(elapsed float64, _ Context) float64 {
+		if elapsed < fresh {
+			return 1
+		}
+		return floor
+	}
+}
+
+// NoDecay returns Υ ≡ 1, useful for tests and for static-table scenarios
+// like the paper's scheduling simulations, where the table is regenerated
+// rather than decayed.
+func NoDecay() DecayFunc {
+	return func(float64, Context) float64 { return 1 }
+}
+
+// PerContextDecay dispatches to a per-context decay function, falling back
+// to def for unlisted contexts.  The paper indexes Υ by context: different
+// activities may age at different speeds.
+func PerContextDecay(def DecayFunc, byContext map[Context]DecayFunc) DecayFunc {
+	if def == nil {
+		panic("trust: PerContextDecay requires a default")
+	}
+	return func(elapsed float64, c Context) float64 {
+		if f, ok := byContext[c]; ok {
+			return f(elapsed, c)
+		}
+		return def(elapsed, c)
+	}
+}
+
+// validateDecayOutput guards engine computations against misbehaving
+// user-supplied decay functions.
+func validateDecayOutput(v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("trust: decay function returned %v, want [0,1]", v)
+	}
+	return nil
+}

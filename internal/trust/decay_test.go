@@ -1,0 +1,113 @@
+package trust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialDecay(t *testing.T) {
+	d := ExponentialDecay(10)
+	if got := d(0, ""); got != 1 {
+		t.Fatalf("Υ(0) = %g, want 1", got)
+	}
+	if got := d(10, ""); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Υ(halfLife) = %g, want 0.5", got)
+	}
+	if got := d(20, ""); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Υ(2·halfLife) = %g, want 0.25", got)
+	}
+	if got := d(-5, ""); got != 1 {
+		t.Fatalf("Υ(negative) = %g, want 1", got)
+	}
+}
+
+func TestLinearDecay(t *testing.T) {
+	d := LinearDecay(100)
+	if d(0, "") != 1 || d(50, "") != 0.5 || d(100, "") != 0 || d(200, "") != 0 {
+		t.Fatal("linear decay values wrong")
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	d := StepDecay(10, 0.2)
+	if d(5, "") != 1 || d(10, "") != 0.2 || d(1000, "") != 0.2 {
+		t.Fatal("step decay values wrong")
+	}
+}
+
+func TestNoDecay(t *testing.T) {
+	d := NoDecay()
+	if d(1e12, "") != 1 {
+		t.Fatal("NoDecay decayed")
+	}
+}
+
+func TestPerContextDecay(t *testing.T) {
+	d := PerContextDecay(NoDecay(), map[Context]DecayFunc{
+		"volatile": LinearDecay(10),
+	})
+	if d(5, "volatile") != 0.5 {
+		t.Fatal("per-context decay did not dispatch")
+	}
+	if d(5, "stable") != 1 {
+		t.Fatal("per-context default not used")
+	}
+}
+
+func TestDecayMonotoneProperty(t *testing.T) {
+	decays := map[string]DecayFunc{
+		"exp":    ExponentialDecay(7),
+		"linear": LinearDecay(13),
+		"step":   StepDecay(4, 0.3),
+	}
+	for name, d := range decays {
+		f := func(aRaw, bRaw uint16) bool {
+			a, b := float64(aRaw), float64(bRaw)
+			if a > b {
+				a, b = b, a
+			}
+			va, vb := d(a, ""), d(b, "")
+			return va >= vb && va >= 0 && va <= 1 && vb >= 0 && vb <= 1
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s decay not monotone in [0,1]: %v", name, err)
+		}
+	}
+}
+
+func TestDecayConstructorsPanicOnBadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"ExpZero", func() { ExponentialDecay(0) }},
+		{"LinearNeg", func() { LinearDecay(-1) }},
+		{"StepZeroFresh", func() { StepDecay(0, 0.5) }},
+		{"StepBadFloor", func() { StepDecay(1, 2) }},
+		{"PerContextNilDefault", func() { PerContextDecay(nil, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestValidateDecayOutput(t *testing.T) {
+	for _, v := range []float64{0, 0.5, 1} {
+		if err := validateDecayOutput(v); err != nil {
+			t.Errorf("valid decay %g rejected: %v", v, err)
+		}
+	}
+	for _, v := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := validateDecayOutput(v); err == nil {
+			t.Errorf("invalid decay %g accepted", v)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Score bounds on the paper's numeric trust scale (levels A=1 … F=6).
+const (
+	MinScore = 1.0
+	MaxScore = 6.0
+)
+
+// clampScore confines a score to the paper's scale.
+func clampScore(s float64) float64 {
+	switch {
+	case s < MinScore:
+		return MinScore
+	case s > MaxScore:
+		return MaxScore
+	default:
+		return s
+	}
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Alpha and Beta weight direct trust and reputation in Γ.  "If the
+	// trustworthiness of y, as far as x is concerned, is based more on
+	// direct relationship with x than the reputation of y, α will be
+	// larger than β" (Section 2.2).  They must be non-negative and sum
+	// to 1.
+	Alpha, Beta float64
+
+	// Decay is the Υ function.  Nil defaults to NoDecay.
+	Decay DecayFunc
+
+	// InitialScore seeds unknown relationships; defaults to MinScore
+	// (a stranger gets the lowest trust, the conservative choice).
+	InitialScore float64
+
+	// UpdateBatch is the number of observed transactions that constitute
+	// a "significant amount of transactional data" (Section 3.1) before
+	// the stored TL is revised.  Defaults to 1 (immediate updates).
+	UpdateBatch int
+
+	// Smoothing is the EWMA weight given to the new evidence when a
+	// batch commits: new = (1−s)·old + s·batchMean.  Must be in (0,1].
+	// Defaults to 0.3, so trust is "a slow varying attribute".
+	Smoothing float64
+}
+
+// withDefaults fills zero-valued fields and validates the config.
+func (c Config) withDefaults() (Config, error) {
+	if c.Decay == nil {
+		c.Decay = NoDecay()
+	}
+	if c.InitialScore == 0 {
+		c.InitialScore = MinScore
+	}
+	if c.UpdateBatch == 0 {
+		c.UpdateBatch = 1
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.3
+	}
+	if c.Alpha < 0 || c.Beta < 0 {
+		return c, fmt.Errorf("trust: negative weights α=%g β=%g", c.Alpha, c.Beta)
+	}
+	if math.Abs(c.Alpha+c.Beta-1) > 1e-9 {
+		return c, fmt.Errorf("trust: α+β must equal 1, got %g", c.Alpha+c.Beta)
+	}
+	if c.InitialScore < MinScore || c.InitialScore > MaxScore {
+		return c, fmt.Errorf("trust: initial score %g outside [%g,%g]", c.InitialScore, MinScore, MaxScore)
+	}
+	if c.UpdateBatch < 1 {
+		return c, fmt.Errorf("trust: update batch %d must be >= 1", c.UpdateBatch)
+	}
+	if c.Smoothing <= 0 || c.Smoothing > 1 {
+		return c, fmt.Errorf("trust: smoothing %g outside (0,1]", c.Smoothing)
+	}
+	return c, nil
+}
+
+// relationship is one (truster, trustee, context) record.  "In practical
+// systems, entities will use the same information to evaluate direct
+// relationships and give recommendations, i.e., RTT and DTT will refer to
+// the same table" (Section 2.2) — hence a single record type backs both.
+type relationship struct {
+	score  float64 // current TL on [1,6]
+	lastTx float64 // t_xy, time of last transaction
+
+	// pending accumulates outcome evidence until a batch commits.
+	pendingSum   float64
+	pendingCount int
+}
+
+type relKey struct {
+	from EntityID
+	to   EntityID
+	ctx  Context
+}
+
+// Engine evolves and serves trust values.  It is safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	rels  map[relKey]*relationship
+	rec   map[[2]EntityID]float64 // R(z,y) recommender trust factors
+	ally  map[[2]EntityID]bool    // alliance(z,y), symmetric
+	peers map[EntityID]bool       // all entities ever seen
+}
+
+// NewEngine builds an Engine from cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:   cfg,
+		rels:  make(map[relKey]*relationship),
+		rec:   make(map[[2]EntityID]float64),
+		ally:  make(map[[2]EntityID]bool),
+		peers: make(map[EntityID]bool),
+	}, nil
+}
+
+// SetDirect installs a direct-trust table entry, e.g. from configuration or
+// an out-of-band agreement.  score must be on [1,6].
+func (e *Engine) SetDirect(x, y EntityID, c Context, score, now float64) error {
+	if score < MinScore || score > MaxScore {
+		return fmt.Errorf("trust: score %g outside [%g,%g]", score, MinScore, MaxScore)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[x], e.peers[y] = true, true
+	e.rels[relKey{x, y, c}] = &relationship{score: score, lastTx: now}
+	return nil
+}
+
+// DeclareAlliance records that a and b are allied.  Alliances reduce the
+// recommender trust factor: "R … will have a higher value if the
+// recommender does not have an alliance with the target entity"
+// (Section 2.2).
+func (e *Engine) DeclareAlliance(a, b EntityID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[a], e.peers[b] = true, true
+	e.ally[[2]EntityID{a, b}] = true
+	e.ally[[2]EntityID{b, a}] = true
+}
+
+// Allied reports whether a and b have a declared alliance.
+func (e *Engine) Allied(a, b EntityID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ally[[2]EntityID{a, b}]
+}
+
+// SetRecommenderFactor overrides the learned R(z,y) in [0,1].  "R is an
+// internal knowledge that each entity has and is learned based on actual
+// outcomes" (Section 2.2); tests and simulations can inject it directly.
+func (e *Engine) SetRecommenderFactor(z, y EntityID, r float64) error {
+	if r < 0 || r > 1 {
+		return fmt.Errorf("trust: recommender factor %g outside [0,1]", r)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[z], e.peers[y] = true, true
+	e.rec[[2]EntityID{z, y}] = r
+	return nil
+}
+
+// recommenderFactor returns R(z,y): an explicit override if present, else
+// a low factor (0.1) for allies and full weight (1.0) otherwise.
+func (e *Engine) recommenderFactor(z, y EntityID) float64 {
+	if r, ok := e.rec[[2]EntityID{z, y}]; ok {
+		return r
+	}
+	if e.ally[[2]EntityID{z, y}] {
+		return 0.1
+	}
+	return 1.0
+}
+
+// Observe records the outcome of one transaction between x and y in
+// context c at time now.  outcome is a behaviour score on [1,6]: how
+// trustworthy y proved to be.  The stored TL only moves once UpdateBatch
+// observations have accumulated — "a value in the trust level table is
+// modified by a new trust level value that is computed based on a
+// significant amount of transactional data" (Section 3.1).
+// It reports whether the stored trust level changed.
+func (e *Engine) Observe(x, y EntityID, c Context, outcome, now float64) (bool, error) {
+	if outcome < MinScore || outcome > MaxScore {
+		return false, fmt.Errorf("trust: outcome %g outside [%g,%g]", outcome, MinScore, MaxScore)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[x], e.peers[y] = true, true
+	k := relKey{x, y, c}
+	rel, ok := e.rels[k]
+	if !ok {
+		rel = &relationship{score: e.cfg.InitialScore, lastTx: now}
+		e.rels[k] = rel
+	}
+	rel.pendingSum += outcome
+	rel.pendingCount++
+	rel.lastTx = now
+	if rel.pendingCount < e.cfg.UpdateBatch {
+		return false, nil
+	}
+	batchMean := rel.pendingSum / float64(rel.pendingCount)
+	rel.pendingSum, rel.pendingCount = 0, 0
+	s := e.cfg.Smoothing
+	rel.score = clampScore((1-s)*rel.score + s*batchMean)
+	return true, nil
+}
+
+// Direct computes Θ(x,y,t,c) = DTT(x,y,c) · Υ(t−t_xy, c).  Unknown
+// relationships return the configured initial score fully decayed to the
+// conservative floor (i.e. the initial score with Υ evaluated at +inf is
+// not defined, so we simply return the initial score — a stranger's trust
+// does not decay because there is nothing to decay from).
+func (e *Engine) Direct(x, y EntityID, c Context, now float64) (float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.directLocked(x, y, c, now)
+}
+
+func (e *Engine) directLocked(x, y EntityID, c Context, now float64) (float64, error) {
+	rel, ok := e.rels[relKey{x, y, c}]
+	if !ok {
+		return e.cfg.InitialScore, nil
+	}
+	d := e.cfg.Decay(now-rel.lastTx, c)
+	if err := validateDecayOutput(d); err != nil {
+		return 0, err
+	}
+	// Decay pulls the remembered score toward the scale floor rather than
+	// to zero, keeping Θ on [1,6]: Θ = 1 + (score−1)·Υ.
+	return MinScore + (rel.score-MinScore)*d, nil
+}
+
+// Reputation computes Ω(y,t,c): the average over recommenders z≠x of
+// RTT(z,y,c)·R(z,y)·Υ(t−t_zy,c).  Entities with no recorded relationship
+// to y do not recommend.  If nobody can recommend, the configured initial
+// score is returned.
+func (e *Engine) Reputation(x, y EntityID, c Context, now float64) (float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.reputationLocked(x, y, c, now)
+}
+
+func (e *Engine) reputationLocked(x, y EntityID, c Context, now float64) (float64, error) {
+	var sum float64
+	var n int
+	for k, rel := range e.rels {
+		if k.to != y || k.ctx != c || k.from == x || k.from == y {
+			continue
+		}
+		d := e.cfg.Decay(now-rel.lastTx, c)
+		if err := validateDecayOutput(d); err != nil {
+			return 0, err
+		}
+		r := e.recommenderFactor(k.from, y)
+		// Like Θ, each recommendation is anchored at the scale floor:
+		// a distrusted or stale recommendation contributes the floor,
+		// not an off-scale zero.
+		sum += MinScore + (rel.score-MinScore)*d*r
+		n++
+	}
+	if n == 0 {
+		return e.cfg.InitialScore, nil
+	}
+	return sum / float64(n), nil
+}
+
+// Trust computes the eventual trust Γ(x,y,t,c) = α·Θ + β·Ω, clamped to the
+// paper's [1,6] scale.
+func (e *Engine) Trust(x, y EntityID, c Context, now float64) (float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	theta, err := e.directLocked(x, y, c, now)
+	if err != nil {
+		return 0, err
+	}
+	omega, err := e.reputationLocked(x, y, c, now)
+	if err != nil {
+		return 0, err
+	}
+	return clampScore(e.cfg.Alpha*theta + e.cfg.Beta*omega), nil
+}
+
+// Entities returns all entities the engine has seen, sorted for
+// determinism.
+func (e *Engine) Entities() []EntityID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]EntityID, 0, len(e.peers))
+	for id := range e.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Relationships returns the number of stored (truster, trustee, context)
+// records.
+func (e *Engine) Relationships() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.rels)
+}
+
+// Prune removes relationships whose last transaction is older than
+// `before` and whose decayed contribution has fallen to the scale floor —
+// the garbage collection a long-running trust fabric needs ("managing ...
+// trust in a large-scale distributed system", Section 7).  A relationship
+// with pending (uncommitted) observations is never pruned.  It returns the
+// number of records removed.
+func (e *Engine) Prune(before float64) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	removed := 0
+	for k, rel := range e.rels {
+		if rel.pendingCount > 0 || rel.lastTx >= before {
+			continue
+		}
+		delete(e.rels, k)
+		removed++
+	}
+	return removed
+}

@@ -1,0 +1,57 @@
+package trust_test
+
+import (
+	"fmt"
+
+	"gridtrust/internal/trust"
+)
+
+// ExampleEngine_Trust shows the Γ = α·Θ + β·Ω computation: direct
+// experience weighed against peer reputation.
+func ExampleEngine_Trust() {
+	engine, err := trust.NewEngine(trust.Config{
+		Alpha: 0.6, Beta: 0.4, InitialScore: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Alice's own experience with the datacenter is excellent...
+	_ = engine.SetDirect("alice", "datacenter", "compute", 6, 0)
+	// ...but two peers report mediocre interactions.
+	_ = engine.SetDirect("bob", "datacenter", "compute", 3, 0)
+	_ = engine.SetDirect("carol", "datacenter", "compute", 2, 0)
+
+	gamma, err := engine.Trust("alice", "datacenter", "compute", 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Γ = 0.6·6 + 0.4·mean(3,2) = %.1f\n", gamma)
+	// Output:
+	// Γ = 0.6·6 + 0.4·mean(3,2) = 4.6
+}
+
+// ExampleExponentialDecay shows the Υ time-decay factor.
+func ExampleExponentialDecay() {
+	decay := trust.ExponentialDecay(30) // 30-day half-life
+	fmt.Printf("fresh: %.2f\n", decay(0, "compute"))
+	fmt.Printf("30d:   %.2f\n", decay(30, "compute"))
+	fmt.Printf("60d:   %.2f\n", decay(60, "compute"))
+	// Output:
+	// fresh: 1.00
+	// 30d:   0.50
+	// 60d:   0.25
+}
+
+// ExampleEngine_DeclareAlliance shows collusion damping: allied
+// recommenders barely move reputation.
+func ExampleEngine_DeclareAlliance() {
+	engine, _ := trust.NewEngine(trust.Config{Alpha: 0, Beta: 1, InitialScore: 1})
+	for _, shill := range []trust.EntityID{"s1", "s2", "s3"} {
+		_ = engine.SetDirect(shill, "target", "compute", 6, 0)
+		engine.DeclareAlliance(shill, "target")
+	}
+	gamma, _ := engine.Trust("observer", "target", "compute", 0)
+	fmt.Printf("reputation from three colluding shills: %.1f (honest peers would give 6.0)\n", gamma)
+	// Output:
+	// reputation from three colluding shills: 1.5 (honest peers would give 6.0)
+}

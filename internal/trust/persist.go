@@ -1,0 +1,161 @@
+package trust
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is the serialisable state of an Engine: every relationship
+// record, recommender-factor override and alliance.  It lets a Grid domain
+// persist its trust fabric across restarts and ship it to peers —
+// "techniques for managing and evolving trust in a large-scale distributed
+// system" (Section 7).  The engine's configuration (α, β, decay) is
+// deliberately NOT serialised: it is policy, not state, and the importer
+// chooses it.
+type Snapshot struct {
+	Version       int                  `json:"version"`
+	Relationships []RelationshipRecord `json:"relationships"`
+	Recommenders  []RecommenderRecord  `json:"recommenders,omitempty"`
+	Alliances     [][2]EntityID        `json:"alliances,omitempty"`
+}
+
+// RelationshipRecord is one (truster, trustee, context) trust entry.
+type RelationshipRecord struct {
+	From   EntityID `json:"from"`
+	To     EntityID `json:"to"`
+	Ctx    Context  `json:"ctx"`
+	Score  float64  `json:"score"`
+	LastTx float64  `json:"last_tx"`
+}
+
+// RecommenderRecord is one explicit R(z,y) override.
+type RecommenderRecord struct {
+	From   EntityID `json:"from"`
+	About  EntityID `json:"about"`
+	Factor float64  `json:"factor"`
+}
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// Export captures the engine state.  Pending (uncommitted) observation
+// batches are not exported: they are transient evidence, not trust.
+func (e *Engine) Export() *Snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	snap := &Snapshot{Version: snapshotVersion}
+	for k, rel := range e.rels {
+		snap.Relationships = append(snap.Relationships, RelationshipRecord{
+			From: k.from, To: k.to, Ctx: k.ctx,
+			Score: rel.score, LastTx: rel.lastTx,
+		})
+	}
+	for k, r := range e.rec {
+		snap.Recommenders = append(snap.Recommenders, RecommenderRecord{
+			From: k[0], About: k[1], Factor: r,
+		})
+	}
+	seen := map[[2]EntityID]bool{}
+	for k := range e.ally {
+		a, b := k[0], k[1]
+		if a > b {
+			a, b = b, a
+		}
+		if !seen[[2]EntityID{a, b}] {
+			seen[[2]EntityID{a, b}] = true
+			snap.Alliances = append(snap.Alliances, [2]EntityID{a, b})
+		}
+	}
+	// Sort for deterministic output.
+	sort.Slice(snap.Relationships, func(i, j int) bool {
+		a, b := snap.Relationships[i], snap.Relationships[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Ctx < b.Ctx
+	})
+	sort.Slice(snap.Recommenders, func(i, j int) bool {
+		a, b := snap.Recommenders[i], snap.Recommenders[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.About < b.About
+	})
+	sort.Slice(snap.Alliances, func(i, j int) bool {
+		a, b := snap.Alliances[i], snap.Alliances[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	return snap
+}
+
+// Import installs a snapshot into the engine, replacing any overlapping
+// records (non-overlapping existing state is preserved, enabling merges).
+// Invalid records are rejected atomically before any mutation.
+func (e *Engine) Import(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("trust: nil snapshot")
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("trust: unsupported snapshot version %d", snap.Version)
+	}
+	for _, r := range snap.Relationships {
+		if r.Score < MinScore || r.Score > MaxScore {
+			return fmt.Errorf("trust: snapshot score %g for %s→%s outside scale", r.Score, r.From, r.To)
+		}
+	}
+	for _, r := range snap.Recommenders {
+		if r.Factor < 0 || r.Factor > 1 {
+			return fmt.Errorf("trust: snapshot recommender factor %g outside [0,1]", r.Factor)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range snap.Relationships {
+		e.peers[r.From], e.peers[r.To] = true, true
+		e.rels[relKey{r.From, r.To, r.Ctx}] = &relationship{score: r.Score, lastTx: r.LastTx}
+	}
+	for _, r := range snap.Recommenders {
+		e.peers[r.From], e.peers[r.About] = true, true
+		e.rec[[2]EntityID{r.From, r.About}] = r.Factor
+	}
+	for _, a := range snap.Alliances {
+		e.peers[a[0]], e.peers[a[1]] = true, true
+		e.ally[[2]EntityID{a[0], a[1]}] = true
+		e.ally[[2]EntityID{a[1], a[0]}] = true
+	}
+	return nil
+}
+
+// Save writes the engine state as indented JSON.
+func (e *Engine) Save(w io.Writer) error {
+	data, err := json.MarshalIndent(e.Export(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("trust: marshal snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("trust: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSON snapshot and imports it.
+func (e *Engine) Load(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("trust: read snapshot: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("trust: parse snapshot: %w", err)
+	}
+	return e.Import(&snap)
+}

@@ -1,0 +1,133 @@
+package trustwire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Replica maintains a local read-only copy of a remote trust table by
+// polling a Server.  Schedulers at a remote Grid domain read the replica
+// (a *grid.TrustTable) with zero network traffic on the hot path; the
+// poll loop refreshes it in the background.
+type Replica struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	version uint64
+	synced  int64 // snapshots applied
+
+	local *replicaTable
+}
+
+// Dial connects a replica to a server address.
+func Dial(addr string) (*Replica, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trustwire: dial %s: %w", addr, err)
+	}
+	return NewReplica(conn), nil
+}
+
+// NewReplica wraps an established connection (e.g. one side of net.Pipe
+// in tests).
+func NewReplica(conn net.Conn) *Replica {
+	return &Replica{
+		conn:  conn,
+		r:     bufio.NewReaderSize(conn, 64<<10),
+		local: newReplicaTable(),
+	}
+}
+
+// Close releases the connection.
+func (c *Replica) Close() error { return c.conn.Close() }
+
+// Version returns the last applied table version.
+func (c *Replica) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// SnapshotsApplied reports how many snapshots this replica has installed.
+func (c *Replica) SnapshotsApplied() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.synced
+}
+
+// Sync performs one poll round-trip: if the server is ahead, the full
+// snapshot replaces the local copy atomically.  It reports whether new
+// data was applied.
+func (c *Replica) Sync() (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, Request{Op: OpSync, HaveVersion: c.version}); err != nil {
+		return false, err
+	}
+	var resp Response
+	if err := readFrame(c.r, &resp); err != nil {
+		return false, err
+	}
+	switch resp.Status {
+	case StatusCurrent:
+		return false, nil
+	case StatusSnapshot:
+		fresh := newReplicaTable()
+		if err := applyEntries(fresh.table, resp.Entries); err != nil {
+			return false, err
+		}
+		c.local = fresh
+		c.version = resp.Version
+		c.synced++
+		return true, nil
+	case StatusDelta:
+		// Overlay the changed entries on a copy of the current local
+		// table so readers still see atomic swaps.
+		fresh := newReplicaTable()
+		if err := copyTable(c.local, fresh, resp.Entries); err != nil {
+			return false, err
+		}
+		c.local = fresh
+		c.version = resp.Version
+		c.synced++
+		return true, nil
+	case StatusError:
+		return false, fmt.Errorf("trustwire: server error: %s", resp.Error)
+	default:
+		return false, fmt.Errorf("trustwire: unknown response status %q", resp.Status)
+	}
+}
+
+// Poll runs Sync every interval until stop is closed, delivering any sync
+// error to errs (non-blocking; errors are dropped if nobody listens).
+func (c *Replica) Poll(interval time.Duration, stop <-chan struct{}, errs chan<- error) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if _, err := c.Sync(); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+// Table returns the current local copy for reading.  The returned table
+// must be treated as read-only; it is replaced wholesale on the next
+// applied snapshot, so a scheduler can safely keep using the instance it
+// grabbed for one mapping pass.
+func (c *Replica) Table() ReadOnlyTable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.local
+}

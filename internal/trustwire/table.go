@@ -1,0 +1,53 @@
+package trustwire
+
+import (
+	"gridtrust/internal/grid"
+)
+
+// ReadOnlyTable is the view a remote scheduler gets of the replicated
+// trust table: lookups and OTL computation, no mutation.
+type ReadOnlyTable interface {
+	Get(cd, rd grid.DomainID, act grid.Activity) (grid.TrustLevel, bool)
+	OTL(cd, rd grid.DomainID, toa grid.ToA) (grid.TrustLevel, error)
+	Len() int
+}
+
+// replicaTable adapts grid.TrustTable to the read-only interface; the
+// replica replaces the whole instance on refresh, so readers never see a
+// partially applied snapshot.
+type replicaTable struct {
+	table *grid.TrustTable
+}
+
+func newReplicaTable() *replicaTable {
+	return &replicaTable{table: grid.NewTrustTable()}
+}
+
+// Get looks up one entry.
+func (t *replicaTable) Get(cd, rd grid.DomainID, act grid.Activity) (grid.TrustLevel, bool) {
+	return t.table.Get(cd, rd, act)
+}
+
+// OTL computes the offered trust level for a composed ToA.
+func (t *replicaTable) OTL(cd, rd grid.DomainID, toa grid.ToA) (grid.TrustLevel, error) {
+	return t.table.OTL(cd, rd, toa)
+}
+
+// Len returns the number of replicated entries.
+func (t *replicaTable) Len() int { return t.table.Len() }
+
+// copyTable clones src into dst and overlays the delta entries, the
+// replica-side apply path for StatusDelta responses.
+func copyTable(src *replicaTable, dst *replicaTable, delta []Entry) error {
+	var copyErr error
+	src.table.ForEach(func(cd, rd grid.DomainID, act grid.Activity, tl grid.TrustLevel) {
+		if copyErr != nil {
+			return
+		}
+		copyErr = dst.table.Set(cd, rd, act, tl)
+	})
+	if copyErr != nil {
+		return copyErr
+	}
+	return applyEntries(dst.table, delta)
+}

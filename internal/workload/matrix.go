@@ -1,0 +1,201 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation (Section 5.3): expected-execution-cost (EEC) matrices with
+// controlled task and machine heterogeneity, and Poisson streams of client
+// requests with randomly drawn ToAs, RTLs and trust-table OTLs.
+package workload
+
+import (
+	"fmt"
+
+	"gridtrust/internal/rng"
+)
+
+// Matrix is a tasks x machines cost matrix stored row-major.  Entry (t,m)
+// is the expected execution cost of task t on machine m, in simulated
+// seconds.
+type Matrix struct {
+	Tasks    int
+	Machines int
+	cells    []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(tasks, machines int) (*Matrix, error) {
+	if tasks <= 0 || machines <= 0 {
+		return nil, fmt.Errorf("workload: matrix dimensions must be positive, got %dx%d", tasks, machines)
+	}
+	return &Matrix{Tasks: tasks, Machines: machines, cells: make([]float64, tasks*machines)}, nil
+}
+
+// At returns entry (task, machine).  Indices are bounds-checked by the
+// underlying slice; callers iterate within Tasks/Machines.
+func (m *Matrix) At(task, machine int) float64 {
+	return m.cells[task*m.Machines+machine]
+}
+
+// Set writes entry (task, machine).
+func (m *Matrix) Set(task, machine int, v float64) {
+	m.cells[task*m.Machines+machine] = v
+}
+
+// Row returns a copy of the task's cost row across machines.
+func (m *Matrix) Row(task int) []float64 {
+	out := make([]float64, m.Machines)
+	copy(out, m.cells[task*m.Machines:(task+1)*m.Machines])
+	return out
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	cp := &Matrix{Tasks: m.Tasks, Machines: m.Machines, cells: make([]float64, len(m.cells))}
+	copy(cp.cells, m.cells)
+	return cp
+}
+
+// MeanCost returns the grand mean of the matrix.
+func (m *Matrix) MeanCost() float64 {
+	sum := 0.0
+	for _, v := range m.cells {
+		sum += v
+	}
+	return sum / float64(len(m.cells))
+}
+
+// Consistency describes the structure of machine orderings across tasks in
+// an EEC matrix (Section 5.3 uses consistent and inconsistent; the
+// semi-consistent class from the underlying heterogeneity literature is
+// included for the extended sweeps).
+type Consistency int
+
+const (
+	// Inconsistent: machine orderings vary per task — "the machines are
+	// not related".
+	Inconsistent Consistency = iota
+	// Consistent: if machine j is faster than k for one task it is
+	// faster for all — "related machines that are similar in
+	// performance".
+	Consistent
+	// SemiConsistent: even-indexed columns are consistent, the rest
+	// inconsistent.
+	SemiConsistent
+)
+
+// String names the consistency class.
+func (c Consistency) String() string {
+	switch c {
+	case Inconsistent:
+		return "inconsistent"
+	case Consistent:
+		return "consistent"
+	case SemiConsistent:
+		return "semi-consistent"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// Heterogeneity is a range-based heterogeneity specification: costs are
+// generated as tau_t(i) * tau_m(j) with tau_t ~ U[1, TaskRange] and
+// tau_m ~ U[1, MachineRange], the standard range-based method used with
+// the heuristics of [10].
+type Heterogeneity struct {
+	TaskRange    float64
+	MachineRange float64
+}
+
+// The heterogeneity classes.  The paper's simulations use LoLo ("low task
+// and low machine heterogeneity") in consistent and inconsistent variants;
+// the other classes serve the extended sweeps.
+var (
+	LoLo = Heterogeneity{TaskRange: 100, MachineRange: 10}
+	LoHi = Heterogeneity{TaskRange: 100, MachineRange: 1000}
+	HiLo = Heterogeneity{TaskRange: 3000, MachineRange: 10}
+	HiHi = Heterogeneity{TaskRange: 3000, MachineRange: 1000}
+)
+
+// String names the class when it matches a preset.
+func (h Heterogeneity) String() string {
+	switch h {
+	case LoLo:
+		return "LoLo"
+	case LoHi:
+		return "LoHi"
+	case HiLo:
+		return "HiLo"
+	case HiHi:
+		return "HiHi"
+	default:
+		return fmt.Sprintf("Het(task=%g,machine=%g)", h.TaskRange, h.MachineRange)
+	}
+}
+
+// Generate builds a tasks x machines EEC matrix with the given
+// heterogeneity and consistency using the supplied random source.
+//
+// The range-based method: draw a task weight tau_t(i) ~ U[1, TaskRange)
+// per task, then for each machine draw an independent factor
+// U[1, MachineRange); cell (i,j) = tau_t(i) * factor.  For a consistent
+// matrix each row is then sorted so machine 0 is always fastest — the
+// canonical construction for consistent heterogeneity.
+func Generate(src *rng.Source, tasks, machines int, h Heterogeneity, c Consistency) (*Matrix, error) {
+	if src == nil {
+		return nil, fmt.Errorf("workload: nil random source")
+	}
+	if h.TaskRange < 1 || h.MachineRange < 1 {
+		return nil, fmt.Errorf("workload: heterogeneity ranges must be >= 1, got %+v", h)
+	}
+	m, err := NewMatrix(tasks, machines)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, machines)
+	for t := 0; t < tasks; t++ {
+		taskWeight := src.Uniform(1, h.TaskRange)
+		for j := 0; j < machines; j++ {
+			row[j] = taskWeight * src.Uniform(1, h.MachineRange)
+		}
+		switch c {
+		case Consistent:
+			sortFloats(row)
+		case SemiConsistent:
+			sortEvenColumns(row)
+		case Inconsistent:
+			// keep raw draws
+		default:
+			return nil, fmt.Errorf("workload: unknown consistency %d", int(c))
+		}
+		for j := 0; j < machines; j++ {
+			m.Set(t, j, row[j])
+		}
+	}
+	return m, nil
+}
+
+// sortFloats is a small insertion sort: rows are tiny (machine counts in
+// the tens) and this avoids pulling in sort for a hot path.
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// sortEvenColumns sorts the values situated at even indices among
+// themselves, leaving odd columns untouched — the standard construction of
+// semi-consistent matrices.
+func sortEvenColumns(xs []float64) {
+	evens := make([]float64, 0, (len(xs)+1)/2)
+	for i := 0; i < len(xs); i += 2 {
+		evens = append(evens, xs[i])
+	}
+	sortFloats(evens)
+	for i, k := 0, 0; i < len(xs); i += 2 {
+		xs[i] = evens[k]
+		k++
+	}
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridtrust/internal/rng"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, 5); err == nil {
+		t.Error("accepted zero tasks")
+	}
+	if _, err := NewMatrix(5, -1); err == nil {
+		t.Error("accepted negative machines")
+	}
+	m, err := NewMatrix(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != 3 || m.Machines != 4 {
+		t.Fatalf("dims = %dx%d", m.Tasks, m.Machines)
+	}
+}
+
+func TestMatrixSetAtRow(t *testing.T) {
+	m, _ := NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	m.Set(0, 0, 7)
+	if m.At(1, 2) != 42 || m.At(0, 0) != 7 || m.At(0, 1) != 0 {
+		t.Fatal("Set/At broken")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 42 {
+		t.Fatalf("Row = %v", row)
+	}
+	row[0] = 99
+	if m.At(1, 0) == 99 {
+		t.Fatal("Row aliases matrix storage")
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m, _ := NewMatrix(2, 2)
+	m.Set(0, 0, 5)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 5 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	src := rng.New(1)
+	m, err := Generate(src, 200, 8, LoLo, Inconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < m.Tasks; task++ {
+		for j := 0; j < m.Machines; j++ {
+			v := m.At(task, j)
+			if v < 1 || v >= LoLo.TaskRange*LoLo.MachineRange {
+				t.Fatalf("cell (%d,%d) = %g out of range", task, j, v)
+			}
+		}
+	}
+}
+
+func TestGenerateConsistentOrdering(t *testing.T) {
+	src := rng.New(2)
+	m, err := Generate(src, 100, 6, LoLo, Consistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < m.Tasks; task++ {
+		for j := 1; j < m.Machines; j++ {
+			if m.At(task, j) < m.At(task, j-1) {
+				t.Fatalf("consistent matrix row %d not sorted at col %d", task, j)
+			}
+		}
+	}
+}
+
+func TestGenerateInconsistentIsNotSorted(t *testing.T) {
+	src := rng.New(3)
+	m, err := Generate(src, 100, 6, LoLo, Inconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedRows := 0
+	for task := 0; task < m.Tasks; task++ {
+		sorted := true
+		for j := 1; j < m.Machines; j++ {
+			if m.At(task, j) < m.At(task, j-1) {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			sortedRows++
+		}
+	}
+	// 100 random rows of 6 elements: expected sorted rows ~ 100/720.
+	if sortedRows > 5 {
+		t.Fatalf("%d/100 inconsistent rows are sorted — generator is not random", sortedRows)
+	}
+}
+
+func TestGenerateSemiConsistent(t *testing.T) {
+	src := rng.New(4)
+	m, err := Generate(src, 50, 7, LoLo, SemiConsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < m.Tasks; task++ {
+		prev := math.Inf(-1)
+		for j := 0; j < m.Machines; j += 2 {
+			if m.At(task, j) < prev {
+				t.Fatalf("semi-consistent row %d: even columns not sorted", task)
+			}
+			prev = m.At(task, j)
+		}
+	}
+}
+
+func TestGenerateHeterogeneityScales(t *testing.T) {
+	// HiHi matrices must have a much larger mean than LoLo.
+	src := rng.New(5)
+	lolo, err := Generate(src, 300, 5, LoLo, Inconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hihi, err := Generate(src, 300, 5, HiHi, Inconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hihi.MeanCost() < 100*lolo.MeanCost() {
+		t.Fatalf("HiHi mean %g not far above LoLo mean %g", hihi.MeanCost(), lolo.MeanCost())
+	}
+	// LoLo grand mean ~ E[U(1,100)]*E[U(1,10)] = 50.5*5.5 ≈ 278.
+	if lolo.MeanCost() < 200 || lolo.MeanCost() > 360 {
+		t.Fatalf("LoLo mean %g outside the expected ~278 band", lolo.MeanCost())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	src := rng.New(6)
+	if _, err := Generate(nil, 5, 5, LoLo, Consistent); err == nil {
+		t.Error("accepted nil source")
+	}
+	if _, err := Generate(src, 5, 5, Heterogeneity{TaskRange: 0.5, MachineRange: 10}, Consistent); err == nil {
+		t.Error("accepted sub-1 task range")
+	}
+	if _, err := Generate(src, 5, 5, LoLo, Consistency(99)); err == nil {
+		t.Error("accepted unknown consistency")
+	}
+	if _, err := Generate(src, 0, 5, LoLo, Consistent); err == nil {
+		t.Error("accepted zero tasks")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(rng.New(7), 20, 5, LoLo, Inconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(rng.New(7), 20, 5, LoLo, Inconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < 20; task++ {
+		for j := 0; j < 5; j++ {
+			if a.At(task, j) != b.At(task, j) {
+				t.Fatalf("same seed produced different matrices at (%d,%d)", task, j)
+			}
+		}
+	}
+}
+
+func TestSortFloatsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		cp := make([]float64, len(xs))
+		copy(cp, xs)
+		sortFloats(cp)
+		for i := 1; i < len(cp); i++ {
+			if cp[i] < cp[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistencyString(t *testing.T) {
+	if Consistent.String() != "consistent" || Inconsistent.String() != "inconsistent" ||
+		SemiConsistent.String() != "semi-consistent" {
+		t.Fatal("consistency names wrong")
+	}
+}
+
+func TestHeterogeneityString(t *testing.T) {
+	if LoLo.String() != "LoLo" || HiHi.String() != "HiHi" {
+		t.Fatal("preset names wrong")
+	}
+	custom := Heterogeneity{TaskRange: 7, MachineRange: 9}
+	if custom.String() == "LoLo" {
+		t.Fatal("custom heterogeneity claimed a preset name")
+	}
+}
