@@ -1,0 +1,23 @@
+# Convenience targets; scripts/ci.sh is the canonical verify flow.
+
+.PHONY: verify test race bench bench-kernels
+
+# verify runs the tier-1 flow: build, vet, full tests, and race tests for
+# the concurrent packages (sim's worker pool, sched's pooled kernels).
+verify:
+	./scripts/ci.sh
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/sched/... ./internal/sim/...
+
+# bench regenerates the paper-table and kernel benchmarks recorded in
+# BENCH_sched.json (see EXPERIMENTS.md for methodology).
+bench:
+	go test -run '^$$' -bench 'Kernel|Table[4-9]' -benchmem ./...
+
+# bench-kernels runs only the batch-kernel suite (optimized vs reference).
+bench-kernels:
+	go test ./internal/sched -run '^$$' -bench 'Kernel' -benchmem

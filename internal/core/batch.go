@@ -88,11 +88,17 @@ func (t *TRMS) SubmitBatch(tasks []Task, h sched.Batch, now float64) ([]*Placeme
 	if t.closed {
 		return nil, fmt.Errorf("core: TRMS is closed")
 	}
-	avail := make([]float64, nm)
-	for m, ft := range t.freeTime {
-		avail[m] = math.Max(ft, now)
+	avail := t.currentAvail(now)
+	// Reuse the TRMS schedule buffer across batch events when the
+	// heuristic supports allocation-free mapping.
+	var as []sched.Assignment
+	var err error
+	if bi, ok := h.(sched.BatchInto); ok {
+		as, err = bi.AssignBatchInto(costs, t.policy, reqs, avail, t.asgBuf[:0])
+		t.asgBuf = as[:0]
+	} else {
+		as, err = h.AssignBatch(costs, t.policy, reqs, avail)
 	}
-	as, err := h.AssignBatch(costs, t.policy, reqs, avail)
 	if err != nil {
 		return nil, err
 	}

@@ -96,6 +96,11 @@ type TRMS struct {
 
 	mu       sync.Mutex
 	freeTime []float64 // indexed by topology machine order
+	// availBuf and asgBuf are mapping scratch reused across submit and
+	// batch events (guarded by mu): steady-state mapping allocates
+	// nothing for availability vectors or schedules.
+	availBuf []float64
+	asgBuf   []sched.Assignment
 	placed   int
 	reported int
 	closed   bool
@@ -146,6 +151,7 @@ func New(cfg Config) (*TRMS, error) {
 		engine:   engine,
 		txCh:     make(chan trust.Transaction, 128),
 		freeTime: make([]float64, len(cfg.Topology.Machines())),
+		availBuf: make([]float64, len(cfg.Topology.Machines())),
 	}
 
 	// Seed the table: every CD trusts every RD at the initial level for
@@ -302,10 +308,7 @@ func (t *TRMS) Submit(task Task, now float64) (*Placement, error) {
 	if t.closed {
 		return nil, fmt.Errorf("core: TRMS is closed")
 	}
-	avail := make([]float64, len(t.freeTime))
-	for m, ft := range t.freeTime {
-		avail[m] = math.Max(ft, now)
-	}
+	avail := t.currentAvail(now)
 	asg, err := t.cfg.Heuristic.AssignOne(costs, t.policy, 0, avail)
 	if err != nil {
 		return nil, err
@@ -337,6 +340,16 @@ func (t *TRMS) Submit(task Task, now float64) (*Placement, error) {
 		Start:   start,
 		Finish:  finish,
 	}, nil
+}
+
+// currentAvail fills the reusable availability buffer from the machine
+// free times at time now.  Callers must hold t.mu; the buffer is valid
+// until the next locked mapping event.
+func (t *TRMS) currentAvail(now float64) []float64 {
+	for m, ft := range t.freeTime {
+		t.availBuf[m] = math.Max(ft, now)
+	}
+	return t.availBuf
 }
 
 // submitCosts is the single-task scheduling instance Submit hands to the

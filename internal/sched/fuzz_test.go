@@ -133,6 +133,98 @@ func TestFuzzBatchInvariants(t *testing.T) {
 	}
 }
 
+// FuzzKernelEquivalence cross-checks the incremental batch kernels
+// against the reference implementations on fuzzed cost matrices.  The
+// decoder maps raw bytes onto small NaN/Inf-free integer-ish costs so
+// duplicate completion times (the hard tie cases) are common, and the
+// shape bytes reach the single-machine and single-task corners.
+func FuzzKernelEquivalence(f *testing.F) {
+	// Seed corpus: generic, single-machine, all-ties, and single-task.
+	f.Add([]byte{7, 3, 9, 2, 8, 4, 5, 5, 5, 1, 9, 2}, uint8(3), uint8(2))
+	f.Add([]byte{3, 5, 1, 5}, uint8(3), uint8(0))       // 4 tasks, 1 machine
+	f.Add([]byte{2, 2, 2, 2, 2, 2}, uint8(2), uint8(1)) // constant matrix
+	f.Add([]byte{42}, uint8(0), uint8(4))               // 1 task
+	f.Fuzz(func(t *testing.T, data []byte, tasksRaw, machinesRaw uint8) {
+		tasks := int(tasksRaw%24) + 1
+		machines := int(machinesRaw%8) + 1
+		if len(data) == 0 {
+			data = []byte{1}
+		}
+		at := func(k int) byte { return data[k%len(data)] }
+		exec := make([][]float64, tasks)
+		tc := make([][]int, tasks)
+		k := 0
+		for i := 0; i < tasks; i++ {
+			exec[i] = make([]float64, machines)
+			tc[i] = make([]int, machines)
+			for m := 0; m < machines; m++ {
+				// Costs in [1,17) with a fractional part from a small set:
+				// finite, positive, tie-prone.
+				exec[i][m] = float64(at(k)%16) + 1 + float64(at(k+1)%4)*0.25
+				tc[i][m] = int(at(k+2) % 7)
+				k += 3
+			}
+		}
+		c, err := NewMatrixCosts(exec, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avail := make([]float64, machines)
+		for m := range avail {
+			avail[m] = float64(at(k) % 8)
+			k++
+		}
+		reqs := reqRange(tasks)
+		for _, p := range []Policy{
+			MustTrustAware(DefaultTCWeight),
+			MustTrustUnaware(DefaultFlatOverheadPct),
+		} {
+			refMin, err := referenceMinMaxMin(c, p, reqs, avail, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optMin, err := (MinMin{}).AssignBatch(c, p, reqs, avail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffSchedules(t, "Min-min", optMin, refMin)
+
+			refMax, err := referenceMinMaxMin(c, p, reqs, avail, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optMax, err := (MaxMin{}).AssignBatch(c, p, reqs, avail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffSchedules(t, "Max-min", optMax, refMax)
+
+			refSuf, err := referenceSufferage(c, p, reqs, avail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optSuf, err := (Sufferage{}).AssignBatch(c, p, reqs, avail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffSchedules(t, "Sufferage", optSuf, refSuf)
+		}
+	})
+}
+
+// diffSchedules fails the fuzz run on the first divergent assignment.
+func diffSchedules(t *testing.T, label string, got, want []Assignment) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: optimized emitted %d assignments, reference %d", label, len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("%s: assignment %d differs: optimized %+v, reference %+v", label, k, got[k], want[k])
+		}
+	}
+}
+
 // TestFuzzDecisionCompletionReplay verifies that batch heuristics'
 // reported DecisionCompletion values match an independent replay of their
 // schedule under decision costs.

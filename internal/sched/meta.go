@@ -35,11 +35,12 @@ func assignmentVectorToSchedule(c Costs, p Policy, reqs []int, vec []int, avail 
 }
 
 // vectorMakespan evaluates the decision makespan of a machines-per-request
-// vector against a precomputed ECC table.
-func vectorMakespan(table [][]float64, vec []int, avail []float64, scratch []float64) float64 {
+// vector against a precomputed flat ECC table with row stride len(scratch).
+func vectorMakespan(table []float64, vec []int, avail []float64, scratch []float64) float64 {
 	copy(scratch, avail)
+	nm := len(scratch)
 	for i, m := range vec {
-		scratch[m] += table[i][m]
+		scratch[m] += table[i*nm+m]
 	}
 	ms := scratch[0]
 	for _, v := range scratch[1:] {

@@ -22,6 +22,13 @@ type PairResult struct {
 // policies on it.  Because the workload is materialised once, the pairing
 // is exact: both runs see identical EECs, arrivals, RTLs and OTLs.
 func RunPair(sc Scenario, src *rng.Source) (*PairResult, error) {
+	return runPair(sc, src, &runScratch{})
+}
+
+// runPair is RunPair with caller-provided scratch: both runs of the pair
+// share one scratch, and Compare's workers reuse theirs across every
+// replication they process.
+func runPair(sc Scenario, src *rng.Source, scr *runScratch) (*PairResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -33,11 +40,11 @@ func RunPair(sc Scenario, src *rng.Source) (*PairResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	un, err := Run(sc, w, unawareP)
+	un, err := runTraced(sc, w, unawareP, nil, scr)
 	if err != nil {
 		return nil, fmt.Errorf("sim: unaware run: %w", err)
 	}
-	aw, err := Run(sc, w, awareP)
+	aw, err := runTraced(sc, w, awareP, nil, scr)
 	if err != nil {
 		return nil, fmt.Errorf("sim: aware run: %w", err)
 	}
@@ -116,8 +123,12 @@ func Compare(sc Scenario, seed uint64, reps, workers int) (*Comparison, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker: replications on the same worker
+			// reuse its buffers, so steady-state scheduling allocates
+			// nothing regardless of replication count.
+			scr := &runScratch{}
 			for idx := range jobs {
-				pair, err := RunPair(sc, streams[idx])
+				pair, err := runPair(sc, streams[idx], scr)
 				if pair != nil {
 					pair.Seed = idx
 				}

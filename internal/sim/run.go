@@ -51,9 +51,47 @@ func Run(sc Scenario, w *workload.Workload, policy sched.Policy) (*RunResult, er
 	return RunTraced(sc, w, policy, nil)
 }
 
+// runScratch holds the per-run working buffers.  A zero value is ready to
+// use; reusing one scratch across runs (RunPair) and across replications
+// within a Compare worker keeps the steady-state scheduling loop free of
+// heap allocation.  A scratch must not be shared between goroutines.
+type runScratch struct {
+	freeTime []float64
+	busy     []float64
+	avail    []float64
+	pending  []int
+	asg      []sched.Assignment
+}
+
+// prepare sizes the buffers for nm machines and zeroes the accumulators.
+func (scr *runScratch) prepare(nm int) {
+	scr.freeTime = growFloats(scr.freeTime, nm)
+	scr.busy = growFloats(scr.busy, nm)
+	scr.avail = growFloats(scr.avail, nm)
+	for m := 0; m < nm; m++ {
+		scr.freeTime[m] = 0
+		scr.busy[m] = 0
+	}
+	scr.pending = scr.pending[:0]
+}
+
+// growFloats returns s with length n, reallocating only when capacity is
+// short; contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // RunTraced is Run with an optional execution trace collector; pass nil
 // to skip tracing (no overhead).
 func RunTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace.Trace) (*RunResult, error) {
+	return runTraced(sc, w, policy, tr, &runScratch{})
+}
+
+// runTraced is RunTraced with caller-provided scratch.
+func runTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace.Trace, scr *runScratch) (*RunResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,13 +104,13 @@ func RunTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace
 			costs.NumRequests(), costs.NumMachines(), sc.Tasks, sc.Machines)
 	}
 
+	scr.prepare(sc.Machines)
 	st := &runState{
-		sc:       sc,
-		costs:    costs,
-		policy:   policy,
-		trace:    tr,
-		freeTime: make([]float64, sc.Machines),
-		busy:     make([]float64, sc.Machines),
+		sc:     sc,
+		costs:  costs,
+		policy: policy,
+		trace:  tr,
+		scr:    scr,
 		result: &RunResult{
 			Policy:      policy.Name,
 			Completions: &stats.Sample{},
@@ -108,7 +146,7 @@ func RunTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace
 			req := w.Requests[i]
 			if _, err := sim.ScheduleAt(req.ArrivalAt, func(s *des.Simulator) {
 				st.record(trace.Event{Time: s.Now(), Kind: trace.Arrival, Request: req.ID, Machine: -1})
-				st.pending = append(st.pending, req.ID)
+				st.scr.pending = append(st.scr.pending, req.ID)
 			}); err != nil {
 				return nil, err
 			}
@@ -120,10 +158,10 @@ func RunTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace
 			if st.err != nil {
 				return false
 			}
-			if len(st.pending) > 0 {
+			if len(st.scr.pending) > 0 {
 				st.record(trace.Event{
 					Time: s.Now(), Kind: trace.BatchTick,
-					Request: -1, Machine: -1, Cost: float64(len(st.pending)),
+					Request: -1, Machine: -1, Cost: float64(len(st.scr.pending)),
 				})
 				st.err = st.assignBatch(h, s.Now())
 			}
@@ -144,18 +182,16 @@ func RunTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace
 }
 
 // runState carries the mutable simulation state shared by event handlers.
+// scr.freeTime[m] is the absolute time machine m finishes its committed
+// work; scr.busy[m] accumulates charged service time; scr.pending holds
+// batch-mode requests awaiting the next meta-request.
 type runState struct {
 	sc     Scenario
 	costs  *workloadCosts
 	policy sched.Policy
 
-	// freeTime[m] is the absolute time machine m finishes its committed
-	// work; busy[m] accumulates charged service time.
-	freeTime []float64
-	busy     []float64
-
-	pending []int // batch mode: requests awaiting the next meta-request
-	trace   *trace.Trace
+	scr   *runScratch
+	trace *trace.Trace
 
 	tcSum  float64
 	result *RunResult
@@ -163,10 +199,12 @@ type runState struct {
 }
 
 // availability returns the scheduler's availability vector at time now:
-// a machine already idle is available immediately.
+// a machine already idle is available immediately.  The returned slice is
+// scratch, valid until the next call; heuristics never mutate or retain
+// it.
 func (st *runState) availability(now float64) []float64 {
-	a := make([]float64, len(st.freeTime))
-	for m, ft := range st.freeTime {
+	a := st.scr.avail
+	for m, ft := range st.scr.freeTime {
 		a[m] = math.Max(ft, now)
 	}
 	return a
@@ -191,13 +229,13 @@ func (st *runState) commit(r, m int, now, arrival float64) error {
 	if err != nil {
 		return err
 	}
-	start := math.Max(st.freeTime[m], now)
+	start := math.Max(st.scr.freeTime[m], now)
 	finish := start + ecc
 	st.record(trace.Event{Time: now, Kind: trace.Scheduled, Request: r, Machine: m, Cost: ecc})
 	st.record(trace.Event{Time: start, Kind: trace.Start, Request: r, Machine: m, Cost: ecc})
 	st.record(trace.Event{Time: finish, Kind: trace.Finish, Request: r, Machine: m, Cost: ecc})
-	st.freeTime[m] = finish
-	st.busy[m] += ecc
+	st.scr.freeTime[m] = finish
+	st.scr.busy[m] += ecc
 	st.tcSum += float64(tc)
 	st.result.Completions.Add(finish - arrival)
 	if deadline > 0 && finish > deadline {
@@ -219,11 +257,20 @@ func (st *runState) assignImmediate(h sched.Immediate, r int, now float64) error
 	return st.commit(r, a.Machine, now, now)
 }
 
-// assignBatch maps the pending meta-request.
+// assignBatch maps the pending meta-request.  The arrival buffer and the
+// schedule buffer are both recycled: reqs is fully consumed before any
+// later arrival event can append to the backing array again.
 func (st *runState) assignBatch(h sched.Batch, now float64) error {
-	reqs := st.pending
-	st.pending = nil
-	as, err := h.AssignBatch(st.costs, st.policy, reqs, st.availability(now))
+	reqs := st.scr.pending
+	st.scr.pending = st.scr.pending[:0]
+	var as []sched.Assignment
+	var err error
+	if bi, ok := h.(sched.BatchInto); ok {
+		as, err = bi.AssignBatchInto(st.costs, st.policy, reqs, st.availability(now), st.scr.asg[:0])
+		st.scr.asg = as[:0]
+	} else {
+		as, err = h.AssignBatch(st.costs, st.policy, reqs, st.availability(now))
+	}
 	if err != nil {
 		return err
 	}
@@ -245,15 +292,15 @@ func (st *runState) finalize(w *workload.Workload) (*RunResult, error) {
 	res.AvgCompletionTime = res.Completions.Mean()
 	res.P50Completion = res.Completions.Quantile(0.5)
 	res.P95Completion = res.Completions.Quantile(0.95)
-	copy(res.BusyTime, st.busy)
+	copy(res.BusyTime, st.scr.busy)
 	if res.Makespan <= 0 {
 		return nil, fmt.Errorf("sim: degenerate makespan %g", res.Makespan)
 	}
 	util := 0.0
-	for _, b := range st.busy {
+	for _, b := range st.scr.busy {
 		util += b / res.Makespan
 	}
-	res.MeanUtilization = util / float64(len(st.busy))
+	res.MeanUtilization = util / float64(len(st.scr.busy))
 	res.MeanTrustCost = st.tcSum / float64(res.Assigned)
 	res.DeadlineMissRate = float64(res.DeadlineMisses) / float64(res.Assigned)
 	_ = w

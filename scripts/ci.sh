@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verify flow.  Beyond the seed contract (build + test), it vets
+# the whole module and race-tests the packages with real concurrency or
+# shared scratch: internal/sim's replication worker pool and
+# internal/sched's pooled kernel state.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/sched/... ./internal/sim/..."
+go test -race ./internal/sched/... ./internal/sim/...
+
+echo "ci: ok"
