@@ -1,9 +1,10 @@
 # Convenience targets; scripts/ci.sh is the canonical verify flow.
 
-.PHONY: verify test race bench bench-kernels
+.PHONY: verify test race smoke bench bench-kernels bench-sweep
 
-# verify runs the tier-1 flow: build, vet, full tests, and race tests for
-# the concurrent packages (sim's worker pool, sched's pooled kernels).
+# verify runs the tier-1 flow: build, vet, full tests, race tests for
+# the concurrent packages (exp's experiment engine, sim's cell runners,
+# sched's pooled kernels), and a sweep smoke across every mode.
 verify:
 	./scripts/ci.sh
 
@@ -11,7 +12,16 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/sched/... ./internal/sim/...
+	go test -race ./internal/exp/... ./internal/sched/... ./internal/sim/...
+
+# smoke runs every sweep mode once through the experiment engine on a
+# tiny grid (mirrors the smoke stage of scripts/ci.sh).
+smoke:
+	go build -o /tmp/gridtrust-smoke-sweep ./cmd/sweep
+	for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging; do \
+		/tmp/gridtrust-smoke-sweep -mode $$mode -reps 2 -tasks 20 -seed 1 > /dev/null || exit 1; \
+	done
+	rm -f /tmp/gridtrust-smoke-sweep
 
 # bench regenerates the paper-table and kernel benchmarks recorded in
 # BENCH_sched.json (see EXPERIMENTS.md for methodology).
@@ -21,3 +31,8 @@ bench:
 # bench-kernels runs only the batch-kernel suite (optimized vs reference).
 bench-kernels:
 	go test ./internal/sched -run '^$$' -bench 'Kernel' -benchmem
+
+# bench-sweep measures the experiment-engine flattening recorded in
+# BENCH_sweep.json (serial-cells vs global-pool scheduling).
+bench-sweep:
+	go test -run '^$$' -bench 'SweepGrid|EngineFlattening' ./internal/sim ./internal/exp

@@ -9,10 +9,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"gridtrust/internal/exp"
 	"gridtrust/internal/sim"
 )
 
@@ -21,13 +26,23 @@ func main() {
 		seed    = flag.Uint64("seed", 2002, "master random seed")
 		reps    = flag.Int("reps", 40, "replications per cell")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "print per-cell progress to stderr")
 	)
 	flag.Parse()
+	// SIGINT/SIGTERM cancel the experiment grid cleanly instead of
+	// leaving a truncated document behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := sim.ReportOptions{Seed: *seed, Reps: *reps, Workers: *workers}
+	if *verbose {
+		opts.OnCell = func(p exp.Progress) {
+			fmt.Fprintf(os.Stderr, "reportgen: [%d/%d] %s (%s work)\n",
+				p.Done, p.Cells, p.Cell, p.Work.Round(time.Millisecond))
+		}
+	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
-	if err := sim.WriteFullReport(out, sim.ReportOptions{
-		Seed: *seed, Reps: *reps, Workers: *workers,
-	}); err != nil {
+	if err := sim.WriteFullReport(ctx, out, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "reportgen: %v\n", err)
 		os.Exit(1)
 	}

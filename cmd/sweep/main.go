@@ -14,17 +14,27 @@
 //
 // Every mode prints one row per configuration with the trust-aware
 // improvement over the trust-unaware baseline on identical workloads.
+//
+// Each mode is a declarative list of cells executed by the experiment
+// engine (internal/exp): all cells × replications run as one job stream
+// over a single worker pool, results are bit-identical for a fixed -seed
+// regardless of -workers, and SIGINT drains the grid cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"gridtrust/internal/exp"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/report"
-	"gridtrust/internal/rng"
 	"gridtrust/internal/sim"
+	"gridtrust/internal/stats"
 	"gridtrust/internal/workload"
 )
 
@@ -35,6 +45,7 @@ type config struct {
 	format  string
 	tasks   int
 	chart   bool
+	verbose bool
 }
 
 func main() {
@@ -43,56 +54,86 @@ func main() {
 		seed    = flag.Uint64("seed", 2002, "master random seed")
 		reps    = flag.Int("reps", 30, "paired replications per configuration")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		format  = flag.String("format", "ascii", "output format: ascii, markdown or csv")
+		format  = flag.String("format", "ascii", "output format: ascii, markdown, csv or json")
 		tasks   = flag.Int("tasks", 100, "tasks per run")
 		chart   = flag.Bool("chart", false, "also render an improvement bar chart for scalar sweeps")
+		verbose = flag.Bool("v", false, "print per-cell progress and timing to stderr")
 	)
 	flag.Parse()
-	cfg := config{seed: *seed, reps: *reps, workers: *workers, format: *format, tasks: *tasks, chart: *chart}
+	cfg := config{seed: *seed, reps: *reps, workers: *workers, format: *format,
+		tasks: *tasks, chart: *chart, verbose: *verbose}
+
+	// SIGINT/SIGTERM cancel the grid: in-flight replications finish, the
+	// pool drains, and the run reports the interruption instead of dying
+	// mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var err error
 	switch *mode {
 	case "heuristics":
-		err = sweepHeuristics(cfg)
+		err = sweepHeuristics(ctx, cfg)
 	case "tcweight":
-		err = sweepTCWeight(cfg)
+		err = sweepTCWeight(ctx, cfg)
 	case "heterogeneity":
-		err = sweepHeterogeneity(cfg)
+		err = sweepHeterogeneity(ctx, cfg)
 	case "batch":
-		err = sweepBatchInterval(cfg)
+		err = sweepBatchInterval(ctx, cfg)
 	case "machines":
-		err = sweepMachines(cfg)
+		err = sweepMachines(ctx, cfg)
 	case "etsrule":
-		err = sweepETSRule(cfg)
+		err = sweepETSRule(ctx, cfg)
 	case "rate":
-		err = sweepRate(cfg)
+		err = sweepRate(ctx, cfg)
 	case "evolving":
-		err = sweepEvolving(cfg)
+		err = sweepEvolving(ctx, cfg)
 	case "deadline":
-		err = sweepDeadline(cfg)
+		err = sweepDeadline(ctx, cfg)
 	case "staging":
-		err = sweepStaging(cfg)
+		err = sweepStaging(ctx, cfg)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		if ctx.Err() != nil {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-// run executes one paired comparison and returns the result row.
-func run(cfg config, sc sim.Scenario) (*sim.Comparison, error) {
-	return sim.Compare(sc, cfg.seed, cfg.reps, cfg.workers)
+// gridOptions builds the engine options shared by every mode, wiring the
+// progress hook when -v is set.
+func (cfg config) gridOptions() sim.GridOptions {
+	opts := sim.GridOptions{Seed: cfg.seed, Reps: cfg.reps, Workers: cfg.workers}
+	if cfg.verbose {
+		opts.OnCell = func(p exp.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s: %d reps, %s work, %s\n",
+				p.Done, p.Cells, p.Cell, p.Reps, p.Work.Round(time.Millisecond), status)
+		}
+	}
+	return opts
 }
 
-// addRow appends the standard metric row for a comparison, and the point
-// to an optional improvement series for charting.
-func addRowSeries(tb *report.Table, series *report.Series, label string, cmp *sim.Comparison) {
-	addRow(tb, label, cmp)
-	if series != nil {
-		series.AddPoint(label, cmp.ImprovementPercent())
+// compareSweep runs the cells as one grid and renders one standard metric
+// row per cell (plus an optional chart series point).
+func compareSweep(ctx context.Context, cfg config, tb *report.Table, series *report.Series, cells []sim.CompareCell) error {
+	cmps, err := sim.CompareGrid(ctx, cells, cfg.gridOptions())
+	if err != nil {
+		return err
 	}
+	for i, cmp := range cmps {
+		addRow(tb, cells[i].Name, cmp)
+		if series != nil {
+			series.AddPoint(cells[i].Name, cmp.ImprovementPercent())
+		}
+	}
+	return emitWithChart(cfg, tb, series)
 }
 
 // addRow appends the standard metric row for a comparison.
@@ -136,51 +177,41 @@ func emitWithChart(cfg config, tb *report.Table, series *report.Series) error {
 	return nil
 }
 
-func sweepHeuristics(cfg config) error {
+func sweepHeuristics(ctx context.Context, cfg config) error {
 	tb := newSweepTable(fmt.Sprintf("Heuristic sweep (inconsistent LoLo, %d tasks)", cfg.tasks), "heuristic")
 	immediate := []string{"olb", "met", "mct", "kpb", "sa"}
 	batch := []string{"minmin", "maxmin", "sufferage", "duplex", "ga", "sanneal", "gsa"}
+	var cells []sim.CompareCell
 	for _, h := range immediate {
 		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
 		sc.Heuristic, sc.Mode = h, sim.Immediate
 		sc.Name = h
-		cmp, err := run(cfg, sc)
-		if err != nil {
-			return err
-		}
-		addRow(tb, h+" (immediate)", cmp)
+		cells = append(cells, sim.CompareCell{Name: h + " (immediate)", Scenario: sc})
 	}
 	for _, h := range batch {
 		sc := sim.PaperScenario("minmin", cfg.tasks, workload.Inconsistent)
 		sc.Heuristic, sc.Mode = h, sim.Batch
 		sc.Name = h
-		cmp, err := run(cfg, sc)
-		if err != nil {
-			return err
-		}
-		addRow(tb, h+" (batch)", cmp)
+		cells = append(cells, sim.CompareCell{Name: h + " (batch)", Scenario: sc})
 	}
-	return emit(cfg, tb)
+	return compareSweep(ctx, cfg, tb, nil, cells)
 }
 
-func sweepTCWeight(cfg config) error {
+func sweepTCWeight(ctx context.Context, cfg config) error {
 	tb := newSweepTable(
 		fmt.Sprintf("TC-weight sweep (MCT, inconsistent LoLo, %d tasks; the paper fixes 15)", cfg.tasks),
 		"TC weight")
 	series := &report.Series{Name: "trust-aware improvement (%) by TC weight"}
+	var cells []sim.CompareCell
 	for _, w := range []float64{0, 5, 10, 15, 20, 25, 30, 50} {
 		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
 		sc.TCWeight = w
-		cmp, err := run(cfg, sc)
-		if err != nil {
-			return err
-		}
-		addRowSeries(tb, series, fmt.Sprintf("%g", w), cmp)
+		cells = append(cells, sim.CompareCell{Name: fmt.Sprintf("%g", w), Scenario: sc})
 	}
-	return emitWithChart(cfg, tb, series)
+	return compareSweep(ctx, cfg, tb, series, cells)
 }
 
-func sweepHeterogeneity(cfg config) error {
+func sweepHeterogeneity(ctx context.Context, cfg config) error {
 	tb := newSweepTable(
 		fmt.Sprintf("Heterogeneity sweep (MCT, %d tasks)", cfg.tasks), "class")
 	classes := []struct {
@@ -190,6 +221,7 @@ func sweepHeterogeneity(cfg config) error {
 		{"LoLo", workload.LoLo}, {"LoHi", workload.LoHi},
 		{"HiLo", workload.HiLo}, {"HiHi", workload.HiHi},
 	}
+	var cells []sim.CompareCell
 	for _, cl := range classes {
 		for _, cons := range []workload.Consistency{workload.Inconsistent, workload.Consistent, workload.SemiConsistent} {
 			sc := sim.PaperScenario("mct", cfg.tasks, cons)
@@ -198,129 +230,132 @@ func sweepHeterogeneity(cfg config) error {
 			// stay in the near-saturation regime.
 			scale := (cl.het.TaskRange * cl.het.MachineRange) / (workload.LoLo.TaskRange * workload.LoLo.MachineRange)
 			sc.ArrivalRate = sc.ArrivalRate / scale
-			cmp, err := run(cfg, sc)
-			if err != nil {
-				return err
-			}
-			addRow(tb, fmt.Sprintf("%s/%s", cl.name, cons), cmp)
+			cells = append(cells, sim.CompareCell{Name: fmt.Sprintf("%s/%s", cl.name, cons), Scenario: sc})
 		}
 	}
-	return emit(cfg, tb)
+	return compareSweep(ctx, cfg, tb, nil, cells)
 }
 
-func sweepBatchInterval(cfg config) error {
+func sweepBatchInterval(ctx context.Context, cfg config) error {
 	tb := newSweepTable(
 		fmt.Sprintf("Batch-interval sweep (Min-min & Sufferage, inconsistent LoLo, %d tasks)", cfg.tasks),
 		"heuristic/interval")
+	var cells []sim.CompareCell
 	for _, h := range []string{"minmin", "sufferage"} {
 		for _, bi := range []float64{12.5, 25, 50, 100, 200, 400} {
 			sc := sim.PaperScenario(h, cfg.tasks, workload.Inconsistent)
 			sc.BatchInterval = bi
-			cmp, err := run(cfg, sc)
-			if err != nil {
-				return err
-			}
-			addRow(tb, fmt.Sprintf("%s/%g s", h, bi), cmp)
+			cells = append(cells, sim.CompareCell{Name: fmt.Sprintf("%s/%g s", h, bi), Scenario: sc})
 		}
 	}
-	return emit(cfg, tb)
+	return compareSweep(ctx, cfg, tb, nil, cells)
 }
 
-func sweepMachines(cfg config) error {
+func sweepMachines(ctx context.Context, cfg config) error {
 	tb := newSweepTable(
 		fmt.Sprintf("Machine-count sweep (MCT, inconsistent LoLo, %d tasks; the paper fixes 5)", cfg.tasks),
 		"machines")
+	var cells []sim.CompareCell
 	for _, m := range []int{2, 5, 10, 20, 40} {
 		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
 		sc.Machines = m
 		// Keep per-machine load constant as the pool grows.
 		sc.ArrivalRate = sc.ArrivalRate * float64(m) / 5
-		cmp, err := run(cfg, sc)
-		if err != nil {
-			return err
-		}
-		addRow(tb, fmt.Sprintf("%d", m), cmp)
+		cells = append(cells, sim.CompareCell{Name: fmt.Sprintf("%d", m), Scenario: sc})
 	}
-	return emit(cfg, tb)
+	return compareSweep(ctx, cfg, tb, nil, cells)
 }
 
-func sweepETSRule(cfg config) error {
+func sweepETSRule(ctx context.Context, cfg config) error {
 	tb := newSweepTable(
 		fmt.Sprintf("ETS-rule sweep (all paper heuristics, inconsistent LoLo, %d tasks)", cfg.tasks),
 		"heuristic/rule")
+	var cells []sim.CompareCell
 	for _, h := range []string{"mct", "minmin", "sufferage"} {
 		for _, rule := range []grid.ETSRule{grid.ETSTable1, grid.ETSLinear} {
 			sc := sim.PaperScenario(h, cfg.tasks, workload.Inconsistent)
 			sc.ETSRule = rule
-			cmp, err := run(cfg, sc)
-			if err != nil {
-				return err
-			}
-			addRow(tb, fmt.Sprintf("%s/%s", h, rule), cmp)
+			cells = append(cells, sim.CompareCell{Name: fmt.Sprintf("%s/%s", h, rule), Scenario: sc})
 		}
 	}
-	return emit(cfg, tb)
+	return compareSweep(ctx, cfg, tb, nil, cells)
 }
 
-func sweepRate(cfg config) error {
+func sweepRate(ctx context.Context, cfg config) error {
 	tb := newSweepTable(
 		fmt.Sprintf("Arrival-rate sweep (MCT, inconsistent LoLo, %d tasks)", cfg.tasks),
 		"rate (req/s)")
 	series := &report.Series{Name: "trust-aware improvement (%) by arrival rate"}
+	var cells []sim.CompareCell
 	for _, r := range []float64{0.01, 0.02, 0.03, 0.04, 0.06, 0.1, 0.2} {
 		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
 		sc.ArrivalRate = r
-		cmp, err := run(cfg, sc)
-		if err != nil {
-			return err
-		}
-		addRowSeries(tb, series, fmt.Sprintf("%g", r), cmp)
+		cells = append(cells, sim.CompareCell{Name: fmt.Sprintf("%g", r), Scenario: sc})
 	}
-	return emitWithChart(cfg, tb, series)
+	return compareSweep(ctx, cfg, tb, series, cells)
 }
 
 // sweepEvolving varies the misbehaving domain's incident rate in the
-// evolving-trust experiment and reports how decisively placements shift.
-func sweepEvolving(cfg config) error {
+// evolving-trust experiment and reports how decisively placements shift,
+// as mean ± CI95 over cfg.reps independent replications.
+func sweepEvolving(ctx context.Context, cfg config) error {
 	tb := report.NewTable(
-		fmt.Sprintf("Evolving-trust sweep (%d requests per run)", cfg.tasks),
+		fmt.Sprintf("Evolving-trust sweep (%d requests per run, mean ± CI95 over %d reps)", cfg.tasks, cfg.reps),
 		"incident prob", "early share on bad RD", "late share on bad RD",
-		"final trust (good/bad)", "incidents (good/bad)")
-	for _, prob := range []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75} {
-		res, err := sim.RunEvolving(sim.EvolvingConfig{
-			Requests:               cfg.tasks,
-			UnreliableIncidentProb: prob,
-		}, rng.New(cfg.seed))
-		if err != nil {
-			return err
+		"final trust (good/bad)", "incidents/rep (good/bad)")
+	probs := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75}
+	cells := make([]sim.EvolvingCell, len(probs))
+	for i, prob := range probs {
+		cells[i] = sim.EvolvingCell{
+			Name: fmt.Sprintf("%.2f", prob),
+			Config: sim.EvolvingConfig{
+				Requests:               cfg.tasks,
+				UnreliableIncidentProb: prob,
+			},
 		}
+	}
+	results, err := sim.EvolvingGrid(ctx, cells, cfg.gridOptions())
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
 		tb.AddRow(
-			fmt.Sprintf("%.2f", prob),
-			report.Fraction(res.EarlyUnreliableShare, 1),
-			report.Fraction(res.LateUnreliableShare, 1),
-			fmt.Sprintf("%v/%v", res.FinalTrustReliable, res.FinalTrustUnreliable),
-			fmt.Sprintf("%d/%d", res.Incidents[sim.ReliableRD], res.Incidents[sim.UnreliableRD]),
+			cells[i].Name,
+			sharePlusMinus(res.EarlyShare),
+			sharePlusMinus(res.LateShare),
+			fmt.Sprintf("%.1f/%.1f", res.FinalTrustReliable.Mean(), res.FinalTrustUnreliable.Mean()),
+			fmt.Sprintf("%.1f/%.1f", res.IncidentsReliable.Mean(), res.IncidentsUnreliable.Mean()),
 		)
 	}
 	return emit(cfg, tb)
 }
 
+// sharePlusMinus formats a fraction aggregate as "mean% ± ci%".
+func sharePlusMinus(r stats.Running) string {
+	return fmt.Sprintf("%.1f%% ± %.1f%%", r.Mean()*100, r.CI95()*100)
+}
+
 // sweepDeadline attaches deadlines of varying slack and reports the miss
 // rates of the trust-aware and trust-unaware schedulers — the QoS
 // extension of DESIGN.md §6.
-func sweepDeadline(cfg config) error {
+func sweepDeadline(ctx context.Context, cfg config) error {
 	tb := report.NewTable(
 		fmt.Sprintf("Deadline sweep (MCT, inconsistent LoLo, %d tasks)", cfg.tasks),
 		"slack x mean EEC", "miss rate (unaware)", "miss rate (aware)", "improvement (avg completion)")
-	for _, slack := range []float64{2, 4, 8, 16, 32} {
+	slacks := []float64{2, 4, 8, 16, 32}
+	cells := make([]sim.CompareCell, len(slacks))
+	for i, slack := range slacks {
 		sc := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
 		sc.DeadlineSlack = slack
-		cmp, err := run(cfg, sc)
-		if err != nil {
-			return err
-		}
+		cells[i] = sim.CompareCell{Name: fmt.Sprintf("%g", slack), Scenario: sc}
+	}
+	cmps, err := sim.CompareGrid(ctx, cells, cfg.gridOptions())
+	if err != nil {
+		return err
+	}
+	for i, cmp := range cmps {
 		tb.AddRow(
-			fmt.Sprintf("%g", slack),
+			cells[i].Name,
 			report.Fraction(cmp.Unaware.MissRate.Mean(), 1),
 			report.Fraction(cmp.Aware.MissRate.Mean(), 1),
 			report.Percent(cmp.ImprovementPercent(), 2),
@@ -332,21 +367,27 @@ func sweepDeadline(cfg config) error {
 // sweepStaging varies the per-request input size and reports the gain of
 // trusting rcp transfers over blanket scp — the experiment connecting
 // Tables 2-3 to the scheduling story.
-func sweepStaging(cfg config) error {
+func sweepStaging(ctx context.Context, cfg config) error {
 	tb := report.NewTable(
 		fmt.Sprintf("Data-staging sweep (greedy MCT, %d requests, 100 Mbps link)", cfg.tasks),
 		"max input MB", "improvement", "plain-transfer share")
-	for _, maxMB := range []float64{10, 100, 500, 1000, 2000} {
-		imp, plain, err := sim.StagingSeries(sim.StagingConfig{
-			Requests: cfg.tasks, MaxInputMB: maxMB,
-		}, cfg.seed, cfg.reps)
-		if err != nil {
-			return err
+	sizes := []float64{10, 100, 500, 1000, 2000}
+	cells := make([]sim.StagingCell, len(sizes))
+	for i, maxMB := range sizes {
+		cells[i] = sim.StagingCell{
+			Name:   fmt.Sprintf("%g", maxMB),
+			Config: sim.StagingConfig{Requests: cfg.tasks, MaxInputMB: maxMB},
 		}
+	}
+	results, err := sim.StagingGrid(ctx, cells, cfg.gridOptions())
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
 		tb.AddRow(
-			fmt.Sprintf("%g", maxMB),
-			report.Percent(imp.Mean(), 2),
-			report.Fraction(plain.Mean(), 1),
+			cells[i].Name,
+			report.Percent(res.Improvement.Mean(), 2),
+			report.Fraction(res.PlainShare.Mean(), 1),
 		)
 	}
 	return emit(cfg, tb)

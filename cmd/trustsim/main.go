@@ -14,14 +14,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"gridtrust"
+	"gridtrust/internal/exp"
 	"gridtrust/internal/report"
 	"gridtrust/internal/rng"
 	"gridtrust/internal/sched"
@@ -36,13 +40,18 @@ func main() {
 		seed    = flag.Uint64("seed", 2002, "master random seed")
 		reps    = flag.Int("reps", 40, "paired replications per cell")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		format  = flag.String("format", "ascii", "output format: ascii, markdown or csv")
+		format  = flag.String("format", "ascii", "output format: ascii, markdown, csv or json")
 		tasks   = flag.String("tasks", "50,100", "comma-separated task counts per table")
 		config  = flag.String("config", "", "JSON scenario file to run instead of the paper tables")
 		gantt   = flag.String("gantt", "", "render one run's execution timeline for a heuristic (mct, minmin or sufferage)")
 		verbose = flag.Bool("v", false, "print per-table timing and significance")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the experiment grid cleanly: in-flight
+	// replications finish and the pool drains before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *gantt != "" {
 		if err := runGantt(*gantt, *seed); err != nil {
@@ -52,7 +61,7 @@ func main() {
 	}
 
 	if *config != "" {
-		if err := runConfig(*config, *seed, *reps, *workers, *format); err != nil {
+		if err := runConfig(ctx, *config, *seed, *reps, *workers, *format); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -71,12 +80,20 @@ func main() {
 	opts := gridtrust.SimOptions{
 		Seed: *seed, Reps: *reps, Workers: *workers, TaskCounts: taskCounts,
 	}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := gridtrust.RunSimTable(id, opts)
-		if err != nil {
-			fatalf("table %d: %v", int(id), err)
+	if *verbose {
+		opts.OnCell = func(p exp.Progress) {
+			fmt.Fprintf(os.Stderr, "trustsim: [%d/%d] %s: %d reps, %s work\n",
+				p.Done, p.Cells, p.Cell, p.Reps, p.Work.Round(time.Millisecond))
 		}
+	}
+	// One engine grid schedules every (table, task count) cell of the
+	// requested tables on a shared pool.
+	start := time.Now()
+	results, err := gridtrust.RunSimTables(ctx, ids, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, res := range results {
 		out, err := res.Render().Render(*format)
 		if err != nil {
 			fatalf("render: %v", err)
@@ -87,27 +104,33 @@ func main() {
 				fmt.Printf("  [%d tasks] improvement %.2f%% (paired diff CI95 ±%.2f, significant=%v)\n",
 					c.Tasks, c.ImprovementPct, c.CompletionCI95, c.Significant)
 			}
-			fmt.Printf("  (%d reps, %s)\n", *reps, time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Println()
 	}
+	if *verbose {
+		fmt.Printf("(%d tables, %d reps, %s)\n", len(results), *reps, time.Since(start).Round(time.Millisecond))
+	}
 }
 
-// runConfig runs every scenario of a JSON config file as a paired
-// comparison and prints one result table.
-func runConfig(path string, seed uint64, reps, workers int, format string) error {
+// runConfig runs every scenario of a JSON config file as one comparison
+// grid on a shared pool and prints one result table.
+func runConfig(ctx context.Context, path string, seed uint64, reps, workers int, format string) error {
 	scenarios, err := sim.LoadScenarios(path)
 	if err != nil {
 		return err
 	}
 	tb := report.NewTable(fmt.Sprintf("Scenarios from %s (%d reps, seed %d)", path, reps, seed),
 		"scenario", "util (unaware)", "avg completion (unaware)", "avg completion (aware)", "improvement", "significant")
-	for _, sc := range scenarios {
-		cmp, err := sim.Compare(sc, seed, reps, workers)
-		if err != nil {
-			return fmt.Errorf("scenario %q: %w", sc.Name, err)
-		}
-		tb.AddRow(sc.Name,
+	cells := make([]sim.CompareCell, len(scenarios))
+	for i, sc := range scenarios {
+		cells[i] = sim.CompareCell{Name: sc.Name, Scenario: sc}
+	}
+	cmps, err := sim.CompareGrid(ctx, cells, sim.GridOptions{Seed: seed, Reps: reps, Workers: workers})
+	if err != nil {
+		return err
+	}
+	for i, cmp := range cmps {
+		tb.AddRow(cells[i].Name,
 			report.Fraction(cmp.Unaware.Utilization.Mean(), 1),
 			report.Seconds(cmp.Unaware.AvgCompletion.Mean()),
 			report.Seconds(cmp.Aware.AvgCompletion.Mean()),

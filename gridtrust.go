@@ -20,8 +20,10 @@
 package gridtrust
 
 import (
+	"context"
 	"fmt"
 
+	"gridtrust/internal/exp"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/report"
 	"gridtrust/internal/rng"
@@ -113,6 +115,9 @@ type SimOptions struct {
 	Workers int
 	// TaskCounts are the "# of tasks" rows (default 50 and 100).
 	TaskCounts []int
+	// OnCell, when set, receives one progress event per completed
+	// (table, task count) cell.
+	OnCell func(exp.Progress)
 }
 
 // withDefaults fills unset options.
@@ -153,30 +158,65 @@ type SimTableResult struct {
 
 // RunSimTable reproduces one of Tables 4-9.
 func RunSimTable(id TableID, opts SimOptions) (*SimTableResult, error) {
-	heuristic, cons, err := simTableSpec(id)
+	results, err := RunSimTables(context.Background(), []TableID{id}, opts)
 	if err != nil {
 		return nil, err
 	}
+	return results[0], nil
+}
+
+// RunSimTables reproduces several of Tables 4-9 at once: every
+// (table, task count) cell is scheduled on one shared worker pool via the
+// experiment engine, so small tables no longer serialise behind each
+// other.  Each table's numbers are bit-identical to a standalone
+// RunSimTable with the same options.
+func RunSimTables(ctx context.Context, ids []TableID, opts SimOptions) ([]*SimTableResult, error) {
 	opts = opts.withDefaults()
-	res := &SimTableResult{ID: id, Heuristic: heuristic}
-	for _, tasks := range opts.TaskCounts {
-		sc := sim.PaperScenario(heuristic, tasks, cons)
-		cmp, err := sim.Compare(sc, opts.Seed, opts.Reps, opts.Workers)
+	results := make([]*SimTableResult, len(ids))
+	var cells []sim.CompareCell
+	// fold[i] fills table i's cell from the comparison the grid hands
+	// back for the matching CompareCell.
+	var fold []func(*sim.Comparison)
+	for i, id := range ids {
+		heuristic, cons, err := simTableSpec(id)
 		if err != nil {
-			return nil, fmt.Errorf("gridtrust: table %d (%d tasks): %w", int(id), tasks, err)
+			return nil, err
 		}
-		res.Cells = append(res.Cells, SimCell{
-			Tasks:              tasks,
-			UnawareUtilization: cmp.Unaware.Utilization.Mean(),
-			UnawareCompletion:  cmp.Unaware.AvgCompletion.Mean(),
-			AwareUtilization:   cmp.Aware.Utilization.Mean(),
-			AwareCompletion:    cmp.Aware.AvgCompletion.Mean(),
-			ImprovementPct:     cmp.ImprovementPercent(),
-			CompletionCI95:     cmp.CompletionPairs.DiffCI95(),
-			Significant:        cmp.CompletionPairs.Significant(),
-		})
+		results[i] = &SimTableResult{ID: id, Heuristic: heuristic}
+		res := results[i]
+		for _, tasks := range opts.TaskCounts {
+			tasks := tasks
+			sc := sim.PaperScenario(heuristic, tasks, cons)
+			cells = append(cells, sim.CompareCell{
+				Name:     fmt.Sprintf("table%d/%d-tasks", int(id), tasks),
+				Scenario: sc,
+			})
+			fold = append(fold, func(cmp *sim.Comparison) {
+				res.Cells = append(res.Cells, SimCell{
+					Tasks:              tasks,
+					UnawareUtilization: cmp.Unaware.Utilization.Mean(),
+					UnawareCompletion:  cmp.Unaware.AvgCompletion.Mean(),
+					AwareUtilization:   cmp.Aware.Utilization.Mean(),
+					AwareCompletion:    cmp.Aware.AvgCompletion.Mean(),
+					ImprovementPct:     cmp.ImprovementPercent(),
+					CompletionCI95:     cmp.CompletionPairs.DiffCI95(),
+					Significant:        cmp.CompletionPairs.Significant(),
+				})
+			})
+		}
 	}
-	return res, nil
+	cmps, err := sim.CompareGrid(ctx, cells, sim.GridOptions{
+		Seed: opts.Seed, Reps: opts.Reps, Workers: opts.Workers, OnCell: opts.OnCell,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gridtrust: %w", err)
+	}
+	// Comparisons arrive in cell order, which matches fold order, so each
+	// table's rows land in TaskCounts order.
+	for i, cmp := range cmps {
+		fold[i](cmp)
+	}
+	return results, nil
 }
 
 // Render lays the result out like the paper's tables.

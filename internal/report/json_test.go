@@ -1,0 +1,58 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderJSON(t *testing.T) {
+	tb := NewTable("sweep", "cell", "improvement", "significant")
+	tb.AddRow("mct", "22.41%", "true")
+	tb.AddRow("minmin", "9.03%", "false")
+	out, err := tb.Render("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Title != "sweep" {
+		t.Errorf("title %q", doc.Title)
+	}
+	if len(doc.Columns) != 3 || doc.Columns[0] != "cell" {
+		t.Errorf("columns %v", doc.Columns)
+	}
+	if len(doc.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(doc.Rows))
+	}
+	if doc.Rows[0]["cell"] != "mct" || doc.Rows[0]["improvement"] != "22.41%" {
+		t.Errorf("row 0 = %v", doc.Rows[0])
+	}
+	if doc.Rows[1]["significant"] != "false" {
+		t.Errorf("row 1 = %v", doc.Rows[1])
+	}
+}
+
+func TestPadCountsRunes(t *testing.T) {
+	// Multi-byte cells (± CI annotations) must still align.
+	tb := NewTable("", "v")
+	tb.AddRow("1.0% ± 0.2%")
+	tb.AddRow("ascii")
+	out, err := tb.Render("ascii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len([]rune(lines[0]))
+	for _, l := range lines {
+		if len([]rune(l)) != width {
+			t.Errorf("misaligned line %q (want display width %d)", l, width)
+		}
+	}
+}

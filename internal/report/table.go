@@ -1,13 +1,15 @@
 // Package report renders result tables in the styles used by the command
-// line tools and the experiment log: aligned ASCII, GitHub markdown and
-// CSV, with the paper's number formatting (thousands separators, fixed
-// decimals, percent signs).
+// line tools and the experiment log: aligned ASCII, GitHub markdown, CSV
+// and JSON rows, with the paper's number formatting (thousands
+// separators, fixed decimals, percent signs).
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Align controls column alignment.
@@ -62,28 +64,33 @@ func (t *Table) AddRow(cells ...string) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// widths computes per-column display widths.
+// widths computes per-column display widths in runes, so cells with
+// multi-byte characters (±, ×) still align.
 func (t *Table) widths() []int {
 	w := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		w[i] = len(h)
+		w[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if len(c) > w[i] {
-				w[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > w[i] {
+				w[i] = n
 			}
 		}
 	}
 	return w
 }
 
-// pad aligns s into a field of width w.
+// pad aligns s into a field of width w runes.
 func pad(s string, w int, a Align) string {
-	if a == Right {
-		return strings.Repeat(" ", w-len(s)) + s
+	fill := w - utf8.RuneCountInString(s)
+	if fill < 0 {
+		fill = 0
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	if a == Right {
+		return strings.Repeat(" ", fill) + s
+	}
+	return s + strings.Repeat(" ", fill)
 }
 
 // WriteASCII renders the table with box-drawing rules to w.
@@ -180,8 +187,32 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// Render returns the table in the named format: "ascii", "markdown" or
-// "csv".
+// WriteJSON renders the table as one JSON document: the title, the column
+// list in display order, and one object per row keyed by column header.
+// This is the machine-readable surface for the benchmark-trajectory
+// scripts, so the layout is stable: rows are emitted in insertion order
+// and object keys are the exact header strings.
+func (t *Table) WriteJSON(w io.Writer) error {
+	rows := make([]map[string]string, len(t.rows))
+	for i, row := range t.rows {
+		obj := make(map[string]string, len(t.headers))
+		for j, h := range t.headers {
+			obj[h] = row[j]
+		}
+		rows[i] = obj
+	}
+	doc := struct {
+		Title   string              `json:"title,omitempty"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}{Title: t.Title, Columns: t.headers, Rows: rows}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Render returns the table in the named format: "ascii", "markdown",
+// "csv" or "json".
 func (t *Table) Render(format string) (string, error) {
 	var sb strings.Builder
 	var err error
@@ -192,8 +223,10 @@ func (t *Table) Render(format string) (string, error) {
 		err = t.WriteMarkdown(&sb)
 	case "csv":
 		err = t.WriteCSV(&sb)
+	case "json":
+		err = t.WriteJSON(&sb)
 	default:
-		return "", fmt.Errorf("report: unknown format %q (want ascii, markdown or csv)", format)
+		return "", fmt.Errorf("report: unknown format %q (want ascii, markdown, csv or json)", format)
 	}
 	if err != nil {
 		return "", err

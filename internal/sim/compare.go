@@ -1,9 +1,8 @@
 package sim
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"gridtrust/internal/rng"
 	"gridtrust/internal/stats"
@@ -13,7 +12,11 @@ import (
 // PairResult is one paired replication: the same workload scheduled
 // trust-unaware and trust-aware.
 type PairResult struct {
-	Seed    int
+	// Rep is the replication index whose rng stream generated the
+	// workload: stream Rep of the master seed under Compare/CompareGrid,
+	// 0 for a standalone RunPair (the caller's source is the whole
+	// stream).
+	Rep     int
 	Unaware *RunResult
 	Aware   *RunResult
 }
@@ -22,7 +25,11 @@ type PairResult struct {
 // policies on it.  Because the workload is materialised once, the pairing
 // is exact: both runs see identical EECs, arrivals, RTLs and OTLs.
 func RunPair(sc Scenario, src *rng.Source) (*PairResult, error) {
-	return runPair(sc, src, &runScratch{})
+	pair, err := runPair(sc, src, &runScratch{})
+	if pair != nil {
+		pair.Rep = 0
+	}
+	return pair, err
 }
 
 // runPair is RunPair with caller-provided scratch: both runs of the pair
@@ -95,70 +102,14 @@ func (c *Comparison) ImprovementPercent() float64 {
 // goroutines (workers <= 0 selects GOMAXPROCS).  Each replication draws
 // its workload from an independent, reproducible rng stream derived from
 // seed, so results are identical regardless of worker count — the
-// parallelism is pure speed.
+// parallelism is pure speed.  Compare is a single-cell grid; CompareGrid
+// schedules many scenarios on the same pool.
 func Compare(sc Scenario, seed uint64, reps, workers int) (*Comparison, error) {
-	if err := sc.Validate(); err != nil {
+	cmps, err := CompareGrid(context.Background(),
+		[]CompareCell{{Name: sc.Name, Scenario: sc}},
+		GridOptions{Seed: seed, Reps: reps, Workers: workers})
+	if err != nil {
 		return nil, err
 	}
-	if reps <= 0 {
-		return nil, fmt.Errorf("sim: reps must be positive, got %d", reps)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > reps {
-		workers = reps
-	}
-
-	streams := rng.Streams(seed, reps)
-	type repOut struct {
-		idx  int
-		pair *PairResult
-		err  error
-	}
-	jobs := make(chan int)
-	outs := make(chan repOut, reps)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One scratch per worker: replications on the same worker
-			// reuse its buffers, so steady-state scheduling allocates
-			// nothing regardless of replication count.
-			scr := &runScratch{}
-			for idx := range jobs {
-				pair, err := runPair(sc, streams[idx], scr)
-				if pair != nil {
-					pair.Seed = idx
-				}
-				outs <- repOut{idx: idx, pair: pair, err: err}
-			}
-		}()
-	}
-	go func() {
-		for i := 0; i < reps; i++ {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(outs)
-	}()
-
-	// Collect in arrival order, then fold in replication order so the
-	// aggregate is deterministic bit-for-bit.
-	pairs := make([]*PairResult, reps)
-	for out := range outs {
-		if out.err != nil {
-			return nil, fmt.Errorf("sim: replication %d: %w", out.idx, out.err)
-		}
-		pairs[out.idx] = out.pair
-	}
-	cmp := &Comparison{Scenario: sc, Reps: reps}
-	for _, p := range pairs {
-		cmp.Unaware.add(p.Unaware)
-		cmp.Aware.add(p.Aware)
-		cmp.CompletionPairs.Add(p.Unaware.AvgCompletionTime, p.Aware.AvgCompletionTime)
-	}
-	return cmp, nil
+	return cmps[0], nil
 }

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"gridtrust/internal/exp"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/stats"
+)
+
+// GridOptions parameterise a multi-cell experiment grid.
+type GridOptions struct {
+	// Seed is the master seed; replication r of every cell draws from rng
+	// stream r derived from it, exactly as a standalone Compare would.
+	Seed uint64
+	// Reps is the replication count per cell.
+	Reps int
+	// Workers bounds the shared pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// OnCell, when set, receives one progress event per completed cell.
+	OnCell func(exp.Progress)
+}
+
+// engineOptions translates grid options for the engine, attaching the
+// per-worker simulation scratch.
+func (o GridOptions) engineOptions() exp.Options {
+	return exp.Options{
+		Seed:       o.Seed,
+		Reps:       o.Reps,
+		Workers:    o.Workers,
+		NewScratch: func() any { return &runScratch{} },
+		OnCell:     o.OnCell,
+	}
+}
+
+// simScratch recovers the worker's simulation scratch inside a cell
+// runner, tolerating engines configured without one.
+func simScratch(scratch any) *runScratch {
+	if scr, ok := scratch.(*runScratch); ok {
+		return scr
+	}
+	return &runScratch{}
+}
+
+// CompareCell names one scenario of a comparison grid.
+type CompareCell struct {
+	Name     string
+	Scenario Scenario
+}
+
+// CompareGrid runs every cell × Reps paired replications as one job stream
+// over a single worker pool and returns one Comparison per cell, in cell
+// order.  Each cell's result is bit-identical to Compare on the same
+// scenario with the same seed and replication count, regardless of worker
+// count or cell order.
+func CompareGrid(ctx context.Context, cells []CompareCell, opts GridOptions) ([]*Comparison, error) {
+	if opts.Reps <= 0 {
+		return nil, fmt.Errorf("sim: reps must be positive, got %d", opts.Reps)
+	}
+	ecells := make([]exp.Cell, len(cells))
+	for i := range cells {
+		sc := cells[i].Scenario
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		name := cells[i].Name
+		if name == "" {
+			name = sc.Name
+		}
+		ecells[i] = exp.Cell{Name: name, Run: compareRunner(sc)}
+	}
+	res, err := exp.Run(ctx, ecells, opts.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	cmps := make([]*Comparison, len(cells))
+	for i := range res {
+		cmps[i] = foldComparison(cells[i].Scenario, res[i].Reps)
+	}
+	return cmps, nil
+}
+
+// compareRunner adapts one scenario's paired replication to the engine.
+func compareRunner(sc Scenario) exp.RunFunc {
+	return func(ctx context.Context, rep int, src *rng.Source, scratch any) (any, error) {
+		pair, err := runPair(sc, src, simScratch(scratch))
+		if pair != nil {
+			pair.Rep = rep
+		}
+		return pair, err
+	}
+}
+
+// foldComparison aggregates per-replication pairs in replication order, so
+// the Welford accumulators see the same sequence as a serial run.
+func foldComparison(sc Scenario, reps []any) *Comparison {
+	cmp := &Comparison{Scenario: sc, Reps: len(reps)}
+	for _, v := range reps {
+		p := v.(*PairResult)
+		cmp.Unaware.add(p.Unaware)
+		cmp.Aware.add(p.Aware)
+		cmp.CompletionPairs.Add(p.Unaware.AvgCompletionTime, p.Aware.AvgCompletionTime)
+	}
+	return cmp
+}
+
+// EvolvingCell names one configuration of an evolving-trust grid.
+type EvolvingCell struct {
+	Name   string
+	Config EvolvingConfig
+}
+
+// EvolvingSeriesResult aggregates RunEvolving over replications.  Trust
+// levels are averaged over their numeric codes (A=1 … F=6).
+type EvolvingSeriesResult struct {
+	EarlyShare, LateShare   stats.Running
+	FinalTrustReliable      stats.Running
+	FinalTrustUnreliable    stats.Running
+	IncidentsReliable       stats.Running
+	IncidentsUnreliable     stats.Running
+	MeanTCEarly, MeanTCLate stats.Running
+}
+
+// EvolvingGrid runs every cell × Reps independent replications of the
+// evolving-trust experiment on one worker pool and aggregates per cell.
+func EvolvingGrid(ctx context.Context, cells []EvolvingCell, opts GridOptions) ([]*EvolvingSeriesResult, error) {
+	if opts.Reps <= 0 {
+		return nil, fmt.Errorf("sim: reps must be positive, got %d", opts.Reps)
+	}
+	ecells := make([]exp.Cell, len(cells))
+	for i := range cells {
+		cfg := cells[i].Config
+		ecells[i] = exp.Cell{Name: cells[i].Name, Run: func(ctx context.Context, rep int, src *rng.Source, scratch any) (any, error) {
+			return RunEvolving(cfg, src)
+		}}
+	}
+	res, err := exp.Run(ctx, ecells, opts.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*EvolvingSeriesResult, len(cells))
+	for i := range res {
+		agg := &EvolvingSeriesResult{}
+		for _, v := range res[i].Reps {
+			r := v.(*EvolvingResult)
+			agg.EarlyShare.Add(r.EarlyUnreliableShare)
+			agg.LateShare.Add(r.LateUnreliableShare)
+			agg.FinalTrustReliable.Add(float64(r.FinalTrustReliable))
+			agg.FinalTrustUnreliable.Add(float64(r.FinalTrustUnreliable))
+			agg.IncidentsReliable.Add(float64(r.Incidents[ReliableRD]))
+			agg.IncidentsUnreliable.Add(float64(r.Incidents[UnreliableRD]))
+			agg.MeanTCEarly.Add(r.MeanTCEarly)
+			agg.MeanTCLate.Add(r.MeanTCLate)
+		}
+		out[i] = agg
+	}
+	return out, nil
+}
+
+// StagingCell names one configuration of a data-staging grid.
+type StagingCell struct {
+	Name   string
+	Config StagingConfig
+}
+
+// StagingSeriesResult aggregates RunStaging over replications.
+type StagingSeriesResult struct {
+	Improvement stats.Running
+	PlainShare  stats.Running
+}
+
+// StagingGrid runs every cell × Reps replications of the data-staging
+// experiment on one worker pool and aggregates per cell.  Each cell's
+// aggregate is bit-identical to a serial StagingSeries run on the same
+// seed and replication count.
+func StagingGrid(ctx context.Context, cells []StagingCell, opts GridOptions) ([]*StagingSeriesResult, error) {
+	if opts.Reps <= 0 {
+		return nil, fmt.Errorf("sim: staging reps %d < 1", opts.Reps)
+	}
+	ecells := make([]exp.Cell, len(cells))
+	for i := range cells {
+		cfg := cells[i].Config
+		ecells[i] = exp.Cell{Name: cells[i].Name, Run: func(ctx context.Context, rep int, src *rng.Source, scratch any) (any, error) {
+			return RunStaging(cfg, src)
+		}}
+	}
+	res, err := exp.Run(ctx, ecells, opts.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*StagingSeriesResult, len(cells))
+	for i := range res {
+		agg := &StagingSeriesResult{}
+		for _, v := range res[i].Reps {
+			r := v.(*StagingResult)
+			agg.Improvement.Add(r.ImprovementPct)
+			agg.PlainShare.Add(float64(r.PlainTransfers) / float64(r.Requests))
+		}
+		out[i] = agg
+	}
+	return out, nil
+}

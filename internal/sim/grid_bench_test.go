@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gridtrust/internal/workload"
+)
+
+// benchCells builds a sweep-shaped grid: many small cells, few
+// replications each — the regime where the legacy serial-cells
+// architecture (one inner pool per cell, drained before the next cell
+// starts) leaves workers idle at every cell boundary.
+func benchCells(n, tasks int) []CompareCell {
+	heuristics := []string{"mct", "minmin", "sufferage"}
+	cells := make([]CompareCell, n)
+	for i := range cells {
+		h := heuristics[i%len(heuristics)]
+		sc := PaperScenario(h, tasks, workload.Inconsistent)
+		sc.TCWeight = float64(5 * (i + 1))
+		cells[i] = CompareCell{Name: fmt.Sprintf("%s/w%d", h, 5*(i+1)), Scenario: sc}
+	}
+	return cells
+}
+
+// BenchmarkSweepGrid measures the tentpole flattening on a 12-cell ×
+// 4-replication sweep: "serial-cells" is the pre-engine architecture
+// (cells run one after another, parallelism only inside each cell's
+// replication pool, so at most reps workers are ever busy);
+// "global-pool" schedules all cells×reps as one job stream.  On a
+// machine with more cores than reps-per-cell the global pool keeps every
+// core busy and wins proportionally; on one core the two are equal work.
+func BenchmarkSweepGrid(b *testing.B) {
+	const (
+		nCells = 12
+		reps   = 4
+		tasks  = 50
+	)
+	cells := benchCells(nCells, tasks)
+	b.Run("serial-cells", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cell := range cells {
+				if _, err := Compare(cell.Scenario, 2002, reps, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("global-pool", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := CompareGrid(context.Background(), cells,
+				GridOptions{Seed: 2002, Reps: reps}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gridtrust/internal/rng"
+	"gridtrust/internal/workload"
+)
+
+// gridScenarios builds a few small, distinct cells.
+func gridScenarios() []CompareCell {
+	a := PaperScenario("mct", 20, workload.Inconsistent)
+	b := PaperScenario("minmin", 20, workload.Consistent)
+	c := PaperScenario("sufferage", 30, workload.Inconsistent)
+	return []CompareCell{
+		{Name: "a", Scenario: a}, {Name: "b", Scenario: b}, {Name: "c", Scenario: c},
+	}
+}
+
+func TestCompareGridMatchesStandaloneCompare(t *testing.T) {
+	cells := gridScenarios()
+	cmps, err := CompareGrid(context.Background(), cells, GridOptions{Seed: 17, Reps: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range cells {
+		want, err := Compare(cell.Scenario, 17, 6, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cmps[i]
+		if got.ImprovementPercent() != want.ImprovementPercent() {
+			t.Errorf("cell %s: grid improvement %v != standalone %v",
+				cell.Name, got.ImprovementPercent(), want.ImprovementPercent())
+		}
+		if got.Unaware.AvgCompletion.Mean() != want.Unaware.AvgCompletion.Mean() ||
+			got.Aware.AvgCompletion.Mean() != want.Aware.AvgCompletion.Mean() {
+			t.Errorf("cell %s: grid completion means differ from standalone", cell.Name)
+		}
+	}
+}
+
+func TestCompareGridWorkerAndOrderInvariant(t *testing.T) {
+	cells := gridScenarios()
+	reversed := []CompareCell{cells[2], cells[1], cells[0]}
+	one, err := CompareGrid(context.Background(), cells, GridOptions{Seed: 5, Reps: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := CompareGrid(context.Background(), reversed, GridOptions{Seed: 5, Reps: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		a, b := one[i], many[len(cells)-1-i]
+		if a.ImprovementPercent() != b.ImprovementPercent() {
+			t.Errorf("cell %s: %v (1 worker) != %v (8 workers, reversed order)",
+				cells[i].Name, a.ImprovementPercent(), b.ImprovementPercent())
+		}
+	}
+}
+
+func TestCompareGridCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CompareGrid(ctx, gridScenarios(), GridOptions{Seed: 1, Reps: 50})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestCompareGridRepValues(t *testing.T) {
+	// PairResult.Rep must carry the replication index under the engine.
+	sc := PaperScenario("mct", 20, workload.Inconsistent)
+	pair, err := RunPair(sc, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Rep != 0 {
+		t.Errorf("RunPair Rep = %d, want 0", pair.Rep)
+	}
+}
+
+func TestEvolvingGridDeterminismAndCI(t *testing.T) {
+	cells := []EvolvingCell{
+		{Name: "mild", Config: EvolvingConfig{Requests: 60, UnreliableIncidentProb: 0.1}},
+		{Name: "hostile", Config: EvolvingConfig{Requests: 60, UnreliableIncidentProb: 0.75}},
+	}
+	run := func(workers int) []*EvolvingSeriesResult {
+		res, err := EvolvingGrid(context.Background(), cells, GridOptions{Seed: 7, Reps: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	for i := range cells {
+		if a[i].LateShare.Mean() != b[i].LateShare.Mean() ||
+			a[i].EarlyShare.Mean() != b[i].EarlyShare.Mean() {
+			t.Errorf("cell %s: shares differ across worker counts", cells[i].Name)
+		}
+		if n := a[i].LateShare.N(); n != 6 {
+			t.Errorf("cell %s: %d replications aggregated, want 6", cells[i].Name, n)
+		}
+	}
+	// With six replications the aggregate carries a finite CI.
+	if ci := a[1].LateShare.CI95(); ci < 0 {
+		t.Errorf("negative CI %v", ci)
+	}
+	// A decisively hostile domain must lose placements relative to a mild
+	// one once trust evolves.
+	if a[1].LateShare.Mean() >= a[0].LateShare.Mean() {
+		t.Errorf("hostile late share %v not below mild %v",
+			a[1].LateShare.Mean(), a[0].LateShare.Mean())
+	}
+}
+
+func TestStagingGridMatchesSeries(t *testing.T) {
+	cfg := StagingConfig{Requests: 40, MaxInputMB: 200}
+	res, err := StagingGrid(context.Background(),
+		[]StagingCell{{Name: "s", Config: cfg}}, GridOptions{Seed: 3, Reps: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, plain, err := StagingSeries(cfg, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Improvement.Mean() != imp.Mean() || res[0].PlainShare.Mean() != plain.Mean() {
+		t.Error("StagingGrid aggregate differs from StagingSeries")
+	}
+}

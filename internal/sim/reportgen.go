@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"gridtrust/internal/exp"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/report"
 	"gridtrust/internal/rng"
@@ -22,6 +24,9 @@ type ReportOptions struct {
 	Workers int
 	// Title heads the document.
 	Title string
+	// OnCell, when set, receives one progress event per completed
+	// comparison cell.
+	OnCell func(exp.Progress)
 }
 
 func (o ReportOptions) withDefaults() ReportOptions {
@@ -42,13 +47,66 @@ func (o ReportOptions) withDefaults() ReportOptions {
 // markdown document.  It is the single-command reproduction artefact:
 //
 //	go run ./cmd/reportgen > report.md
-func WriteFullReport(w io.Writer, opts ReportOptions) error {
+//
+// All stochastic comparison cells (the six simulation tables × task
+// counts plus the TC-weight ablation) run as one experiment-engine grid
+// on a shared worker pool before any rendering begins; each cell's
+// numbers are bit-identical to a standalone Compare with the same seed
+// and replication count.
+func WriteFullReport(ctx context.Context, w io.Writer, opts ReportOptions) error {
 	opts = opts.withDefaults()
 	start := time.Now()
 	pr := func(format string, args ...any) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
 	}
+
+	// ── Declare the comparison grid ──────────────────────────────────
+	type simTable struct {
+		caption   string
+		heuristic string
+		cons      workload.Consistency
+	}
+	tables := []simTable{
+		{"Table 4 — MCT, inconsistent LoLo", "mct", workload.Inconsistent},
+		{"Table 5 — MCT, consistent LoLo", "mct", workload.Consistent},
+		{"Table 6 — Min-min, inconsistent LoLo", "minmin", workload.Inconsistent},
+		{"Table 7 — Min-min, consistent LoLo", "minmin", workload.Consistent},
+		{"Table 8 — Sufferage, inconsistent LoLo", "sufferage", workload.Inconsistent},
+		{"Table 9 — Sufferage, consistent LoLo", "sufferage", workload.Consistent},
+	}
+	taskCounts := []int{50, 100}
+	tcWeights := []float64{0.001, 5, 10, 15, 20, 25, 30}
+
+	var cells []CompareCell
+	for _, st := range tables {
+		for _, tasks := range taskCounts {
+			sc := PaperScenario(st.heuristic, tasks, st.cons)
+			cells = append(cells, CompareCell{
+				Name:     fmt.Sprintf("%s/%d-tasks", st.heuristic, tasks),
+				Scenario: sc,
+			})
+		}
+	}
+	for _, weight := range tcWeights {
+		sc := PaperScenario("mct", 100, workload.Inconsistent)
+		sc.TCWeight = weight
+		cells = append(cells, CompareCell{
+			Name:     fmt.Sprintf("tcweight/%g", weight),
+			Scenario: sc,
+		})
+	}
+
+	// ── Run every stochastic cell on one pool ────────────────────────
+	cmps, err := CompareGrid(ctx, cells, GridOptions{
+		Seed: opts.Seed, Reps: opts.Reps, Workers: opts.Workers, OnCell: opts.OnCell,
+	})
+	if err != nil {
+		return err
+	}
+	next := 0
+	take := func() *Comparison { c := cmps[next]; next++; return c }
+
 	if err := pr("# %s\n\nseed %d, %d replications per cell.\n\n", opts.Title, opts.Seed, opts.Reps); err != nil {
 		return err
 	}
@@ -91,31 +149,14 @@ func WriteFullReport(w io.Writer, opts ReportOptions) error {
 	}
 
 	// ── Tables 4-9 ───────────────────────────────────────────────────
-	type simTable struct {
-		caption   string
-		heuristic string
-		cons      workload.Consistency
-	}
-	tables := []simTable{
-		{"Table 4 — MCT, inconsistent LoLo", "mct", workload.Inconsistent},
-		{"Table 5 — MCT, consistent LoLo", "mct", workload.Consistent},
-		{"Table 6 — Min-min, inconsistent LoLo", "minmin", workload.Inconsistent},
-		{"Table 7 — Min-min, consistent LoLo", "minmin", workload.Consistent},
-		{"Table 8 — Sufferage, inconsistent LoLo", "sufferage", workload.Inconsistent},
-		{"Table 9 — Sufferage, consistent LoLo", "sufferage", workload.Consistent},
-	}
 	for _, st := range tables {
 		if err := pr("\n## %s\n\n", st.caption); err != nil {
 			return err
 		}
 		tb := report.NewTable("", "# of tasks", "Using trust", "Machine utilization",
 			"Ave. completion time (sec)", "Improvement", "Makespan improvement")
-		for _, tasks := range []int{50, 100} {
-			sc := PaperScenario(st.heuristic, tasks, st.cons)
-			cmp, err := Compare(sc, opts.Seed, opts.Reps, opts.Workers)
-			if err != nil {
-				return err
-			}
+		for _, tasks := range taskCounts {
+			cmp := take()
 			msImp := (cmp.Unaware.Makespan.Mean() - cmp.Aware.Makespan.Mean()) /
 				cmp.Unaware.Makespan.Mean() * 100
 			tb.AddRow(fmt.Sprintf("%d", tasks), "No",
@@ -137,14 +178,8 @@ func WriteFullReport(w io.Writer, opts ReportOptions) error {
 		return err
 	}
 	tcw := report.NewTable("", "TC weight", "improvement")
-	for _, weight := range []float64{0.001, 5, 10, 15, 20, 25, 30} {
-		sc := PaperScenario("mct", 100, workload.Inconsistent)
-		sc.TCWeight = weight
-		cmp, err := Compare(sc, opts.Seed, opts.Reps, opts.Workers)
-		if err != nil {
-			return err
-		}
-		tcw.AddRow(fmt.Sprintf("%g", weight), report.Percent(cmp.ImprovementPercent(), 2))
+	for _, weight := range tcWeights {
+		tcw.AddRow(fmt.Sprintf("%g", weight), report.Percent(take().ImprovementPercent(), 2))
 	}
 	if err := tcw.WriteMarkdown(w); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ func TestWriteFullReport(t *testing.T) {
 		t.Skip("full report is slow")
 	}
 	var sb strings.Builder
-	if err := WriteFullReport(&sb, ReportOptions{Seed: 5, Reps: 4}); err != nil {
+	if err := WriteFullReport(context.Background(), &sb, ReportOptions{Seed: 5, Reps: 4}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -42,7 +43,7 @@ func TestWriteFullReport(t *testing.T) {
 
 func TestWriteFullReportPropagatesWriteErrors(t *testing.T) {
 	w := &failingWriter{failAfter: 10}
-	if err := WriteFullReport(w, ReportOptions{Seed: 1, Reps: 1}); err == nil {
+	if err := WriteFullReport(context.Background(), w, ReportOptions{Seed: 1, Reps: 1}); err == nil {
 		t.Fatal("write error swallowed")
 	}
 }

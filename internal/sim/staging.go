@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -212,18 +213,14 @@ func RunStaging(cfg StagingConfig, src *rng.Source) (*StagingResult, error) {
 }
 
 // StagingSeries runs the experiment across replications and aggregates.
+// It is a single-cell StagingGrid; results are identical to the serial
+// fold over rng.Streams(seed, reps).
 func StagingSeries(cfg StagingConfig, seed uint64, reps int) (improvement, plainShare stats.Running, err error) {
-	if reps < 1 {
-		return improvement, plainShare, fmt.Errorf("sim: staging reps %d < 1", reps)
+	res, err := StagingGrid(context.Background(),
+		[]StagingCell{{Name: "staging", Config: cfg}},
+		GridOptions{Seed: seed, Reps: reps})
+	if err != nil {
+		return improvement, plainShare, err
 	}
-	streams := rng.Streams(seed, reps)
-	for _, src := range streams {
-		res, rerr := RunStaging(cfg, src)
-		if rerr != nil {
-			return improvement, plainShare, rerr
-		}
-		improvement.Add(res.ImprovementPct)
-		plainShare.Add(float64(res.PlainTransfers) / float64(res.Requests))
-	}
-	return improvement, plainShare, nil
+	return res[0].Improvement, res[0].PlainShare, nil
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Tier-1 verify flow.  Beyond the seed contract (build + test), it vets
-# the whole module and race-tests the packages with real concurrency or
-# shared scratch: internal/sim's replication worker pool and
-# internal/sched's pooled kernel state.
+# the whole module, race-tests the packages with real concurrency or
+# shared scratch (the experiment engine's global pool, internal/sim's
+# cell runners, internal/sched's pooled kernel state), and smoke-runs
+# every sweep mode through the engine.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,7 +17,16 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/sched/... ./internal/sim/..."
-go test -race ./internal/sched/... ./internal/sim/...
+echo "==> go test -race ./internal/exp/... ./internal/sched/... ./internal/sim/..."
+go test -race ./internal/exp/... ./internal/sched/... ./internal/sim/...
+
+echo "==> sweep smoke (every mode, tiny grid)"
+go build -o /tmp/gridtrust-ci-sweep ./cmd/sweep
+for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging; do
+    echo "    sweep -mode $mode"
+    /tmp/gridtrust-ci-sweep -mode "$mode" -reps 2 -tasks 20 -seed 1 > /dev/null
+done
+/tmp/gridtrust-ci-sweep -mode machines -reps 2 -tasks 20 -seed 1 -format json > /dev/null
+rm -f /tmp/gridtrust-ci-sweep
 
 echo "ci: ok"
