@@ -12,13 +12,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/exp/... ./internal/sched/... ./internal/sim/...
+	go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/...
 
 # smoke runs every sweep mode once through the experiment engine on a
 # tiny grid (mirrors the smoke stage of scripts/ci.sh).
 smoke:
 	go build -o /tmp/gridtrust-smoke-sweep ./cmd/sweep
-	for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging; do \
+	for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging fault; do \
 		/tmp/gridtrust-smoke-sweep -mode $$mode -reps 2 -tasks 20 -seed 1 > /dev/null || exit 1; \
 	done
 	rm -f /tmp/gridtrust-smoke-sweep
@@ -36,3 +36,8 @@ bench-kernels:
 # BENCH_sweep.json (serial-cells vs global-pool scheduling).
 bench-sweep:
 	go test -run '^$$' -bench 'SweepGrid|EngineFlattening' ./internal/sim ./internal/exp
+
+# bench-fault measures the fault-path overhead recorded in
+# BENCH_fault.json (fast path vs masking-only vs real churn).
+bench-fault:
+	go test ./internal/sim -run '^$$' -bench 'FaultPathOverhead' -benchmem

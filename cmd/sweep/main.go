@@ -11,6 +11,8 @@
 //	sweep -mode evolving       # evolving trust: incident-rate sensitivity
 //	sweep -mode deadline       # QoS extension: deadline miss rates
 //	sweep -mode staging        # data staging: rcp-when-trusted vs scp-always
+//	sweep -mode fault          # machine churn × adversary injection
+//	sweep -list                # enumerate the registered modes
 //
 // Every mode prints one row per configuration with the trust-aware
 // improvement over the trust-unaware baseline on identical workloads.
@@ -48,9 +50,34 @@ type config struct {
 	verbose bool
 }
 
+// sweepMode registers one -mode: its name, a one-line description for
+// -list, and its runner.
+type sweepMode struct {
+	name        string
+	description string
+	run         func(context.Context, config) error
+}
+
+// modes is the registry driving -mode dispatch and -list, in display
+// order.
+var modes = []sweepMode{
+	{"heuristics", "all nine heuristics, trust-aware vs unaware", sweepHeuristics},
+	{"tcweight", "sensitivity to the paper's fixed TC weight 15", sweepTCWeight},
+	{"heterogeneity", "LoLo/LoHi/HiLo/HiHi × consistency classes", sweepHeterogeneity},
+	{"batch", "batch-interval sensitivity for the batch heuristics", sweepBatchInterval},
+	{"machines", "machine-count scaling at constant per-machine load", sweepMachines},
+	{"etsrule", "literal Table 1 F-row vs the linear ETS variant", sweepETSRule},
+	{"rate", "arrival-rate (load) sensitivity", sweepRate},
+	{"evolving", "evolving trust: incident-rate sensitivity", sweepEvolving},
+	{"deadline", "QoS extension: deadline miss rates by slack", sweepDeadline},
+	{"staging", "data staging: rcp-when-trusted vs scp-always", sweepStaging},
+	{"fault", "machine churn × adversary injection, plus the collusion study", sweepFault},
+}
+
 func main() {
 	var (
-		mode    = flag.String("mode", "heuristics", "sweep mode: heuristics, tcweight, heterogeneity, batch, machines, etsrule, rate, evolving, deadline or staging")
+		mode    = flag.String("mode", "heuristics", "sweep mode (see -list)")
+		list    = flag.Bool("list", false, "list the registered sweep modes and exit")
 		seed    = flag.Uint64("seed", 2002, "master random seed")
 		reps    = flag.Int("reps", 30, "paired replications per configuration")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -60,6 +87,12 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-cell progress and timing to stderr")
 	)
 	flag.Parse()
+	if *list {
+		for _, m := range modes {
+			fmt.Printf("%-14s %s\n", m.name, m.description)
+		}
+		return
+	}
 	cfg := config{seed: *seed, reps: *reps, workers: *workers, format: *format,
 		tasks: *tasks, chart: *chart, verbose: *verbose}
 
@@ -69,30 +102,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var err error
-	switch *mode {
-	case "heuristics":
-		err = sweepHeuristics(ctx, cfg)
-	case "tcweight":
-		err = sweepTCWeight(ctx, cfg)
-	case "heterogeneity":
-		err = sweepHeterogeneity(ctx, cfg)
-	case "batch":
-		err = sweepBatchInterval(ctx, cfg)
-	case "machines":
-		err = sweepMachines(ctx, cfg)
-	case "etsrule":
-		err = sweepETSRule(ctx, cfg)
-	case "rate":
-		err = sweepRate(ctx, cfg)
-	case "evolving":
-		err = sweepEvolving(ctx, cfg)
-	case "deadline":
-		err = sweepDeadline(ctx, cfg)
-	case "staging":
-		err = sweepStaging(ctx, cfg)
-	default:
-		err = fmt.Errorf("unknown mode %q", *mode)
+	err := fmt.Errorf("unknown mode %q (try -list)", *mode)
+	for _, m := range modes {
+		if m.name == *mode {
+			err = m.run(ctx, cfg)
+			break
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
@@ -391,4 +406,54 @@ func sweepStaging(ctx context.Context, cfg config) error {
 		)
 	}
 	return emit(cfg, tb)
+}
+
+// sweepFault renders two tables.  The first sweeps machine churn (MTBF)
+// × adversary fraction through the DES comparison: makespan inflation,
+// crash/requeue counts and the decision-table corruption whitewashers
+// cause.  The second runs the recommender-collusion study across liar
+// fractions, contrasting the unweighted reputation formula with the
+// R-weighted + purging defense the paper's Section 3 machinery provides.
+func sweepFault(ctx context.Context, cfg config) error {
+	tb := report.NewTable(
+		fmt.Sprintf("Fault sweep (MCT, inconsistent LoLo, %d tasks)", cfg.tasks),
+		"mtbf/adversary", "makespan (aware)", "failures", "requeues",
+		"wasted work", "table error", "improvement")
+	base := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
+	cells := sim.ChurnCells(base, []float64{0, 2000, 1000}, []float64{0, 0.25, 0.5})
+	cmps, err := sim.CompareGrid(ctx, cells, cfg.gridOptions())
+	if err != nil {
+		return err
+	}
+	for i, cmp := range cmps {
+		tb.AddRow(cells[i].Name,
+			report.Seconds(cmp.Aware.Makespan.Mean()),
+			fmt.Sprintf("%.1f", cmp.Aware.Failures.Mean()),
+			fmt.Sprintf("%.1f", cmp.Aware.Requeues.Mean()),
+			report.Seconds(cmp.Aware.WastedWork.Mean()),
+			fmt.Sprintf("%.2f", cmp.Aware.TrustTableError.Mean()),
+			report.Percent(cmp.ImprovementPercent(), 2),
+		)
+	}
+	if err := emit(cfg, tb); err != nil {
+		return err
+	}
+
+	tb2 := report.NewTable(
+		fmt.Sprintf("Recommender-collusion study (mean ± CI95 over %d reps)", cfg.reps),
+		"liar fraction/variant", "trust error", "degradation", "bad share", "liar R")
+	scells := sim.FaultStudyCells([]float64{0.25, 0.5, 0.75})
+	results, err := sim.FaultStudyGrid(ctx, scells, cfg.gridOptions())
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		tb2.AddRow(scells[i].Name,
+			fmt.Sprintf("%.2f ± %.2f", res.TrustError.Mean(), res.TrustError.CI95()),
+			fmt.Sprintf("%.1f%% ± %.1f%%", res.DegradationPct.Mean(), res.DegradationPct.CI95()),
+			sharePlusMinus(res.BadShare),
+			fmt.Sprintf("%.2f", res.MeanLiarR.Mean()),
+		)
+	}
+	return emit(cfg, tb2)
 }

@@ -1,0 +1,229 @@
+// Property tests pitting the fault package's adversary phase machines
+// against the windowed reliability tracker.  They live in an external test
+// package because fault imports behavior: the adversaries are defined over
+// behavior.TransactionRecord, and these tests close the loop by asserting
+// the tracker is never fooled by them.
+package behavior_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gridtrust/internal/behavior"
+	"gridtrust/internal/fault"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/trust"
+)
+
+// maxDefectScore is the best outcome a single defection can earn under
+// DefaultWeights: a 150% late, integrity-failed delivery scores
+// 1 + (1/(1+1.5))·0.3·5 = 1.6; a detected incident scores 1.  Both sit
+// under the incident threshold used below.
+const maxDefectScore = 1.6
+
+// incidentThreshold classifies every defection — and no clean
+// transaction — as an incident for the window's IncidentRate.
+const incidentThreshold = 2.0
+
+// scoreAll runs a record sequence through the default scorer.
+func scoreAll(t *testing.T, recs []behavior.TransactionRecord) []float64 {
+	t.Helper()
+	scorer := behavior.MustDefaultScorer()
+	scores := make([]float64, len(recs))
+	for i, rec := range recs {
+		s, err := scorer.Score(rec)
+		if err != nil {
+			t.Fatalf("score record %d: %v", i, err)
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// assertNeverBeatsHonest replays an adversary's scored transactions
+// against a window tracker and checks, after every single transaction:
+//
+//  1. the adversary's windowed mean never exceeds the honest baseline
+//     (a clean actor's window sits at trust.MaxScore exactly);
+//  2. once the window contains d defections, the mean is bounded away
+//     from honest by at least d·(MaxScore−maxDefectScore)/count — each
+//     defection costs at least the worst-defect gap, so no phase
+//     schedule can launder a defection into an honest-looking window;
+//  3. the incident rate equals exactly the windowed defection share.
+func assertNeverBeatsHonest(t *testing.T, name string, scores []float64, windowSize int) {
+	t.Helper()
+	w, err := behavior.NewWindowTracker(windowSize, incidentThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defect := make([]bool, len(scores))
+	for i, s := range scores {
+		defect[i] = s < trust.MaxScore
+	}
+	for i, s := range scores {
+		if err := w.Record(s, float64(i)); err != nil {
+			t.Fatalf("%s: record %d: %v", name, i, err)
+		}
+		lo := 0
+		if i-windowSize+1 > 0 {
+			lo = i - windowSize + 1
+		}
+		inWindow := 0
+		for j := lo; j <= i; j++ {
+			if defect[j] {
+				inWindow++
+			}
+		}
+		count := float64(w.Count())
+		mean := w.Mean()
+		if mean > trust.MaxScore+1e-12 {
+			t.Fatalf("%s: step %d: windowed mean %.6f beats the honest baseline", name, i, mean)
+		}
+		bound := trust.MaxScore - float64(inWindow)*(trust.MaxScore-maxDefectScore)/count
+		if mean > bound+1e-9 {
+			t.Fatalf("%s: step %d: mean %.6f above defection bound %.6f (%d defections in window)",
+				name, i, mean, bound, inWindow)
+		}
+		wantRate := float64(inWindow) / count
+		if got := w.IncidentRate(); math.Abs(got-wantRate) > 1e-12 {
+			t.Fatalf("%s: step %d: incident rate %.6f, want %.6f", name, i, got, wantRate)
+		}
+	}
+}
+
+func TestHonestBaselineWindow(t *testing.T) {
+	scores := scoreAll(t, fault.HonestRecords(100))
+	w, err := behavior.NewWindowTracker(16, incidentThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if s != trust.MaxScore {
+			t.Fatalf("honest record %d scored %g, want %g", i, s, trust.MaxScore)
+		}
+		if err := w.Record(s, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Mean() != trust.MaxScore || w.IncidentRate() != 0 || w.Trend() != 0 {
+		t.Fatalf("honest window mean %g rate %g trend %g", w.Mean(), w.IncidentRate(), w.Trend())
+	}
+}
+
+func TestOscillatorNeverBeatsHonestWindow(t *testing.T) {
+	shapes := []fault.Oscillator{
+		{GoodRun: 10, BadRun: 5},
+		{GoodRun: 20, BadRun: 20},
+		{GoodRun: 3, BadRun: 1},
+		{GoodRun: 1, BadRun: 1},
+	}
+	for _, shape := range shapes {
+		for _, prob := range []float64{0, 0.5, 1} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				shape.IncidentProb = prob
+				recs, err := shape.Records(rng.New(seed), 200)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scores := scoreAll(t, recs)
+				for _, size := range []int{8, 32} {
+					name := fmt.Sprintf("osc(%d,%d,p=%g,seed=%d,w=%d)",
+						shape.GoodRun, shape.BadRun, prob, seed, size)
+					assertNeverBeatsHonest(t, name, scores, size)
+				}
+			}
+		}
+	}
+}
+
+func TestWhitewasherNeverBeatsHonestWindow(t *testing.T) {
+	shapes := []fault.Whitewasher{
+		{CleanRun: 5, Period: 20},
+		{CleanRun: 10, Period: 15},
+		{CleanRun: 1, Period: 4},
+	}
+	for _, shape := range shapes {
+		for _, prob := range []float64{0, 0.5, 1} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				shape.IncidentProb = prob
+				recs, err := shape.Records(rng.New(seed), 200)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scores := scoreAll(t, recs)
+				for _, size := range []int{8, 32} {
+					name := fmt.Sprintf("ww(%d,%d,p=%g,seed=%d,w=%d)",
+						shape.CleanRun, shape.Period, prob, seed, size)
+					assertNeverBeatsHonest(t, name, scores, size)
+				}
+			}
+		}
+	}
+}
+
+// TestOscillatorCollapseIsVisibleInTrend checks the operational signal:
+// when an oscillator flips from its good run into its bad run, the
+// window's trend goes negative before the bad run ends — a monitoring
+// agent watching Trend sees the collapse while it is happening, not
+// after.
+func TestOscillatorCollapseIsVisibleInTrend(t *testing.T) {
+	shape := fault.Oscillator{GoodRun: 20, BadRun: 10, IncidentProb: 0}
+	recs, err := shape.Records(rng.New(7), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := scoreAll(t, recs)
+	w, err := behavior.NewWindowTracker(10, incidentThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCollapse := false
+	for i, s := range scores {
+		if err := w.Record(s, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i >= shape.GoodRun && w.Trend() < 0 {
+			sawCollapse = true
+		}
+	}
+	if !sawCollapse {
+		t.Fatal("trend never went negative during the oscillator's bad run")
+	}
+}
+
+// TestWhitewasherHoneymoonStaysShort checks that a fresh identity's
+// honeymoon cannot outlast the evidence gate: with a significance
+// requirement at least as long as the clean run, every window that
+// passes Significant already contains defections, so a whitewasher is
+// never judged on honeymoon data alone.
+func TestWhitewasherHoneymoonStaysShort(t *testing.T) {
+	shape := fault.Whitewasher{CleanRun: 5, Period: 12, IncidentProb: 0.5}
+	recs, err := shape.Records(rng.New(11), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := scoreAll(t, recs)
+	need := shape.CleanRun + 1
+	// The tracker restarts at every identity reset, as a real registry
+	// would open a fresh history for an unrecognised newcomer.
+	for start := 0; start < len(scores); start += shape.Period {
+		w, err := behavior.NewWindowTracker(shape.Period, incidentThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end := start + shape.Period
+		if end > len(scores) {
+			end = len(scores)
+		}
+		for i := start; i < end; i++ {
+			if err := w.Record(scores[i], float64(i)); err != nil {
+				t.Fatal(err)
+			}
+			if w.Significant(need) && w.IncidentRate() == 0 {
+				t.Fatalf("identity starting at %d passed the evidence gate with a clean window at step %d",
+					start, i)
+			}
+		}
+	}
+}

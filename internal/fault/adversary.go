@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"fmt"
+
+	"gridtrust/internal/behavior"
+	"gridtrust/internal/rng"
+)
+
+// This file models misbehaving resources as generators of the transaction
+// telemetry a monitoring agent would observe.  The two strategies the
+// literature singles out — oscillation (milk the trust you built, then
+// rebuild) and whitewashing (defect, then shed the identity and start
+// clean) — are expressed as deterministic phase machines over
+// behavior.TransactionRecord sequences, so both the DES studies and the
+// behavior-layer property tests consume the same adversaries.
+
+// cleanRecord is an on-time, complete, verified transaction — the record
+// an honest resource produces, scoring trust.MaxScore under the default
+// scorer.
+func cleanRecord() behavior.TransactionRecord {
+	return behavior.TransactionRecord{
+		PromisedDuration:  100,
+		ActualDuration:    100,
+		Completed:         true,
+		ResultIntegrityOK: true,
+	}
+}
+
+// defectRecord is one misbehaving transaction: with probability
+// incidentProb a detected security incident (trust-destroying), otherwise
+// a late, integrity-failed delivery.  Every defection scores strictly
+// below a clean record.
+func defectRecord(src *rng.Source, incidentProb float64) behavior.TransactionRecord {
+	rec := cleanRecord()
+	if src.Float64() < incidentProb {
+		rec.SecurityIncident = true
+		return rec
+	}
+	rec.ActualDuration = 250 // 150% late: timeliness factor 0.4
+	rec.ResultIntegrityOK = false
+	return rec
+}
+
+// HonestRecords returns n clean transactions — the baseline adversarial
+// sequences are measured against.
+func HonestRecords(n int) []behavior.TransactionRecord {
+	out := make([]behavior.TransactionRecord, n)
+	for i := range out {
+		out[i] = cleanRecord()
+	}
+	return out
+}
+
+// Oscillator is a resource that behaves well until it is trusted, then
+// defects: GoodRun clean transactions to build trust, BadRun defections
+// to exploit it, repeating.  IncidentProb is the chance a defection is a
+// detected security incident rather than a mere late/corrupt delivery.
+type Oscillator struct {
+	GoodRun, BadRun int
+	IncidentProb    float64
+}
+
+// Validate rejects degenerate phase lengths.
+func (o Oscillator) Validate() error {
+	if o.GoodRun < 1 || o.BadRun < 1 {
+		return fmt.Errorf("fault: oscillator runs %d/%d must be >= 1", o.GoodRun, o.BadRun)
+	}
+	if o.IncidentProb < 0 || o.IncidentProb > 1 {
+		return fmt.Errorf("fault: oscillator incident prob %g outside [0,1]", o.IncidentProb)
+	}
+	return nil
+}
+
+// Records generates the oscillator's first n transactions.
+func (o Oscillator) Records(src *rng.Source, n int) ([]behavior.TransactionRecord, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]behavior.TransactionRecord, n)
+	period := o.GoodRun + o.BadRun
+	for i := range out {
+		if i%period < o.GoodRun {
+			out[i] = cleanRecord()
+		} else {
+			out[i] = defectRecord(src, o.IncidentProb)
+		}
+	}
+	return out, nil
+}
+
+// Whitewasher is a resource that defects persistently but periodically
+// re-registers under a fresh identity: after every reset it produces
+// CleanRun clean transactions (the new identity's honeymoon), then
+// defects until the next reset, Period transactions after the last.
+type Whitewasher struct {
+	CleanRun, Period int
+	IncidentProb     float64
+}
+
+// Validate rejects phase machines that never defect or never reset.
+func (w Whitewasher) Validate() error {
+	if w.CleanRun < 1 || w.Period <= w.CleanRun {
+		return fmt.Errorf("fault: whitewasher clean run %d must be >= 1 and < period %d", w.CleanRun, w.Period)
+	}
+	if w.IncidentProb < 0 || w.IncidentProb > 1 {
+		return fmt.Errorf("fault: whitewasher incident prob %g outside [0,1]", w.IncidentProb)
+	}
+	return nil
+}
+
+// Records generates the whitewasher's first n transactions, as seen
+// across its successive identities.
+func (w Whitewasher) Records(src *rng.Source, n int) ([]behavior.TransactionRecord, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]behavior.TransactionRecord, n)
+	for i := range out {
+		if i%w.Period < w.CleanRun {
+			out[i] = cleanRecord()
+		} else {
+			out[i] = defectRecord(src, w.IncidentProb)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+// Package fault injects deterministic failures and adversaries into the
+// reproduction: machine churn (crash/repair renewal processes) for the
+// discrete-event simulator and adversary populations (lying recommenders,
+// collusive cliques, oscillating and whitewashing resources) for the trust
+// machinery.  The paper's recommender trust factor R and decay Υ exist to
+// survive exactly these conditions (Section 3); this package supplies the
+// hostile environment that stresses them.
+//
+// Everything is seed-reproducible.  A Plan carries its own Seed; every
+// consumer derives independent sub-streams from it with the same
+// rng.Streams discipline internal/exp uses for replications, so fault
+// timelines are a pure function of (seed, machine) — bit-identical under
+// any worker count, and replayable for debugging.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"gridtrust/internal/rng"
+)
+
+// DefaultMaxRequeues caps how many times one request may be rescheduled
+// after machine crashes before the run is declared stuck.  Real churn
+// rates requeue a task once or twice; hitting this cap means the plan
+// describes a grid that cannot finish the workload.
+const DefaultMaxRequeues = 64
+
+// Plan configures fault and adversary injection for one simulation run.
+// The zero value is the null plan: no churn, no adversaries, and a
+// guarantee that consumers take their fault-free fast paths untouched.
+type Plan struct {
+	// MTBF is the mean up-time in simulated seconds between a machine
+	// coming up and its next crash; 0 disables churn entirely.
+	MTBF float64
+	// MTTR is the mean repair (down) time; must be positive when MTBF is.
+	MTTR float64
+	// UpShape and DownShape are Weibull shape parameters for the up- and
+	// down-time distributions; 0 or 1 selects the exponential special
+	// case.  Shape > 1 models wear-out (failures cluster around MTBF),
+	// shape < 1 models infant mortality.
+	UpShape, DownShape float64
+
+	// AdversaryFraction is the probability that a resource domain
+	// whitewashes: it advertises the maximum offerable trust level to the
+	// scheduler while actually providing its true, lower one.  The
+	// scheduler's decision view and the charged reality then diverge —
+	// the trust-table error the fault studies report.
+	AdversaryFraction float64
+
+	// MaxRequeues caps per-request rescheduling; 0 means
+	// DefaultMaxRequeues.
+	MaxRequeues int
+
+	// Seed sub-seeds every fault stream.  Experiment grids derive it from
+	// the replication stream so paired policy runs replay the identical
+	// fault timeline; standalone callers set it directly.
+	Seed uint64
+}
+
+// Active reports whether the plan injects anything at all.  Inactive plans
+// must leave simulations byte-identical to runs without the subsystem.
+func (p Plan) Active() bool { return p.Churn() || p.AdversaryFraction > 0 }
+
+// Churn reports whether machines crash under this plan.
+func (p Plan) Churn() bool { return p.MTBF > 0 }
+
+// RequeueCap resolves the effective per-request requeue limit.
+func (p Plan) RequeueCap() int {
+	if p.MaxRequeues > 0 {
+		return p.MaxRequeues
+	}
+	return DefaultMaxRequeues
+}
+
+// Validate rejects unrunnable plans with a descriptive error.
+func (p Plan) Validate() error {
+	if p.MTBF < 0 || p.MTTR < 0 {
+		return fmt.Errorf("fault: negative MTBF/MTTR %g/%g", p.MTBF, p.MTTR)
+	}
+	if p.MTBF > 0 && p.MTTR <= 0 {
+		return fmt.Errorf("fault: churn needs a positive MTTR, got %g", p.MTTR)
+	}
+	if p.UpShape < 0 || p.DownShape < 0 {
+		return fmt.Errorf("fault: negative Weibull shape %g/%g", p.UpShape, p.DownShape)
+	}
+	if p.AdversaryFraction < 0 || p.AdversaryFraction > 1 {
+		return fmt.Errorf("fault: adversary fraction %g outside [0,1]", p.AdversaryFraction)
+	}
+	if p.MaxRequeues < 0 {
+		return fmt.Errorf("fault: negative requeue cap %d", p.MaxRequeues)
+	}
+	return nil
+}
+
+// Sub-stream indices of the plan seed.  Each consumer owns one derived
+// seed so adding a stream never perturbs the draws of another.
+const (
+	subAdversary = iota
+	subChurn
+)
+
+// subSeed derives the i-th independent sub-seed from the plan seed.
+func (p Plan) subSeed(i int) uint64 {
+	s := rng.New(p.Seed)
+	var v uint64
+	for k := 0; k <= i; k++ {
+		v = s.Uint64()
+	}
+	return v
+}
+
+// AdversarialRDs deterministically marks which of numRDs resource domains
+// whitewash under this plan: domain d is adversarial with probability
+// AdversaryFraction, drawn from the plan's adversary stream.  The result
+// depends only on (Seed, numRDs), never on scheduling order.
+func (p Plan) AdversarialRDs(numRDs int) []bool {
+	out := make([]bool, numRDs)
+	if p.AdversaryFraction <= 0 {
+		return out
+	}
+	src := rng.New(p.subSeed(subAdversary))
+	for d := range out {
+		out[d] = src.Float64() < p.AdversaryFraction
+	}
+	return out
+}
+
+// Weibull draws a Weibull variate with the given mean and shape by
+// inversion: scale·(−ln(1−U))^(1/shape) with the scale chosen so the
+// distribution's mean is exactly mean.  Shape 0 or 1 degenerates to the
+// exponential distribution.
+func Weibull(src *rng.Source, mean, shape float64) float64 {
+	if shape == 0 || shape == 1 {
+		return src.Exponential(1 / mean)
+	}
+	scale := mean / math.Gamma(1+1/shape)
+	return scale * math.Pow(-math.Log1p(-src.Float64()), 1/shape)
+}
+
+// Churn generates each machine's crash/repair renewal process.  Machine
+// m's up/down duration sequence is drawn from stream m of the plan's
+// churn seed (the rng.Streams discipline), so the timeline of one machine
+// is a pure function of (Seed, m): independent of how many machines
+// exist, which policies consume the timeline, or which worker runs the
+// replication.
+type Churn struct {
+	plan Plan
+	srcs []*rng.Source
+}
+
+// NewChurn builds the renewal processes for `machines` machines.
+func NewChurn(p Plan, machines int) (*Churn, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Churn() {
+		return nil, fmt.Errorf("fault: plan has no churn (MTBF %g)", p.MTBF)
+	}
+	if machines <= 0 {
+		return nil, fmt.Errorf("fault: churn needs positive machines, got %d", machines)
+	}
+	return &Churn{plan: p, srcs: rng.Streams(p.subSeed(subChurn), machines)}, nil
+}
+
+// UpTime draws machine m's next up duration (time until its next crash).
+func (c *Churn) UpTime(m int) float64 {
+	return Weibull(c.srcs[m], c.plan.MTBF, c.plan.UpShape)
+}
+
+// DownTime draws machine m's next down duration (repair time).
+func (c *Churn) DownTime(m int) float64 {
+	return Weibull(c.srcs[m], c.plan.MTTR, c.plan.DownShape)
+}

@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"gridtrust/internal/rng"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+		ok   bool
+	}{
+		{"zero", Plan{}, true},
+		{"churn", Plan{MTBF: 1000, MTTR: 100}, true},
+		{"weibull", Plan{MTBF: 1000, MTTR: 100, UpShape: 2, DownShape: 0.5}, true},
+		{"adversary", Plan{AdversaryFraction: 0.5}, true},
+		{"churn without MTTR", Plan{MTBF: 1000}, false},
+		{"negative MTBF", Plan{MTBF: -1, MTTR: 1}, false},
+		{"negative shape", Plan{MTBF: 1, MTTR: 1, UpShape: -1}, false},
+		{"fraction above 1", Plan{AdversaryFraction: 1.5}, false},
+		{"negative requeues", Plan{MaxRequeues: -1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestPlanActive(t *testing.T) {
+	if (Plan{}).Active() {
+		t.Fatal("zero plan must be inactive")
+	}
+	if !(Plan{MTBF: 10, MTTR: 1}).Active() || !(Plan{AdversaryFraction: 0.1}).Active() {
+		t.Fatal("churn and adversary plans must be active")
+	}
+	if got := (Plan{}).RequeueCap(); got != DefaultMaxRequeues {
+		t.Fatalf("default requeue cap = %d, want %d", got, DefaultMaxRequeues)
+	}
+	if got := (Plan{MaxRequeues: 3}).RequeueCap(); got != 3 {
+		t.Fatalf("requeue cap = %d, want 3", got)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	// The inversion sampler must hit the requested mean for both the
+	// exponential special case and true Weibull shapes.
+	for _, shape := range []float64{0, 1, 0.7, 2, 3.5} {
+		src := rng.New(7)
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := Weibull(src, 500, shape)
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("shape %g: bad draw %g", shape, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		if math.Abs(mean-500) > 15 {
+			t.Errorf("shape %g: sample mean %.1f, want ≈500", shape, mean)
+		}
+	}
+}
+
+func TestChurnDeterminism(t *testing.T) {
+	p := Plan{MTBF: 1000, MTTR: 100, UpShape: 2, Seed: 99}
+	a, err := NewChurn(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChurn(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wider grid: the same machines must see the same timelines — the
+	// rng.Streams discipline makes machine m's draws a pure function of
+	// (seed, m).
+	c, err := NewChurn(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		for i := 0; i < 50; i++ {
+			ua, ub, uc := a.UpTime(m), b.UpTime(m), c.UpTime(m)
+			if ua != ub || ua != uc {
+				t.Fatalf("machine %d draw %d: up times diverge (%g, %g, %g)", m, i, ua, ub, uc)
+			}
+			da, db, dc := a.DownTime(m), b.DownTime(m), c.DownTime(m)
+			if da != db || da != dc {
+				t.Fatalf("machine %d draw %d: down times diverge", m, i)
+			}
+		}
+	}
+}
+
+func TestNewChurnRejectsBadPlans(t *testing.T) {
+	if _, err := NewChurn(Plan{}, 4); err == nil {
+		t.Fatal("churn-free plan must be rejected")
+	}
+	if _, err := NewChurn(Plan{MTBF: 10, MTTR: 1}, 0); err == nil {
+		t.Fatal("zero machines must be rejected")
+	}
+}
+
+func TestAdversarialRDs(t *testing.T) {
+	p := Plan{AdversaryFraction: 0.5, Seed: 7}
+	a := p.AdversarialRDs(100)
+	b := p.AdversarialRDs(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("adversary selection not deterministic at %d", i)
+		}
+	}
+	n := 0
+	for _, adv := range a {
+		if adv {
+			n++
+		}
+	}
+	if n < 30 || n > 70 {
+		t.Fatalf("fraction 0.5 marked %d/100 adversarial", n)
+	}
+	for i, adv := range (Plan{Seed: 7}).AdversarialRDs(50) {
+		if adv {
+			t.Fatalf("fraction 0 marked rd %d adversarial", i)
+		}
+	}
+	for i, adv := range (Plan{AdversaryFraction: 1, Seed: 7}).AdversarialRDs(50) {
+		if !adv {
+			t.Fatalf("fraction 1 left rd %d honest", i)
+		}
+	}
+}
+
+func TestOscillatorRecords(t *testing.T) {
+	o := Oscillator{GoodRun: 3, BadRun: 2, IncidentProb: 1}
+	recs, err := o.Records(rng.New(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		wantClean := i%5 < 3
+		isClean := !r.SecurityIncident && r.ResultIntegrityOK && r.ActualDuration <= r.PromisedDuration
+		if isClean != wantClean {
+			t.Fatalf("record %d: clean=%v, want %v", i, isClean, wantClean)
+		}
+	}
+	if _, err := (Oscillator{GoodRun: 0, BadRun: 1}).Records(rng.New(1), 5); err == nil {
+		t.Fatal("zero good run must be rejected")
+	}
+}
+
+func TestWhitewasherRecords(t *testing.T) {
+	w := Whitewasher{CleanRun: 2, Period: 5, IncidentProb: 0}
+	recs, err := w.Records(rng.New(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		wantClean := i%5 < 2
+		isClean := r.ResultIntegrityOK && r.ActualDuration <= r.PromisedDuration
+		if isClean != wantClean {
+			t.Fatalf("record %d: clean=%v, want %v", i, isClean, wantClean)
+		}
+	}
+	if _, err := (Whitewasher{CleanRun: 5, Period: 5}).Records(rng.New(1), 5); err == nil {
+		t.Fatal("clean run >= period must be rejected")
+	}
+}

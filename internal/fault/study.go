@@ -1,0 +1,395 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"gridtrust/internal/behavior"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/trust"
+)
+
+// StudyContext is the trust context the adversary study runs in.
+const StudyContext = trust.Context("compute")
+
+// PurgeThreshold is the R below which the R-weighted variant purges a
+// recommender from Ω (trust.Config.PurgeBelow).
+const PurgeThreshold = 0.2
+
+// auditWarmup is the number of rounds before the observer starts auditing
+// recommenders: R is "learned based on actual outcomes" (Section 2.2), so
+// some direct experience must exist first.
+const auditWarmup = 10
+
+// directEvidenceMin is how many direct transactions the observer needs
+// with a resource before using it as an audit reference.
+const directEvidenceMin = 3
+
+// StudyConfig parameterises RunStudy, the closed-loop experiment pitting
+// the paper's recommender trust factor R against a collusive lying
+// population.  Zero-valued fields take the documented defaults.
+type StudyConfig struct {
+	// Resources is the number of placement targets (default 10);
+	// BadFraction of them (default 0.4) misbehave, defecting with
+	// probability BadDefectProb (default 0.7) per transaction versus
+	// GoodDefectProb (default 0.02) for the honest rest.
+	Resources      int
+	BadFraction    float64
+	GoodDefectProb float64
+	BadDefectProb  float64
+
+	// Oscillate makes the bad resources oscillators instead of constant
+	// defectors: they behave cleanly until trusted, then defect, in
+	// alternating phases (the "milk the trust you built" strategy).
+	Oscillate bool
+
+	// Recommenders is the recommender population size (default 10);
+	// LiarFraction of them form a collusive clique that boosts the bad
+	// resources to the top of the scale and badmouths the good ones to
+	// the bottom.
+	Recommenders int
+	LiarFraction float64
+
+	// Rounds is the number of placement rounds (default 200).
+	Rounds int
+
+	// RWeighted enables the defense under study: the observer audits each
+	// recommender's claims against its own direct experience, learns a
+	// recommender trust factor R, and purges recommenders below
+	// PurgeThreshold.  When false every R is pinned to 1 — the paper's
+	// reputation formula with its defense amputated.
+	RWeighted bool
+
+	// Alpha and Beta weight direct trust vs reputation in Γ (defaults
+	// 0.3/0.7 — a reputation-dominated regime, the setting that actually
+	// stresses R; with α ≫ β lies barely matter either way).
+	Alpha, Beta float64
+}
+
+// withDefaults fills unset fields.
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Resources == 0 {
+		c.Resources = 10
+	}
+	if c.BadFraction == 0 {
+		c.BadFraction = 0.4
+	}
+	if c.GoodDefectProb == 0 {
+		c.GoodDefectProb = 0.02
+	}
+	if c.BadDefectProb == 0 {
+		c.BadDefectProb = 0.7
+	}
+	if c.Recommenders == 0 {
+		c.Recommenders = 10
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 200
+	}
+	if c.Alpha == 0 && c.Beta == 0 {
+		c.Alpha, c.Beta = 0.3, 0.7
+	}
+	return c
+}
+
+// Validate rejects unrunnable configurations.
+func (c StudyConfig) Validate() error {
+	if c.Resources < 2 || c.Recommenders < 1 || c.Rounds < 1 {
+		return fmt.Errorf("fault: study needs >= 2 resources, >= 1 recommenders, >= 1 rounds")
+	}
+	for name, v := range map[string]float64{
+		"bad fraction": c.BadFraction, "liar fraction": c.LiarFraction,
+		"good defect prob": c.GoodDefectProb, "bad defect prob": c.BadDefectProb,
+	} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("fault: study %s %g outside [0,1]", name, v)
+		}
+	}
+	return nil
+}
+
+// StudyResult reports how the observer's trust table and placements fared
+// against the adversary population.
+type StudyResult struct {
+	// TrustError is the mean absolute error of the observer's eventual
+	// trust Γ versus each resource's true expected behavior score — how
+	// corrupted the trust table ended up.
+	TrustError float64
+	// DegradationPct is the mean per-round placement cost relative to an
+	// oracle that always uses the best resource, as a percentage above
+	// the oracle's expected cost.
+	DegradationPct float64
+	// BadShare is the fraction of placements that landed on misbehaving
+	// resources.
+	BadShare float64
+	// MeanLiarR and MeanHonestR are the final learned recommender trust
+	// factors, averaged over the lying and honest populations (both 1
+	// when RWeighted is false).
+	MeanLiarR, MeanHonestR float64
+}
+
+// studyState bundles the derived constants of one study run.
+type studyState struct {
+	cfg    StudyConfig
+	scorer *behavior.DefaultScorer
+	// trueScore[i] is resource i's expected transaction outcome.
+	trueScore []float64
+	bad       []bool
+	osc       Oscillator
+	txCount   []int // per-resource transactions (drives oscillator phase)
+}
+
+// drawOutcome samples resource y's true transaction outcome.
+func (st *studyState) drawOutcome(src *rng.Source, y int) (float64, error) {
+	st.txCount[y]++
+	defect := false
+	switch {
+	case !st.bad[y]:
+		defect = src.Float64() < st.cfg.GoodDefectProb
+	case st.cfg.Oscillate:
+		defect = (st.txCount[y]-1)%(st.osc.GoodRun+st.osc.BadRun) >= st.osc.GoodRun
+	default:
+		defect = src.Float64() < st.cfg.BadDefectProb
+	}
+	if defect {
+		return st.scorer.Score(defectRecord(src, 0.5))
+	}
+	return st.scorer.Score(cleanRecord())
+}
+
+// roundCost models the completion cost of one placement given its
+// transaction outcome: a flat base plus a misbehavior premium (re-runs,
+// verification, cleanup) proportional to how far below perfect the
+// outcome fell.
+func roundCost(outcome float64) float64 {
+	return 100 * (1 + 0.15*(trust.MaxScore-outcome))
+}
+
+// RunStudy runs the closed trust loop of Figure 1 against a lying
+// recommender clique and misbehaving resources: each round every
+// recommender reports on a random resource (liars boost the clique's bad
+// resources and badmouth the rest), the observer places one task on its
+// currently most-trusted resource, transacts, and observes the true
+// outcome.  With RWeighted the observer additionally audits each
+// recommender's stored claim against its own direct experience and
+// weights (or purges) accordingly.  Deterministic given (cfg, src).
+func RunStudy(cfg StudyConfig, src *rng.Source) (*StudyResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	purge := 0.0
+	if cfg.RWeighted {
+		purge = PurgeThreshold
+	}
+	eng, err := trust.NewEngine(trust.Config{
+		Alpha: cfg.Alpha, Beta: cfg.Beta,
+		InitialScore: (trust.MinScore + trust.MaxScore) / 2,
+		PurgeBelow:   purge,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st := &studyState{
+		cfg:       cfg,
+		scorer:    behavior.MustDefaultScorer(),
+		trueScore: make([]float64, cfg.Resources),
+		bad:       make([]bool, cfg.Resources),
+		osc:       Oscillator{GoodRun: 8, BadRun: 8, IncidentProb: 0.5},
+		txCount:   make([]int, cfg.Resources),
+	}
+	// Expected outcome of one defection: half incidents (floor), half
+	// late+corrupt deliveries.
+	incident := cleanRecord()
+	incident.SecurityIncident = true
+	si, err := st.scorer.Score(incident)
+	if err != nil {
+		return nil, err
+	}
+	late := cleanRecord()
+	late.ActualDuration = 250
+	late.ResultIntegrityOK = false
+	sl, err := st.scorer.Score(late)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := st.scorer.Score(cleanRecord())
+	if err != nil {
+		return nil, err
+	}
+	expDefect := (si + sl) / 2
+	nBad := int(math.Round(cfg.BadFraction * float64(cfg.Resources)))
+	for i := range st.bad {
+		st.bad[i] = i < nBad
+		p := cfg.GoodDefectProb
+		if st.bad[i] {
+			p = cfg.BadDefectProb
+			if cfg.Oscillate {
+				p = float64(st.osc.BadRun) / float64(st.osc.GoodRun+st.osc.BadRun)
+			}
+		}
+		st.trueScore[i] = (1-p)*clean + p*expDefect
+	}
+
+	obs := trust.EntityID("observer")
+	resID := func(i int) trust.EntityID { return trust.EntityID(fmt.Sprintf("res:%d", i)) }
+	recID := func(j int) trust.EntityID { return trust.EntityID(fmt.Sprintf("rec:%d", j)) }
+	nLiars := int(math.Round(cfg.LiarFraction * float64(cfg.Recommenders)))
+	liar := func(j int) bool { return j < nLiars }
+
+	lastR := make([]float64, cfg.Recommenders)
+	errEWMA := make([]float64, cfg.Recommenders)
+	seenErr := make([]bool, cfg.Recommenders)
+	for j := range lastR {
+		lastR[j] = 1
+	}
+	if !cfg.RWeighted {
+		// Amputate the defense: every recommendation carries full weight,
+		// alliances and audits notwithstanding.
+		for j := 0; j < cfg.Recommenders; j++ {
+			for i := 0; i < cfg.Resources; i++ {
+				if err := eng.SetRecommenderFactor(recID(j), resID(i), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	directN := make([]int, cfg.Resources)
+	var costSum float64
+	badPlacements := 0
+	for t := 0; t < cfg.Rounds; t++ {
+		now := float64(t)
+		// Recommender observations: honest ones report what they see,
+		// the clique reports the inversion of reality.
+		for j := 0; j < cfg.Recommenders; j++ {
+			y := src.Intn(cfg.Resources)
+			outcome := 0.0
+			if liar(j) {
+				outcome = trust.MinScore
+				if st.bad[y] {
+					outcome = trust.MaxScore
+				}
+			} else {
+				outcome, err = st.drawOutcome(src, y)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := eng.Observe(recID(j), resID(y), StudyContext, outcome, now); err != nil {
+				return nil, err
+			}
+		}
+		// Observer placement: trust-greedy, ties toward the lower index.
+		best, bestG := -1, math.Inf(-1)
+		for i := 0; i < cfg.Resources; i++ {
+			g, err := eng.Trust(obs, resID(i), StudyContext, now)
+			if err != nil {
+				return nil, err
+			}
+			if g > bestG {
+				bestG, best = g, i
+			}
+		}
+		outcome, err := st.drawOutcome(src, best)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.Observe(obs, resID(best), StudyContext, outcome, now); err != nil {
+			return nil, err
+		}
+		directN[best]++
+		costSum += roundCost(outcome)
+		if st.bad[best] {
+			badPlacements++
+		}
+		// Audit: compare each recommender's stored claim against direct
+		// experience wherever the observer has enough of it, and convert
+		// the error EWMA into R.
+		if cfg.RWeighted && t >= auditWarmup {
+			for j := 0; j < cfg.Recommenders; j++ {
+				var errSum float64
+				n := 0
+				for i := 0; i < cfg.Resources; i++ {
+					if directN[i] < directEvidenceMin {
+						continue
+					}
+					claim, ok, err := eng.Recommendation(recID(j), resID(i), StudyContext, now)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+					direct, err := eng.Direct(obs, resID(i), StudyContext, now)
+					if err != nil {
+						return nil, err
+					}
+					errSum += math.Abs(claim - direct)
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				e := errSum / float64(n)
+				if !seenErr[j] {
+					errEWMA[j], seenErr[j] = e, true
+				} else {
+					errEWMA[j] = 0.7*errEWMA[j] + 0.3*e
+				}
+				// Quadratic falloff: small honest disagreement keeps
+				// near-full weight, systematic lying drives R to 0.
+				rel := errEWMA[j] / (trust.MaxScore - trust.MinScore)
+				r := 1 - 4*rel*rel
+				if r < 0 {
+					r = 0
+				}
+				lastR[j] = r
+				for i := 0; i < cfg.Resources; i++ {
+					if err := eng.SetRecommenderFactor(recID(j), resID(i), r); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Final metrics.
+	res := &StudyResult{}
+	now := float64(cfg.Rounds)
+	for i := 0; i < cfg.Resources; i++ {
+		g, err := eng.Trust(obs, resID(i), StudyContext, now)
+		if err != nil {
+			return nil, err
+		}
+		res.TrustError += math.Abs(g - st.trueScore[i])
+	}
+	res.TrustError /= float64(cfg.Resources)
+	bestTrue := math.Inf(-1)
+	for _, s := range st.trueScore {
+		bestTrue = math.Max(bestTrue, s)
+	}
+	oracle := roundCost(bestTrue)
+	res.DegradationPct = (costSum/float64(cfg.Rounds) - oracle) / oracle * 100
+	res.BadShare = float64(badPlacements) / float64(cfg.Rounds)
+	var liarR, honestR float64
+	for j := range lastR {
+		if liar(j) {
+			liarR += lastR[j]
+		} else {
+			honestR += lastR[j]
+		}
+	}
+	if nLiars > 0 {
+		res.MeanLiarR = liarR / float64(nLiars)
+	} else {
+		res.MeanLiarR = 1
+	}
+	if n := cfg.Recommenders - nLiars; n > 0 {
+		res.MeanHonestR = honestR / float64(n)
+	} else {
+		res.MeanHonestR = 1
+	}
+	return res, nil
+}

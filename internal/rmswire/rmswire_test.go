@@ -2,10 +2,14 @@ package rmswire
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
+	"io"
 	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"gridtrust/internal/core"
 	"gridtrust/internal/grid"
@@ -241,6 +245,112 @@ func TestMalformedFrame(t *testing.T) {
 	}
 	if resp.Status != StatusError {
 		t.Fatalf("response %+v", resp)
+	}
+}
+
+func TestReadLineBoundedLimits(t *testing.T) {
+	read := func(payload []byte, terminated bool) ([]byte, error) {
+		buf := payload
+		if terminated {
+			buf = append(append([]byte(nil), payload...), '\n')
+		}
+		return readLineBounded(bufio.NewReaderSize(bytes.NewReader(buf), 64))
+	}
+
+	// A maximal legal frame (exactly MaxFrameBytes of payload) must pass:
+	// writeFrame emits payloads up to that size.
+	line, err := read(bytes.Repeat([]byte{'x'}, MaxFrameBytes), true)
+	if err != nil {
+		t.Fatalf("maximal frame rejected: %v", err)
+	}
+	if len(line) != MaxFrameBytes+1 {
+		t.Fatalf("maximal frame truncated to %d bytes", len(line))
+	}
+
+	// One byte over the limit fails with the typed error.
+	if _, err := read(bytes.Repeat([]byte{'x'}, MaxFrameBytes+1), true); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// An unterminated flood fails as soon as the limit is crossed — the
+	// reader must not wait for a newline that never comes.
+	if _, err := read(bytes.Repeat([]byte{'x'}, MaxFrameBytes+100), false); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("unterminated flood: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// A short unterminated line is a plain EOF, not a framing error.
+	if _, err := read([]byte("short"), false); !errors.Is(err, io.EOF) {
+		t.Fatalf("short unterminated line: got %v, want EOF", err)
+	}
+}
+
+func TestOversizeFrameAnsweredWithError(t *testing.T) {
+	_, srv, _ := newDaemon(t)
+	conn, err := net.Dial("tcp", srv.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Concurrently: the server starts reading while we are still
+	// flooding, so neither side blocks on a full socket buffer.
+	go func() {
+		_, _ = conn.Write(bytes.Repeat([]byte{'z'}, MaxFrameBytes+2))
+		_, _ = conn.Write([]byte{'\n'})
+	}()
+	var resp Response
+	if err := readFrame(bufio.NewReader(conn), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError || !strings.Contains(resp.Error, "MaxFrameBytes") {
+		t.Fatalf("response %+v", resp)
+	}
+}
+
+func TestIdleConnectionIsReaped(t *testing.T) {
+	trms, _, _ := newDaemon(t)
+	srv, err := NewServer(trms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.IdleTimeout = 250 * time.Millisecond
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Activity within the timeout refreshes the deadline.
+	for i := 0; i < 3; i++ {
+		time.Sleep(100 * time.Millisecond)
+		if _, err := client.Stats(); err != nil {
+			t.Fatalf("live connection reaped after %d requests: %v", i, err)
+		}
+	}
+	// Going idle past the timeout gets the connection closed: the next
+	// request fails instead of hanging.
+	time.Sleep(time.Second)
+	if _, err := client.Stats(); err == nil {
+		t.Fatal("idle connection survived past the timeout")
+	}
+}
+
+func TestIdleTimeoutResolution(t *testing.T) {
+	s := &Server{}
+	if got := s.idleTimeout(); got != DefaultIdleTimeout {
+		t.Fatalf("zero value resolved to %v", got)
+	}
+	s.IdleTimeout = -1
+	if got := s.idleTimeout(); got != 0 {
+		t.Fatalf("negative (disabled) resolved to %v", got)
+	}
+	s.IdleTimeout = time.Second
+	if got := s.idleTimeout(); got != time.Second {
+		t.Fatalf("explicit value resolved to %v", got)
 	}
 }
 

@@ -8,15 +8,27 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gridtrust/internal/core"
 	"gridtrust/internal/grid"
 )
 
+// DefaultIdleTimeout is the per-connection read/write deadline applied
+// when Server.IdleTimeout is zero: a client that neither sends a frame
+// nor drains a response for this long is reaped instead of pinning a
+// handler goroutine forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
 // Server exposes one TRMS over the wire.  It owns a placement registry so
 // outcome reports can reference placements by id across connections.
 type Server struct {
 	trms *core.TRMS
+
+	// IdleTimeout is the per-connection read/write deadline; 0 selects
+	// DefaultIdleTimeout, negative disables deadlines.  Set before
+	// ListenAndServe.
+	IdleTimeout time.Duration
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -106,18 +118,41 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// handle serves one connection's request stream.
+// idleTimeout resolves the effective per-connection deadline.
+func (s *Server) idleTimeout() time.Duration {
+	if s.IdleTimeout == 0 {
+		return DefaultIdleTimeout
+	}
+	if s.IdleTimeout < 0 {
+		return 0
+	}
+	return s.IdleTimeout
+}
+
+// handle serves one connection's request stream.  Each frame read and
+// each response write runs under the idle deadline; an oversized frame is
+// answered with a typed error before the connection closes (the rest of
+// the line is unread, so the stream cannot be resynchronised).
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 64<<10)
+	timeout := s.idleTimeout()
+	deadline := func(set func(time.Time) error) {
+		if timeout > 0 {
+			_ = set(time.Now().Add(timeout))
+		}
+	}
 	for {
 		var req Request
+		deadline(conn.SetReadDeadline)
 		if err := readFrame(r, &req); err != nil {
 			if !errors.Is(err, io.EOF) && !s.closed.Load() {
+				deadline(conn.SetWriteDeadline)
 				_ = writeFrame(conn, Response{Status: StatusError, Error: err.Error()})
 			}
 			return
 		}
 		resp := s.respond(req)
+		deadline(conn.SetWriteDeadline)
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}

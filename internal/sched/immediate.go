@@ -57,7 +57,7 @@ type MET struct{}
 func (MET) Name() string { return "MET" }
 
 // AssignOne maps req to the machine with minimum decision ECC, ignoring
-// availability.
+// availability (load), but never a masked (down) machine.
 func (MET) AssignOne(c Costs, p Policy, req int, avail []float64) (Assignment, error) {
 	if err := validateInstance(c, p, avail); err != nil {
 		return Assignment{}, err
@@ -65,6 +65,9 @@ func (MET) AssignOne(c Costs, p Policy, req int, avail []float64) (Assignment, e
 	best := -1
 	bestCost := math.Inf(1)
 	for m := 0; m < c.NumMachines(); m++ {
+		if IsMasked(avail[m]) {
+			continue
+		}
 		ecc, err := decisionECC(c, p, req, m)
 		if err != nil {
 			return Assignment{}, err
@@ -73,6 +76,9 @@ func (MET) AssignOne(c Costs, p Policy, req int, avail []float64) (Assignment, e
 			bestCost = ecc
 			best = m
 		}
+	}
+	if best < 0 {
+		return Assignment{}, fmt.Errorf("sched: MET found no available machine for request %d", req)
 	}
 	return Assignment{Req: req, Machine: best, DecisionCompletion: avail[best] + bestCost}, nil
 }
@@ -95,6 +101,9 @@ func (OLB) AssignOne(c Costs, p Policy, req int, avail []float64) (Assignment, e
 		if avail[m] < avail[best] {
 			best = m
 		}
+	}
+	if IsMasked(avail[best]) {
+		return Assignment{}, fmt.Errorf("sched: OLB found no available machine for request %d", req)
 	}
 	ecc, err := decisionECC(c, p, req, best)
 	if err != nil {
@@ -153,13 +162,26 @@ func (k KPB) AssignOne(c Costs, p Policy, req int, avail []float64) (Assignment,
 	}
 	best := -1
 	bestDone := math.Inf(1)
-	for i := 0; i < subset; i++ {
+	// Scan the k-percent-best subset first; when every machine in it is
+	// masked (down), widen to the remaining ranked machines so a crash
+	// inside the preferred subset degrades the choice instead of failing
+	// the run.
+	for i := 0; i < nm; i++ {
+		if i >= subset && best >= 0 {
+			break
+		}
 		m := ranked[i].m
+		if IsMasked(avail[m]) {
+			continue
+		}
 		if done := avail[m] + ranked[i].ecc; done < bestDone ||
 			(done == bestDone && m < best) {
 			bestDone = done
 			best = m
 		}
+	}
+	if best < 0 {
+		return Assignment{}, fmt.Errorf("sched: KPB found no available machine for request %d", req)
 	}
 	return Assignment{Req: req, Machine: best, DecisionCompletion: bestDone}, nil
 }

@@ -1,0 +1,40 @@
+package sched
+
+import "math"
+
+// Availability masking
+//
+// The fault subsystem (internal/fault) crashes machines mid-run.  A down
+// machine must never receive work, so the scheduler contract is extended:
+// an availability of +Inf marks a machine as unavailable, and every
+// deterministic heuristic — immediate (MCT, MET, OLB, KPB, SA) and batch
+// (Min-min, Max-min, Sufferage, Duplex) — is required to skip masked
+// machines and to fail with an error when every machine is masked.  Finite
+// availabilities behave exactly as before, so fault-free runs are
+// bit-identical to the pre-masking kernels.
+//
+// The metaheuristics (GA, SAnneal, GSA) seed from Min-min and only
+// permute assignments toward lower makespan; a masked machine's Inf
+// completion dominates any vector using it, but they do not hard-guarantee
+// avoidance — fault-aware simulations double-check their output.
+
+// Masked is the availability value that excludes a machine from every
+// mapping decision.
+func Masked() float64 { return math.Inf(1) }
+
+// IsMasked reports whether an availability value marks a down machine.
+func IsMasked(avail float64) bool { return math.IsInf(avail, 1) }
+
+// MaskAvail writes into dst the availability vector with down machines
+// masked: dst[m] = avail[m] when up[m], +Inf otherwise.  dst may alias
+// avail for in-place masking.  It returns dst.
+func MaskAvail(avail []float64, up []bool, dst []float64) []float64 {
+	for m := range avail {
+		if up[m] {
+			dst[m] = avail[m]
+		} else {
+			dst[m] = math.Inf(1)
+		}
+	}
+	return dst
+}

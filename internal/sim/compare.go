@@ -43,6 +43,13 @@ func runPair(sc Scenario, src *rng.Source, scr *runScratch) (*PairResult, error)
 	if err != nil {
 		return nil, err
 	}
+	// Derive the fault seed from the replication stream AFTER workload
+	// generation: an inactive plan consumes nothing (fault-free replications
+	// stay byte-identical to pre-fault binaries), an active one gives both
+	// policy runs of the pair the identical fault timeline.
+	if sc.Fault.Active() {
+		sc.Fault.Seed = src.Uint64()
+	}
 	awareP, unawareP, err := sc.policies()
 	if err != nil {
 		return nil, err
@@ -66,6 +73,12 @@ type Aggregate struct {
 	MeanTrustCost stats.Running
 	P95Completion stats.Running
 	MissRate      stats.Running
+
+	// Fault-run aggregates; all-zero distributions on fault-free grids.
+	Failures        stats.Running
+	Requeues        stats.Running
+	WastedWork      stats.Running
+	TrustTableError stats.Running
 }
 
 // add folds one run into the aggregate.
@@ -76,6 +89,10 @@ func (a *Aggregate) add(r *RunResult) {
 	a.MeanTrustCost.Add(r.MeanTrustCost)
 	a.P95Completion.Add(r.P95Completion)
 	a.MissRate.Add(r.DeadlineMissRate)
+	a.Failures.Add(float64(r.Failures))
+	a.Requeues.Add(float64(r.Requeues))
+	a.WastedWork.Add(r.WastedWork)
+	a.TrustTableError.Add(r.TrustTableError)
 }
 
 // Comparison aggregates paired replications of a scenario.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"gridtrust/internal/fault"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/workload"
 )
@@ -30,6 +31,36 @@ type ScenarioConfig struct {
 	TCWeight        float64 `json:"tc_weight,omitempty"`         // default 15
 	DeadlineSlack   float64 `json:"deadline_slack,omitempty"`    // 0 = no deadlines
 	FlatOverheadPct float64 `json:"flat_overhead_pct,omitempty"` // default 50
+
+	// Fault configures churn and adversary injection; absent means none.
+	Fault *FaultConfig `json:"fault,omitempty"`
+}
+
+// FaultConfig is the JSON-friendly form of fault.Plan.
+type FaultConfig struct {
+	MTBF              float64 `json:"mtbf,omitempty"`
+	MTTR              float64 `json:"mttr,omitempty"`
+	UpShape           float64 `json:"up_shape,omitempty"`
+	DownShape         float64 `json:"down_shape,omitempty"`
+	AdversaryFraction float64 `json:"adversary_fraction,omitempty"`
+	MaxRequeues       int     `json:"max_requeues,omitempty"`
+	Seed              uint64  `json:"seed,omitempty"`
+}
+
+// plan converts the config to a fault.Plan.
+func (f *FaultConfig) plan() fault.Plan {
+	if f == nil {
+		return fault.Plan{}
+	}
+	return fault.Plan{
+		MTBF:              f.MTBF,
+		MTTR:              f.MTTR,
+		UpShape:           f.UpShape,
+		DownShape:         f.DownShape,
+		AdversaryFraction: f.AdversaryFraction,
+		MaxRequeues:       f.MaxRequeues,
+		Seed:              f.Seed,
+	}
 }
 
 // parseConsistency maps the JSON name onto the enum.
@@ -122,6 +153,7 @@ func (c ScenarioConfig) Scenario() (Scenario, error) {
 		TCWeight:        c.TCWeight,
 		FlatOverheadPct: c.FlatOverheadPct,
 		DeadlineSlack:   c.DeadlineSlack,
+		Fault:           c.Fault.plan(),
 	}
 	// Paper defaults for absent numerics.
 	if sc.Machines == 0 {
@@ -150,6 +182,18 @@ func (c ScenarioConfig) Scenario() (Scenario, error) {
 
 // Config converts a Scenario back to its JSON form.
 func (s Scenario) Config() ScenarioConfig {
+	var fc *FaultConfig
+	if s.Fault != (fault.Plan{}) {
+		fc = &FaultConfig{
+			MTBF:              s.Fault.MTBF,
+			MTTR:              s.Fault.MTTR,
+			UpShape:           s.Fault.UpShape,
+			DownShape:         s.Fault.DownShape,
+			AdversaryFraction: s.Fault.AdversaryFraction,
+			MaxRequeues:       s.Fault.MaxRequeues,
+			Seed:              s.Fault.Seed,
+		}
+	}
 	return ScenarioConfig{
 		Name:            s.Name,
 		Mode:            s.Mode.String(),
@@ -166,6 +210,7 @@ func (s Scenario) Config() ScenarioConfig {
 		TCWeight:        s.TCWeight,
 		FlatOverheadPct: s.FlatOverheadPct,
 		DeadlineSlack:   s.DeadlineSlack,
+		Fault:           fc,
 	}
 }
 

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"gridtrust/internal/fault"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/trace"
+	"gridtrust/internal/workload"
+)
+
+// TestInactivePlanIsByteIdentical: a plan that injects nothing must leave
+// Compare's aggregates exactly as the zero plan's — the fast path, with
+// not one extra rng draw.
+func TestInactivePlanIsByteIdentical(t *testing.T) {
+	base := PaperScenario("mct", 50, workload.Inconsistent)
+	ref, err := Compare(base, 11, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inactive := base
+	inactive.Fault = fault.Plan{MaxRequeues: 7, UpShape: 2} // set but inactive
+	got, err := Compare(inactive, 11, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Aware.AvgCompletion.Mean() != ref.Aware.AvgCompletion.Mean() ||
+		got.Unaware.Makespan.Mean() != ref.Unaware.Makespan.Mean() ||
+		got.Aware.MeanTrustCost.Mean() != ref.Aware.MeanTrustCost.Mean() {
+		t.Fatalf("inactive plan perturbed results: %+v vs %+v", got.Aware, ref.Aware)
+	}
+	if got.Aware.Failures.Mean() != 0 || got.Aware.Requeues.Mean() != 0 {
+		t.Fatal("inactive plan reported fault metrics")
+	}
+}
+
+// TestNoCrashChurnMatchesFastPath: with churn armed but the first crash
+// beyond the horizon, the event-driven fault path must reproduce the fast
+// path's schedule bit-for-bit (and its aggregate metrics, up to summation
+// order of the completion samples).
+func TestNoCrashChurnMatchesFastPath(t *testing.T) {
+	for _, h := range []string{"mct", "minmin", "sufferage"} {
+		sc := PaperScenario(h, 50, workload.Inconsistent)
+		w, err := workload.NewWorkload(rng.New(7), sc.WorkloadSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := sched.MustTrustAware(sc.TCWeight)
+		var fastTr, faultTr trace.Trace
+		fast, err := RunTraced(sc, w, p, &fastTr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scf := sc
+		scf.Fault = fault.Plan{MTBF: 1e12, MTTR: 1}
+		slow, err := RunTraced(scf, w, p, &faultTr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1 := fastTr.ByKind(trace.Scheduled)
+		e2 := faultTr.ByKind(trace.Scheduled)
+		if len(e1) != len(e2) {
+			t.Fatalf("%s: %d vs %d scheduling decisions", h, len(e1), len(e2))
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("%s: decision %d diverged: %+v vs %+v", h, i, e1[i], e2[i])
+			}
+		}
+		s1, s2 := fastTr.Spans(), faultTr.Spans()
+		sortSpans(s1)
+		sortSpans(s2)
+		if len(s1) != len(s2) {
+			t.Fatalf("%s: span counts %d vs %d", h, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("%s: span %d diverged: %+v vs %+v", h, i, s1[i], s2[i])
+			}
+		}
+		if slow.Makespan != fast.Makespan || slow.MeanUtilization != fast.MeanUtilization ||
+			slow.MeanTrustCost != fast.MeanTrustCost || slow.Assigned != fast.Assigned {
+			t.Fatalf("%s: aggregate metrics diverged: %+v vs %+v", h, slow, fast)
+		}
+		if math.Abs(slow.AvgCompletionTime-fast.AvgCompletionTime) > 1e-9*fast.AvgCompletionTime {
+			t.Fatalf("%s: avg completion %v vs %v", h, slow.AvgCompletionTime, fast.AvgCompletionTime)
+		}
+		if slow.Failures != 0 || slow.Requeues != 0 || slow.WastedWork != 0 {
+			t.Fatalf("%s: phantom faults: %+v", h, slow)
+		}
+	}
+}
+
+func sortSpans(s []trace.Span) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Request != s[j].Request {
+			return s[i].Request < s[j].Request
+		}
+		return s[i].Start < s[j].Start
+	})
+}
+
+// TestChurnRunCompletesAndRequeues drives real churn through both modes
+// and checks the rescheduling bookkeeping: every crash-lost request is
+// requeued, re-scheduled, and the workload still completes.
+func TestChurnRunCompletesAndRequeues(t *testing.T) {
+	for _, h := range []string{"mct", "minmin"} {
+		sc := PaperScenario(h, 50, workload.Inconsistent)
+		sc.Fault = fault.Plan{MTBF: 1000, MTTR: 100, Seed: 5}
+		w, err := workload.NewWorkload(rng.New(7), sc.WorkloadSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr trace.Trace
+		res, err := RunTraced(sc, w, sched.MustTrustAware(sc.TCWeight), &tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failures == 0 {
+			t.Fatalf("%s: churn plan produced no failures", h)
+		}
+		failures := tr.ByKind(trace.Failure)
+		requeues := tr.ByKind(trace.Requeue)
+		if len(failures) != res.Failures || len(requeues) != res.Requeues {
+			t.Fatalf("%s: trace/result mismatch: %d/%d failures, %d/%d requeues",
+				h, len(failures), res.Failures, len(requeues), res.Requeues)
+		}
+		lost := 0
+		for _, f := range failures {
+			if f.Request >= 0 {
+				lost++
+			}
+		}
+		if lost != res.Requeues {
+			t.Fatalf("%s: %d in-flight losses but %d requeues", h, lost, res.Requeues)
+		}
+		if res.Assigned != sc.Tasks+res.Requeues {
+			t.Fatalf("%s: assigned %d != tasks %d + requeues %d", h, res.Assigned, sc.Tasks, res.Requeues)
+		}
+		if lost > 0 && res.WastedWork <= 0 {
+			t.Fatalf("%s: lost work not accounted", h)
+		}
+		// Every request finishes exactly once.
+		finishes := make(map[int]int)
+		for _, e := range tr.ByKind(trace.Finish) {
+			finishes[e.Request]++
+		}
+		if len(finishes) != sc.Tasks {
+			t.Fatalf("%s: %d distinct finishes, want %d", h, len(finishes), sc.Tasks)
+		}
+		for r, n := range finishes {
+			if n != 1 {
+				t.Fatalf("%s: request %d finished %d times", h, r, n)
+			}
+		}
+	}
+}
+
+// TestFaultGridDeterministicAcrossWorkers: a churn + adversary grid must
+// aggregate identically with 1 worker and with 4.
+func TestFaultGridDeterministicAcrossWorkers(t *testing.T) {
+	base := PaperScenario("mct", 50, workload.Inconsistent)
+	cells := ChurnCells(base, []float64{0, 1500}, []float64{0, 0.5})
+	run := func(workers int) []*Comparison {
+		out, err := CompareGrid(context.Background(), cells,
+			GridOptions{Seed: 21, Reps: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(4)
+	for i := range a {
+		if a[i].Aware.Makespan.Mean() != b[i].Aware.Makespan.Mean() ||
+			a[i].Aware.Failures.Mean() != b[i].Aware.Failures.Mean() ||
+			a[i].Aware.Requeues.Mean() != b[i].Aware.Requeues.Mean() ||
+			a[i].Unaware.AvgCompletion.Mean() != b[i].Unaware.AvgCompletion.Mean() ||
+			a[i].ImprovementPercent() != b[i].ImprovementPercent() {
+			t.Fatalf("cell %s diverged across worker counts", cells[i].Name)
+		}
+	}
+	// Sanity: the churn cells actually churned.
+	if a[2].Aware.Failures.Mean() == 0 {
+		t.Fatal("mtbf=1500 cell saw no failures")
+	}
+}
+
+// TestAdversaryDeceivesDecisionViewOnly: whitewashing RDs corrupt the
+// scheduler's decision table (TrustTableError > 0) but never the charged
+// reality, and the trust-unaware policy — which ignores TC — is untouched.
+func TestAdversaryDeceivesDecisionViewOnly(t *testing.T) {
+	sc := PaperScenario("mct", 50, workload.Inconsistent)
+	fast, err := RunPair(sc, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Fault = fault.Plan{AdversaryFraction: 1}
+	adv, err := RunPair(sc, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Aware.TrustTableError <= 0 {
+		t.Fatalf("full adversary fraction but table error %g", adv.Aware.TrustTableError)
+	}
+	if adv.Unaware.AvgCompletionTime != fast.Unaware.AvgCompletionTime ||
+		adv.Unaware.Makespan != fast.Unaware.Makespan {
+		t.Fatal("adversaries perturbed the trust-unaware run")
+	}
+	if adv.Aware.Failures != 0 || adv.Aware.Requeues != 0 {
+		t.Fatal("adversary-only plan produced churn")
+	}
+}
+
+// TestFaultScenarioValidation rejects broken plans and the
+// masking-unsafe metaheuristics under churn.
+func TestFaultScenarioValidation(t *testing.T) {
+	sc := PaperScenario("minmin", 50, workload.Inconsistent)
+	sc.Fault = fault.Plan{MTBF: 100} // churn without MTTR
+	if err := sc.Validate(); err == nil {
+		t.Fatal("accepted churn without MTTR")
+	}
+	sc.Fault = fault.Plan{MTBF: 1000, MTTR: 100}
+	sc.Heuristic = "ga"
+	if err := sc.Validate(); err == nil {
+		t.Fatal("accepted metaheuristic under churn")
+	}
+	sc.Fault = fault.Plan{AdversaryFraction: 0.5}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("metaheuristic without churn should pass: %v", err)
+	}
+}
+
+// TestFaultConfigRoundTrip: the JSON form preserves the plan.
+func TestFaultConfigRoundTrip(t *testing.T) {
+	sc := PaperScenario("mct", 50, workload.Inconsistent)
+	sc.Fault = fault.Plan{MTBF: 2000, MTTR: 150, UpShape: 2, AdversaryFraction: 0.25, MaxRequeues: 9}
+	back, err := sc.Config().Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fault != sc.Fault {
+		t.Fatalf("plan round-tripped as %+v, want %+v", back.Fault, sc.Fault)
+	}
+	plain := PaperScenario("mct", 50, workload.Inconsistent)
+	if cfg := plain.Config(); cfg.Fault != nil {
+		t.Fatal("zero plan serialized a fault block")
+	}
+}
+
+// TestFaultStudyGridDeterministic: the adversary study grid aggregates
+// identically under any worker count and reproduces the headline result —
+// R-weighting keeps the trust table usable where the unweighted formula
+// collapses under a lying majority.
+func TestFaultStudyGridDeterministic(t *testing.T) {
+	cells := FaultStudyCells([]float64{0.75})
+	run := func(workers int) []*FaultStudyResult {
+		out, err := FaultStudyGrid(context.Background(), cells,
+			GridOptions{Seed: 2002, Reps: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(3)
+	for i := range a {
+		if a[i].TrustError.Mean() != b[i].TrustError.Mean() ||
+			a[i].BadShare.Mean() != b[i].BadShare.Mean() {
+			t.Fatalf("study cell %s diverged across worker counts", cells[i].Name)
+		}
+	}
+	unweighted, weighted := a[0], a[1]
+	if weighted.TrustError.Mean() >= unweighted.TrustError.Mean() {
+		t.Fatalf("R-weighting did not reduce trust error: %.2f vs %.2f",
+			weighted.TrustError.Mean(), unweighted.TrustError.Mean())
+	}
+	if weighted.BadShare.Mean() >= unweighted.BadShare.Mean() {
+		t.Fatalf("R-weighting did not reduce bad placements: %.2f vs %.2f",
+			weighted.BadShare.Mean(), unweighted.BadShare.Mean())
+	}
+}

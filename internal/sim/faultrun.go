@@ -1,0 +1,502 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gridtrust/internal/des"
+	"gridtrust/internal/fault"
+	"gridtrust/internal/grid"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/stats"
+	"gridtrust/internal/trace"
+	"gridtrust/internal/workload"
+)
+
+// Fault-aware simulation
+//
+// The fast path (run.go) collapses a task's Start and Finish into its
+// commit: once a machine's queue position is known the timeline is fully
+// determined, so no further events are needed.  Under churn that shortcut
+// breaks — a crash between start and finish loses the in-flight task — so
+// this path keeps per-machine FIFO queues and schedules Start/Finish as
+// real, cancellable DES events.
+//
+// Semantics:
+//   - A crash loses only the in-flight task; it re-enters the scheduler
+//     with its original request (and therefore its original RTL).  Work
+//     already committed to the machine's queue stays queued and resumes
+//     after repair — the commitment was to the machine, not the moment.
+//   - A down machine is masked (availability +Inf) so the deterministic
+//     heuristics never choose it; the commit double-checks the machine is
+//     up, which also guards the soft-avoiding metaheuristics.
+//   - Whitewashing resource domains advertise the maximum offerable trust
+//     level: the scheduler's decision view uses the claimed trust costs
+//     while charged costs keep the true ones.  The gap is reported as
+//     RunResult.TrustTableError.
+//   - Crash/repair renewal chains never drain the event queue, so the run
+//     stops explicitly when every task completes or an error is recorded.
+
+// faultTask is one committed unit of work: the request and its charged ECC.
+type faultTask struct {
+	req int
+	ecc float64
+}
+
+// faultCosts overlays the adversaries' claimed trust costs on the true
+// instance: the scheduler decides on this view, the simulator charges the
+// truth.
+type faultCosts struct {
+	*workloadCosts
+	dec [][]int
+}
+
+// TrustCost returns the claimed (decision-view) trust cost.
+func (c *faultCosts) TrustCost(r, m int) (int, error) {
+	if r < 0 || r >= len(c.dec) || m < 0 || m >= c.w.Spec.Machines {
+		return 0, fmt.Errorf("sim: trust cost index (%d,%d) out of range", r, m)
+	}
+	return c.dec[r][m], nil
+}
+
+// newFaultCosts builds the decision view for the plan's adversarial
+// resource domains and measures the resulting trust-table error (mean
+// absolute claimed−true TC over all pairs).  Returns (nil, 0) when no
+// domain whitewashes: decision and truth coincide.
+func newFaultCosts(truth *workloadCosts, plan fault.Plan) (*faultCosts, float64, error) {
+	w := truth.w
+	adv := plan.AdversarialRDs(w.NumRDs)
+	any := false
+	for _, a := range adv {
+		any = any || a
+	}
+	if !any {
+		return nil, 0, nil
+	}
+	dec := make([][]int, len(truth.tc))
+	for r := range truth.tc {
+		dec[r] = append([]int(nil), truth.tc[r]...)
+	}
+	var errSum float64
+	for m := 0; m < w.Spec.Machines; m++ {
+		rd := w.MachineRD[m]
+		if !adv[rd] {
+			continue
+		}
+		for r := range w.Requests {
+			req := w.Requests[r]
+			v, err := grid.TrustCostWith(w.Spec.ETSRule, req.ClientRTL, w.ResourceRTL[rd], grid.MaxOfferable)
+			if err != nil {
+				return nil, 0, fmt.Errorf("sim: claimed trust cost for request %d on machine %d: %w", r, m, err)
+			}
+			dec[r][m] = v
+		}
+	}
+	n := 0
+	for r := range dec {
+		for m := range dec[r] {
+			errSum += math.Abs(float64(dec[r][m] - truth.tc[r][m]))
+			n++
+		}
+	}
+	return &faultCosts{workloadCosts: truth, dec: dec}, errSum / float64(n), nil
+}
+
+// faultState carries the mutable state of one fault-aware run.
+type faultState struct {
+	sc     Scenario
+	truth  *workloadCosts
+	dec    sched.Costs
+	policy sched.Policy
+	churn  *fault.Churn
+	trace  *trace.Trace
+
+	imm   sched.Immediate
+	batch sched.Batch
+
+	up       []bool
+	queue    [][]faultTask // committed, waiting for the machine
+	running  []faultTask   // running[m].req == -1 when idle
+	runStart []float64
+	finishEv []des.EventID
+	avail    []float64
+	busy     []float64
+
+	pending  []int // batch mode: arrivals awaiting the next tick
+	deferred []int // immediate mode: arrivals seen while every machine was down
+	requeues []int // per-request requeue counts, against the plan's cap
+
+	completed int
+	commits   int
+	tcSum     float64
+	result    *RunResult
+	err       error
+}
+
+// runFaultTraced executes one fault-aware run.  It mirrors runTraced's
+// contract but pays event-per-task overhead for crash handling.
+func runFaultTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace.Trace) (*RunResult, error) {
+	truth, err := newWorkloadCosts(w)
+	if err != nil {
+		return nil, err
+	}
+	if truth.NumRequests() != sc.Tasks || truth.NumMachines() != sc.Machines {
+		return nil, fmt.Errorf("sim: workload shape %dx%d does not match scenario %dx%d",
+			truth.NumRequests(), truth.NumMachines(), sc.Tasks, sc.Machines)
+	}
+	fc, tableErr, err := newFaultCosts(truth, sc.Fault)
+	if err != nil {
+		return nil, err
+	}
+	nm := sc.Machines
+	st := &faultState{
+		sc:       sc,
+		truth:    truth,
+		dec:      truth,
+		policy:   policy,
+		trace:    tr,
+		up:       make([]bool, nm),
+		queue:    make([][]faultTask, nm),
+		running:  make([]faultTask, nm),
+		runStart: make([]float64, nm),
+		finishEv: make([]des.EventID, nm),
+		avail:    make([]float64, nm),
+		busy:     make([]float64, nm),
+		requeues: make([]int, sc.Tasks),
+		result: &RunResult{
+			Policy:          policy.Name,
+			Completions:     &stats.Sample{},
+			BusyTime:        make([]float64, nm),
+			TrustTableError: tableErr,
+		},
+	}
+	if fc != nil {
+		st.dec = fc
+	}
+	for m := 0; m < nm; m++ {
+		st.up[m] = true
+		st.running[m].req = -1
+	}
+
+	sim := des.New()
+	switch sc.Mode {
+	case Immediate:
+		if st.imm, err = sched.ImmediateByName(sc.Heuristic); err != nil {
+			return nil, err
+		}
+		for i := range w.Requests {
+			req := w.Requests[i]
+			if _, err := sim.ScheduleAt(req.ArrivalAt, func(s *des.Simulator) {
+				if st.err != nil {
+					return
+				}
+				st.record(trace.Event{Time: s.Now(), Kind: trace.Arrival, Request: req.ID, Machine: -1})
+				st.placeOrDefer(s, req.ID)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	case Batch:
+		if st.batch, err = sched.BatchByName(sc.Heuristic); err != nil {
+			return nil, err
+		}
+		for i := range w.Requests {
+			req := w.Requests[i]
+			if _, err := sim.ScheduleAt(req.ArrivalAt, func(s *des.Simulator) {
+				if st.err != nil {
+					return
+				}
+				st.record(trace.Event{Time: s.Now(), Kind: trace.Arrival, Request: req.ID, Machine: -1})
+				st.pending = append(st.pending, req.ID)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := sim.Periodic(sc.BatchInterval, func(s *des.Simulator) bool {
+			if st.err != nil || st.completed >= sc.Tasks {
+				return false
+			}
+			if len(st.pending) > 0 && st.anyUp() {
+				st.record(trace.Event{
+					Time: s.Now(), Kind: trace.BatchTick,
+					Request: -1, Machine: -1, Cost: float64(len(st.pending)),
+				})
+				st.assignBatch(s)
+			}
+			return st.completed < sc.Tasks && st.err == nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if sc.Fault.Churn() {
+		if st.churn, err = fault.NewChurn(sc.Fault, nm); err != nil {
+			return nil, err
+		}
+		for m := 0; m < nm; m++ {
+			st.scheduleCrash(sim, m, st.churn.UpTime(m))
+		}
+	}
+
+	sim.Run()
+	if st.err != nil {
+		return nil, st.err
+	}
+	if st.completed != sc.Tasks {
+		return nil, fmt.Errorf("sim: only %d of %d requests completed", st.completed, sc.Tasks)
+	}
+	return st.finalize()
+}
+
+// record appends a trace event when tracing is enabled.
+func (st *faultState) record(e trace.Event) {
+	if st.trace != nil {
+		st.trace.Add(e)
+	}
+}
+
+// fail records the first error and stops the simulation: the crash/repair
+// renewal chains would otherwise keep the event queue alive forever.
+func (st *faultState) fail(s *des.Simulator, err error) {
+	if st.err == nil {
+		st.err = err
+	}
+	s.Stop()
+}
+
+// anyUp reports whether at least one machine is up.
+func (st *faultState) anyUp() bool {
+	for _, u := range st.up {
+		if u {
+			return true
+		}
+	}
+	return false
+}
+
+// availability builds the masked availability vector at time now.  For an
+// up machine it is the time its committed work drains; a down machine is
+// masked out entirely.  The queue is summed in commitment order so that a
+// crash-free run accumulates bit-identical floats to the fast path's
+// stacked free time.
+func (st *faultState) availability(now float64) []float64 {
+	for m := range st.avail {
+		if !st.up[m] {
+			st.avail[m] = sched.Masked()
+			continue
+		}
+		base := now
+		if st.running[m].req != -1 {
+			base = st.runStart[m] + st.running[m].ecc
+		}
+		for _, t := range st.queue[m] {
+			base += t.ecc
+		}
+		st.avail[m] = base
+	}
+	return st.avail
+}
+
+// placeOrDefer maps one request immediately, or parks it when every
+// machine is down (repair drains the deferred list).
+func (st *faultState) placeOrDefer(s *des.Simulator, r int) {
+	if !st.anyUp() {
+		st.deferred = append(st.deferred, r)
+		return
+	}
+	a, err := st.imm.AssignOne(st.dec, st.policy, r, st.availability(s.Now()))
+	if err != nil {
+		st.fail(s, err)
+		return
+	}
+	st.commit(s, r, a.Machine)
+}
+
+// assignBatch maps the pending meta-request over the masked availability.
+func (st *faultState) assignBatch(s *des.Simulator) {
+	reqs := st.pending
+	st.pending = st.pending[:0]
+	as, err := st.batch.AssignBatch(st.dec, st.policy, reqs, st.availability(s.Now()))
+	if err != nil {
+		st.fail(s, err)
+		return
+	}
+	if len(as) != len(reqs) {
+		st.fail(s, fmt.Errorf("sim: batch heuristic mapped %d of %d requests", len(as), len(reqs)))
+		return
+	}
+	for _, a := range as {
+		st.commit(s, a.Req, a.Machine)
+		if st.err != nil {
+			return
+		}
+	}
+}
+
+// commit appends request r to machine m's queue and starts it if the
+// machine is idle.  The masking contract is enforced here for every
+// heuristic, deterministic or not.
+func (st *faultState) commit(s *des.Simulator, r, m int) {
+	if !st.up[m] {
+		st.fail(s, fmt.Errorf("sim: heuristic %q mapped request %d to down machine %d", st.sc.Heuristic, r, m))
+		return
+	}
+	ecc, err := sched.ChargedECC(st.truth, st.policy, r, m)
+	if err != nil {
+		st.fail(s, err)
+		return
+	}
+	tc, err := st.truth.TrustCost(r, m)
+	if err != nil {
+		st.fail(s, err)
+		return
+	}
+	now := s.Now()
+	st.record(trace.Event{Time: now, Kind: trace.Scheduled, Request: r, Machine: m, Cost: ecc})
+	st.tcSum += float64(tc)
+	st.commits++
+	st.result.Assigned++
+	st.queue[m] = append(st.queue[m], faultTask{req: r, ecc: ecc})
+	st.startNext(s, m)
+}
+
+// startNext starts machine m's queue head when m is up and idle.
+func (st *faultState) startNext(s *des.Simulator, m int) {
+	if !st.up[m] || st.running[m].req != -1 || len(st.queue[m]) == 0 {
+		return
+	}
+	t := st.queue[m][0]
+	copy(st.queue[m], st.queue[m][1:])
+	st.queue[m] = st.queue[m][:len(st.queue[m])-1]
+	now := s.Now()
+	st.running[m] = t
+	st.runStart[m] = now
+	st.record(trace.Event{Time: now, Kind: trace.Start, Request: t.req, Machine: m, Cost: t.ecc})
+	ev, err := s.ScheduleAt(now+t.ecc, func(s *des.Simulator) { st.onFinish(s, m) })
+	if err != nil {
+		st.fail(s, err)
+		return
+	}
+	st.finishEv[m] = ev
+}
+
+// onFinish completes machine m's running task.
+func (st *faultState) onFinish(s *des.Simulator, m int) {
+	if st.err != nil {
+		return
+	}
+	t := st.running[m]
+	now := s.Now()
+	st.record(trace.Event{Time: now, Kind: trace.Finish, Request: t.req, Machine: m, Cost: t.ecc})
+	st.busy[m] += t.ecc
+	req := st.truth.w.Requests[t.req]
+	st.result.Completions.Add(now - req.ArrivalAt)
+	if req.Deadline > 0 && now > req.Deadline {
+		st.result.DeadlineMisses++
+	}
+	if now > st.result.Makespan {
+		st.result.Makespan = now
+	}
+	st.running[m].req = -1
+	st.completed++
+	if st.completed == st.sc.Tasks {
+		s.Stop()
+		return
+	}
+	st.startNext(s, m)
+}
+
+// scheduleCrash arms machine m's next crash after the given up-time.
+func (st *faultState) scheduleCrash(s *des.Simulator, m int, up float64) {
+	if _, err := s.ScheduleAt(s.Now()+up, func(s *des.Simulator) { st.onCrash(s, m) }); err != nil {
+		st.fail(s, err)
+	}
+}
+
+// onCrash takes machine m down: the in-flight task (if any) is lost, its
+// partial work wasted, and the request requeued; queued tasks wait out the
+// repair.
+func (st *faultState) onCrash(s *des.Simulator, m int) {
+	if st.err != nil {
+		return
+	}
+	now := s.Now()
+	st.up[m] = false
+	st.result.Failures++
+	down := st.churn.DownTime(m)
+	lost := st.running[m]
+	st.record(trace.Event{Time: now, Kind: trace.Failure, Request: lost.req, Machine: m, Cost: down})
+	if lost.req != -1 {
+		s.Cancel(st.finishEv[m])
+		partial := now - st.runStart[m]
+		st.busy[m] += partial
+		st.result.WastedWork += partial
+		st.running[m].req = -1
+		st.requeue(s, lost.req, m)
+	}
+	if st.err != nil {
+		return
+	}
+	if _, err := s.ScheduleAt(now+down, func(s *des.Simulator) { st.onRepair(s, m) }); err != nil {
+		st.fail(s, err)
+	}
+}
+
+// requeue re-enters a crash-lost request into the scheduler.  The request
+// is immutable, so it carries its original RTL by construction.
+func (st *faultState) requeue(s *des.Simulator, r, m int) {
+	st.requeues[r]++
+	if st.requeues[r] > st.sc.Fault.RequeueCap() {
+		st.fail(s, fmt.Errorf("sim: request %d requeued more than %d times; the fault plan starves the workload",
+			r, st.sc.Fault.RequeueCap()))
+		return
+	}
+	st.result.Requeues++
+	st.record(trace.Event{Time: s.Now(), Kind: trace.Requeue, Request: r, Machine: m})
+	if st.sc.Mode == Immediate {
+		st.placeOrDefer(s, r)
+	} else {
+		st.pending = append(st.pending, r)
+	}
+}
+
+// onRepair brings machine m back up, arms its next crash, resumes its
+// queue and drains any arrivals deferred while the whole grid was down.
+func (st *faultState) onRepair(s *des.Simulator, m int) {
+	if st.err != nil {
+		return
+	}
+	st.up[m] = true
+	st.scheduleCrash(s, m, st.churn.UpTime(m))
+	st.startNext(s, m)
+	if len(st.deferred) > 0 {
+		defd := st.deferred
+		st.deferred = nil
+		for _, r := range defd {
+			st.placeOrDefer(s, r)
+			if st.err != nil {
+				return
+			}
+		}
+	}
+}
+
+// finalize computes the aggregate metrics from the completed run.
+func (st *faultState) finalize() (*RunResult, error) {
+	res := st.result
+	res.AvgCompletionTime = res.Completions.Mean()
+	res.P50Completion = res.Completions.Quantile(0.5)
+	res.P95Completion = res.Completions.Quantile(0.95)
+	copy(res.BusyTime, st.busy)
+	if res.Makespan <= 0 {
+		return nil, fmt.Errorf("sim: degenerate makespan %g", res.Makespan)
+	}
+	util := 0.0
+	for _, b := range st.busy {
+		util += b / res.Makespan
+	}
+	res.MeanUtilization = util / float64(len(st.busy))
+	res.MeanTrustCost = st.tcSum / float64(st.commits)
+	res.DeadlineMissRate = float64(res.DeadlineMisses) / float64(st.completed)
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"gridtrust/internal/exp"
+	"gridtrust/internal/fault"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/stats"
+)
+
+// FaultStudyCell names one configuration of the adversary study grid: a
+// collusion scenario run with or without the recommender-trust defense.
+type FaultStudyCell struct {
+	Name   string
+	Config fault.StudyConfig
+}
+
+// FaultStudyResult aggregates fault.RunStudy over replications.
+type FaultStudyResult struct {
+	TrustError     stats.Running
+	DegradationPct stats.Running
+	BadShare       stats.Running
+	MeanLiarR      stats.Running
+	MeanHonestR    stats.Running
+}
+
+// FaultStudyGrid runs every cell × Reps replications of the adversary
+// study on one worker pool and aggregates per cell.  Replication r of
+// every cell draws from rng stream r of the master seed, so results are
+// bit-identical under any worker count.
+func FaultStudyGrid(ctx context.Context, cells []FaultStudyCell, opts GridOptions) ([]*FaultStudyResult, error) {
+	if opts.Reps <= 0 {
+		return nil, fmt.Errorf("sim: reps must be positive, got %d", opts.Reps)
+	}
+	ecells := make([]exp.Cell, len(cells))
+	for i := range cells {
+		cfg := cells[i].Config
+		ecells[i] = exp.Cell{Name: cells[i].Name, Run: func(ctx context.Context, rep int, src *rng.Source, scratch any) (any, error) {
+			return fault.RunStudy(cfg, src)
+		}}
+	}
+	res, err := exp.Run(ctx, ecells, opts.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*FaultStudyResult, len(cells))
+	for i := range res {
+		agg := &FaultStudyResult{}
+		for _, v := range res[i].Reps {
+			r := v.(*fault.StudyResult)
+			agg.TrustError.Add(r.TrustError)
+			agg.DegradationPct.Add(r.DegradationPct)
+			agg.BadShare.Add(r.BadShare)
+			agg.MeanLiarR.Add(r.MeanLiarR)
+			agg.MeanHonestR.Add(r.MeanHonestR)
+		}
+		out[i] = agg
+	}
+	return out, nil
+}
+
+// FaultStudyCells builds the canonical adversary sweep: for each liar
+// fraction, one cell with the R-weighted defense off (the paper's
+// reputation formula amputated) and one with it on.  Cells come in
+// (unweighted, weighted) pairs per fraction, in the given order.
+func FaultStudyCells(liarFractions []float64) []FaultStudyCell {
+	cells := make([]FaultStudyCell, 0, 2*len(liarFractions))
+	for _, lf := range liarFractions {
+		base := fault.StudyConfig{LiarFraction: lf}
+		unweighted := base
+		weighted := base
+		weighted.RWeighted = true
+		cells = append(cells,
+			FaultStudyCell{Name: fmt.Sprintf("liar=%.2f/unweighted", lf), Config: unweighted},
+			FaultStudyCell{Name: fmt.Sprintf("liar=%.2f/R-weighted", lf), Config: weighted},
+		)
+	}
+	return cells
+}
+
+// ChurnCells builds a churn × adversary CompareGrid sweep over the base
+// scenario: for every MTBF (0 disables churn) and adversary fraction, one
+// cell whose scenario carries the corresponding fault plan.  MTTR is fixed
+// at a tenth of the MTBF floor so availability stays high enough to finish
+// the workload.
+func ChurnCells(base Scenario, mtbfs, adversaryFractions []float64) []CompareCell {
+	var cells []CompareCell
+	for _, mtbf := range mtbfs {
+		for _, af := range adversaryFractions {
+			sc := base
+			sc.Fault = fault.Plan{AdversaryFraction: af}
+			if mtbf > 0 {
+				sc.Fault.MTBF = mtbf
+				sc.Fault.MTTR = mtbf / 10
+			}
+			name := fmt.Sprintf("mtbf=%g/adv=%.2f", mtbf, af)
+			sc.Name = fmt.Sprintf("%s/%s", base.Name, name)
+			cells = append(cells, CompareCell{Name: name, Scenario: sc})
+		}
+	}
+	return cells
+}

@@ -96,6 +96,9 @@ func WriteFullReport(ctx context.Context, w io.Writer, opts ReportOptions) error
 			Scenario: sc,
 		})
 	}
+	faultBase := PaperScenario("mct", 100, workload.Inconsistent)
+	faultCells := ChurnCells(faultBase, []float64{0, 2000, 1000}, []float64{0, 0.5})
+	cells = append(cells, faultCells...)
 
 	// ── Run every stochastic cell on one pool ────────────────────────
 	cmps, err := CompareGrid(ctx, cells, GridOptions{
@@ -210,6 +213,59 @@ func WriteFullReport(ctx context.Context, w io.Writer, opts ReportOptions) error
 	stg.AddRow("makespan improvement", report.Percent(imp.Mean(), 2))
 	stg.AddRow("plain-transfer share", report.Fraction(plain.Mean(), 1))
 	if err := stg.WriteMarkdown(w); err != nil {
+		return err
+	}
+
+	// ── Fault & adversary injection ──────────────────────────────────
+	if err := pr("\n## Fault injection: machine churn × whitewashing adversaries\n\n"); err != nil {
+		return err
+	}
+	if err := pr("Crash/repair renewal churn (MTTR = MTBF/10) with whitewashing resource\ndomains that advertise the maximum offerable trust level.  Makespan and\ndegradation are mean ± CI95 over the paired replications; degradation is\nrelative to the fault-free trust-aware cell.\n\n"); err != nil {
+		return err
+	}
+	baseCmp := cmps[len(cells)-len(faultCells)]
+	baseMakespan := baseCmp.Aware.Makespan.Mean()
+	ft := report.NewTable("", "mtbf/adversary", "makespan (aware)", "degradation",
+		"failures", "requeues", "table error", "improvement")
+	for i := range faultCells {
+		cmp := take()
+		m := cmp.Aware.Makespan
+		ft.AddRow(faultCells[i].Name,
+			fmt.Sprintf("%s ± %.0f", report.Seconds(m.Mean()), m.CI95()),
+			report.Percent((m.Mean()-baseMakespan)/baseMakespan*100, 2),
+			fmt.Sprintf("%.1f", cmp.Aware.Failures.Mean()),
+			fmt.Sprintf("%.1f", cmp.Aware.Requeues.Mean()),
+			fmt.Sprintf("%.2f ± %.2f", cmp.Aware.TrustTableError.Mean(), cmp.Aware.TrustTableError.CI95()),
+			report.Percent(cmp.ImprovementPercent(), 2))
+	}
+	if err := ft.WriteMarkdown(w); err != nil {
+		return err
+	}
+
+	if err := pr("\n## Adversary study: collusive recommenders vs the R-weighted defense\n\n"); err != nil {
+		return err
+	}
+	if err := pr("Lying recommender cliques boost misbehaving resources and badmouth honest\nones.  \"unweighted\" pins every recommender trust factor R to 1 (the paper's\nreputation formula with its defense amputated); \"R-weighted\" audits claims\nagainst direct experience and purges recommenders whose R collapses.  Mean\n± CI95 over %d replications.\n\n", opts.Reps); err != nil {
+		return err
+	}
+	scells := FaultStudyCells([]float64{0.25, 0.5, 0.75})
+	sres, err := FaultStudyGrid(ctx, scells, GridOptions{
+		Seed: opts.Seed, Reps: opts.Reps, Workers: opts.Workers, OnCell: opts.OnCell,
+	})
+	if err != nil {
+		return err
+	}
+	at := report.NewTable("", "liar fraction/variant", "trust-table error",
+		"cost degradation", "bad placements", "liar R", "honest R")
+	for i, res := range sres {
+		at.AddRow(scells[i].Name,
+			fmt.Sprintf("%.2f ± %.2f", res.TrustError.Mean(), res.TrustError.CI95()),
+			fmt.Sprintf("%.1f%% ± %.1f%%", res.DegradationPct.Mean(), res.DegradationPct.CI95()),
+			fmt.Sprintf("%.1f%% ± %.1f%%", res.BadShare.Mean()*100, res.BadShare.CI95()*100),
+			fmt.Sprintf("%.2f", res.MeanLiarR.Mean()),
+			fmt.Sprintf("%.2f", res.MeanHonestR.Mean()))
+	}
+	if err := at.WriteMarkdown(w); err != nil {
 		return err
 	}
 

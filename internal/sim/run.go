@@ -28,7 +28,8 @@ type RunResult struct {
 	Completions *stats.Sample
 	// BusyTime holds per-machine busy time.
 	BusyTime []float64
-	// Assigned counts scheduled requests (always Tasks on success).
+	// Assigned counts scheduling commits: Tasks on a fault-free success,
+	// Tasks + Requeues when churn forced rescheduling.
 	Assigned int
 	// MeanTrustCost is the mean TC of the chosen (request, machine)
 	// pairs — diagnostic for how well the mapper dodged trust costs.
@@ -42,6 +43,17 @@ type RunResult struct {
 	// deadlines).
 	DeadlineMisses   int
 	DeadlineMissRate float64
+
+	// Fault-run metrics, all zero on the fault-free fast path.  Failures
+	// counts machine crashes during the run; Requeues counts crash-lost
+	// tasks re-entering the scheduler (so Assigned = Tasks + Requeues);
+	// WastedWork is the total partial execution time lost to crashes;
+	// TrustTableError is the mean absolute gap between the claimed
+	// (decision-view) and true trust costs under adversary injection.
+	Failures        int
+	Requeues        int
+	WastedWork      float64
+	TrustTableError float64
 }
 
 // Run executes the scenario once on the given workload under the given
@@ -94,6 +106,9 @@ func RunTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace
 func runTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace.Trace, scr *runScratch) (*RunResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	if sc.Fault.Active() {
+		return runFaultTraced(sc, w, policy, tr)
 	}
 	costs, err := newWorkloadCosts(w)
 	if err != nil {

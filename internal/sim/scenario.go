@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"gridtrust/internal/fault"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/sched"
 	"gridtrust/internal/workload"
@@ -74,6 +75,14 @@ type Scenario struct {
 	// the unaware flat security overhead (paper: 50).
 	TCWeight        float64
 	FlatOverheadPct float64
+
+	// Fault configures machine churn and adversary injection (see
+	// fault.Plan).  The zero plan is inactive and keeps the simulator on
+	// its fault-free fast path, byte-identical to pre-fault binaries.
+	// RunPair and the comparison grids derive Fault.Seed from the
+	// replication stream so both policies of a pair replay the identical
+	// fault timeline; standalone Run callers set it themselves.
+	Fault fault.Plan
 }
 
 // PaperScenario returns the Section 5.3 configuration for one of the
@@ -130,6 +139,19 @@ func (s Scenario) Validate() error {
 		}
 	default:
 		return fmt.Errorf("sim: scenario %q has unknown mode %d", s.Name, int(s.Mode))
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return fmt.Errorf("sim: scenario %q: %w", s.Name, err)
+	}
+	if s.Fault.Churn() && s.Mode == Batch {
+		// The metaheuristics only soft-avoid masked machines (see
+		// internal/sched/mask.go); churn requires the hard guarantee the
+		// deterministic heuristics provide.
+		switch s.Heuristic {
+		case "ga", "GA", "sanneal", "SAnneal", "gsa", "GSA":
+			return fmt.Errorf("sim: scenario %q: heuristic %q does not honor availability masking; churn requires a deterministic batch heuristic",
+				s.Name, s.Heuristic)
+		}
 	}
 	return nil
 }

@@ -6,10 +6,12 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -28,6 +30,12 @@ const (
 	Finish
 	// BatchTick: a batch-mode meta-request was dispatched.
 	BatchTick
+	// Failure: a machine crashed; Request is the in-flight request it
+	// lost (-1 if it was idle), Cost the scheduled repair time.
+	Failure
+	// Requeue: a crashed machine's request re-entered the scheduler
+	// queue with its original RTL.
+	Requeue
 )
 
 // String names the kind.
@@ -43,9 +51,23 @@ func (k Kind) String() string {
 		return "finish"
 	case BatchTick:
 		return "batch-tick"
+	case Failure:
+		return "failure"
+	case Requeue:
+		return "requeue"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// ParseKind is the inverse of String, for reading traces back.
+func ParseKind(s string) (Kind, error) {
+	for k := Arrival; k <= Requeue; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
 }
 
 // Event is one timeline record.  Request and Machine are -1 when not
@@ -133,10 +155,58 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// ReadCSV parses a trace previously emitted by WriteCSV, including the
+// header line.  Times and costs round-trip at WriteCSV's millisecond
+// precision.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "time,kind,request,machine,cost" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %q", got)
+	}
+	t := &Trace{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want 5", line, len(fields))
+		}
+		var e Event
+		var err error
+		if e.Time, err = strconv.ParseFloat(fields[0], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d time: %w", line, err)
+		}
+		if e.Kind, err = ParseKind(fields[1]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if e.Request, err = strconv.Atoi(fields[2]); err != nil {
+			return nil, fmt.Errorf("trace: line %d request: %w", line, err)
+		}
+		if e.Machine, err = strconv.Atoi(fields[3]); err != nil {
+			return nil, fmt.Errorf("trace: line %d machine: %w", line, err)
+		}
+		if e.Cost, err = strconv.ParseFloat(fields[4], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d cost: %w", line, err)
+		}
+		t.Add(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read CSV: %w", err)
+	}
+	return t, nil
+}
+
 // Gantt renders the trace's execution spans as a text chart, one row per
 // machine, width columns wide.  Each span is drawn with the request id's
-// last digit; '.' marks idle time.  Returns an empty string when the
-// trace holds no spans.
+// last digit; '.' marks idle time and 'x' marks a machine crash.  Returns
+// an empty string when the trace holds no spans.
 func (t *Trace) Gantt(machines, width int) string {
 	if machines <= 0 || width <= 8 {
 		return ""
@@ -176,6 +246,21 @@ func (t *Trace) Gantt(machines, width int) string {
 		for c := lo; c < hi; c++ {
 			rows[s.Machine][c] = ch
 		}
+	}
+	// Crashes overwrite whatever was drawn: the failure is the thing the
+	// chart must not hide.
+	for _, e := range t.events {
+		if e.Kind != Failure || e.Machine < 0 || e.Machine >= machines {
+			continue
+		}
+		c := int(math.Floor(e.Time * scale))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		rows[e.Machine][c] = 'x'
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "time 0 %s %.1f\n", strings.Repeat(" ", width-10), tMax)

@@ -134,6 +134,7 @@ func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		Arrival: "arrival", Scheduled: "scheduled", Start: "start",
 		Finish: "finish", BatchTick: "batch-tick",
+		Failure: "failure", Requeue: "requeue",
 	} {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q", int(k), k.String())
@@ -141,5 +142,91 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(9).String() == "" {
 		t.Error("unknown kind string empty")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := Arrival; k <= Requeue; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("explode"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+}
+
+// faultTrace is a timeline with a crash mid-task and the rescheduled
+// execution on another machine.
+func faultTrace() *Trace {
+	var tr Trace
+	tr.Add(Event{Time: 0, Kind: Arrival, Request: 0, Machine: -1})
+	tr.Add(Event{Time: 0, Kind: Scheduled, Request: 0, Machine: 0, Cost: 10})
+	tr.Add(Event{Time: 0, Kind: Start, Request: 0, Machine: 0, Cost: 10})
+	tr.Add(Event{Time: 4, Kind: Failure, Request: 0, Machine: 0, Cost: 6})
+	tr.Add(Event{Time: 4, Kind: Requeue, Request: 0, Machine: 0})
+	tr.Add(Event{Time: 4, Kind: Scheduled, Request: 0, Machine: 1, Cost: 12})
+	tr.Add(Event{Time: 4, Kind: Start, Request: 0, Machine: 1, Cost: 12})
+	tr.Add(Event{Time: 16, Kind: Finish, Request: 0, Machine: 1, Cost: 12})
+	return &tr
+}
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	tr := faultTrace()
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	got := back.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d round-tripped as %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The CSV itself must name the fault kinds.
+	if !strings.Contains(sb.String(), "4.000,failure,0,0,6.000") ||
+		!strings.Contains(sb.String(), "4.000,requeue,0,0,0.000") {
+		t.Fatalf("fault rows missing:\n%s", sb.String())
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header\n",
+		"time,kind,request,machine,cost\n1.0,arrival,0\n",
+		"time,kind,request,machine,cost\n1.0,nope,0,-1,0\n",
+		"time,kind,request,machine,cost\nx,arrival,0,-1,0\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestGanttFailureMarker(t *testing.T) {
+	tr := faultTrace()
+	g := tr.Gantt(2, 40)
+	if g == "" {
+		t.Fatal("empty gantt")
+	}
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	// The crash at t=4 on machine 0 lands at column 40*4/16 = 10.
+	m0 := strings.TrimPrefix(lines[1], "M0   |")
+	if m0[10] != 'x' {
+		t.Fatalf("no crash marker on M0 at column 10:\n%s", g)
+	}
+	if strings.Contains(lines[2], "x") {
+		t.Fatalf("crash marker leaked onto M1:\n%s", g)
 	}
 }

@@ -50,6 +50,13 @@ type Config struct {
 	// batch commits: new = (1−s)·old + s·batchMean.  Must be in (0,1].
 	// Defaults to 0.3, so trust is "a slow varying attribute".
 	Smoothing float64
+
+	// PurgeBelow excludes recommenders whose trust factor R(z,y) has
+	// fallen below this threshold from Ω entirely, instead of letting
+	// their floor-anchored contribution drag the average — the "purging
+	// of untrustworthy recommendations" defense.  Must be in [0,1];
+	// 0 (the default) never purges, preserving the original semantics.
+	PurgeBelow float64
 }
 
 // withDefaults fills zero-valued fields and validates the config.
@@ -80,6 +87,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Smoothing <= 0 || c.Smoothing > 1 {
 		return c, fmt.Errorf("trust: smoothing %g outside (0,1]", c.Smoothing)
+	}
+	if c.PurgeBelow < 0 || c.PurgeBelow > 1 {
+		return c, fmt.Errorf("trust: purge threshold %g outside [0,1]", c.PurgeBelow)
 	}
 	return c, nil
 }
@@ -256,8 +266,16 @@ func (e *Engine) Reputation(x, y EntityID, c Context, now float64) (float64, err
 }
 
 func (e *Engine) reputationLocked(x, y EntityID, c Context, now float64) (float64, error) {
-	var sum float64
-	var n int
+	// Contributions are collected, sorted by recommender and only then
+	// summed: ranging over e.rels visits recommenders in randomized map
+	// order, and floating-point addition is not associative, so summing
+	// in visit order makes Ω differ in the last ulp between runs — enough
+	// to flip a trust-greedy tie and break replay determinism.
+	type contribution struct {
+		from  EntityID
+		value float64
+	}
+	var contribs []contribution
 	for k, rel := range e.rels {
 		if k.to != y || k.ctx != c || k.from == x || k.from == y {
 			continue
@@ -267,16 +285,45 @@ func (e *Engine) reputationLocked(x, y EntityID, c Context, now float64) (float6
 			return 0, err
 		}
 		r := e.recommenderFactor(k.from, y)
+		if r < e.cfg.PurgeBelow {
+			// Purged: a recommender distrusted this far is not averaged
+			// in at the floor, it is ignored outright.
+			continue
+		}
 		// Like Θ, each recommendation is anchored at the scale floor:
 		// a distrusted or stale recommendation contributes the floor,
 		// not an off-scale zero.
-		sum += MinScore + (rel.score-MinScore)*d*r
-		n++
+		contribs = append(contribs, contribution{k.from, MinScore + (rel.score-MinScore)*d*r})
 	}
-	if n == 0 {
+	if len(contribs) == 0 {
 		return e.cfg.InitialScore, nil
 	}
-	return sum / float64(n), nil
+	sort.Slice(contribs, func(i, j int) bool { return contribs[i].from < contribs[j].from })
+	var sum float64
+	for _, ct := range contribs {
+		sum += ct.value
+	}
+	return sum / float64(len(contribs)), nil
+}
+
+// Recommendation returns the decayed trust level recommender z would
+// contribute about y in context c — RTT(z,y,c)·Υ anchored at the scale
+// floor, before any R(x,z) weighting — and whether z has a recorded
+// relationship with y at all.  It is the raw claim an entity audits when
+// learning its recommender trust factors: compare what z says against
+// what direct experience shows, and weight z accordingly.
+func (e *Engine) Recommendation(z, y EntityID, c Context, now float64) (float64, bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rel, ok := e.rels[relKey{z, y, c}]
+	if !ok {
+		return 0, false, nil
+	}
+	d := e.cfg.Decay(now-rel.lastTx, c)
+	if err := validateDecayOutput(d); err != nil {
+		return 0, false, err
+	}
+	return MinScore + (rel.score-MinScore)*d, true, nil
 }
 
 // Trust computes the eventual trust Γ(x,y,t,c) = α·Θ + β·Ω, clamped to the

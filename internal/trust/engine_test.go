@@ -1,6 +1,7 @@
 package trust
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -82,6 +83,54 @@ func TestReputationAveraging(t *testing.T) {
 	}
 	if math.Abs(g-4) > 1e-12 {
 		t.Fatalf("Ω = %g, want 4", g)
+	}
+}
+
+func TestReputationIsBitwiseDeterministic(t *testing.T) {
+	// Ω averages over recommenders stored in a map; the sum must not
+	// depend on map iteration order (floating-point addition is not
+	// associative), or replayed experiments diverge in the last ulp.
+	// Build two engines with the same relationships inserted in opposite
+	// orders and query both repeatedly: every answer must be
+	// bit-identical.
+	const recommenders = 23
+	build := func(reversed bool) *Engine {
+		e := newTestEngine(t, Config{Alpha: 0, Beta: 1, InitialScore: 1})
+		for i := 0; i < recommenders; i++ {
+			j := i
+			if reversed {
+				j = recommenders - 1 - i
+			}
+			z := EntityID(fmt.Sprintf("z%02d", j))
+			// Irregular scores and R factors so partial sums genuinely
+			// depend on association.
+			score := 1 + 5*math.Mod(float64(j)*0.37+0.11, 1)
+			if err := e.SetDirect(z, "y", "c", score, float64(j)); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SetRecommenderFactor(z, "y", 0.3+0.7*math.Mod(float64(j)*0.61, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	a, b := build(false), build(true)
+	want, err := a.Reputation("x", "y", "c", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		ga, err := a.Reputation("x", "y", "c", 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := b.Reputation("x", "y", "c", 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ga != want || gb != want {
+			t.Fatalf("trial %d: reputation diverged: %v / %v, want %v", trial, ga, gb, want)
+		}
 	}
 }
 

@@ -1,0 +1,87 @@
+package trust
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRecommendation covers the raw-claim accessor used for recommender
+// auditing: unknown relationships report ok=false, known ones return the
+// decayed floor-anchored RTT before any R weighting.
+func TestRecommendation(t *testing.T) {
+	e, err := NewEngine(Config{Alpha: 0.5, Beta: 0.5, Smoothing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := Context("compute")
+	if _, ok, err := e.Recommendation("z", "y", ctx, 0); err != nil || ok {
+		t.Fatalf("unknown relationship: ok=%v err=%v, want false,nil", ok, err)
+	}
+	if _, err := e.Observe("z", "y", ctx, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	claim, ok, err := e.Recommendation("z", "y", ctx, 0)
+	if err != nil || !ok {
+		t.Fatalf("known relationship: ok=%v err=%v", ok, err)
+	}
+	if math.Abs(claim-5) > 1e-9 {
+		t.Fatalf("claim = %g, want 5", claim)
+	}
+	// The claim must be independent of any R(z,y) override — it is what
+	// z says, not what the auditor weighs it by.
+	if err := e.SetRecommenderFactor("z", "y", 0); err != nil {
+		t.Fatal(err)
+	}
+	claim2, _, err := e.Recommendation("z", "y", ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claim2 != claim {
+		t.Fatalf("claim changed with R: %g vs %g", claim2, claim)
+	}
+}
+
+// TestPurgeBelow checks the untrustworthy-recommendation purge: with a
+// threshold set, a zero-R recommender vanishes from Ω instead of dragging
+// the average to the floor.
+func TestPurgeBelow(t *testing.T) {
+	ctx := Context("compute")
+	build := func(purge float64) *Engine {
+		e, err := NewEngine(Config{Alpha: 0.5, Beta: 0.5, Smoothing: 1, PurgeBelow: purge})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An honest recommender says 6, a zero-weighted liar says 1.
+		for _, obs := range []struct {
+			z EntityID
+			v float64
+		}{{"honest", 6}, {"liar", 1}} {
+			if _, err := e.Observe(obs.z, "y", ctx, obs.v, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.SetRecommenderFactor("liar", "y", 0); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	// Without purging the liar still contributes the floor: Ω = (6+1)/2.
+	omega, err := build(0).Reputation("x", "y", ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(omega-3.5) > 1e-9 {
+		t.Fatalf("unpurged Ω = %g, want 3.5", omega)
+	}
+	// With a threshold the liar is ignored outright: Ω = 6.
+	omega, err = build(0.2).Reputation("x", "y", ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(omega-6) > 1e-9 {
+		t.Fatalf("purged Ω = %g, want 6", omega)
+	}
+	if _, err := NewEngine(Config{Alpha: 1, PurgeBelow: 1.5}); err == nil {
+		t.Fatal("purge threshold 1.5 must be rejected")
+	}
+}

@@ -17,12 +17,13 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/exp/... ./internal/sched/... ./internal/sim/..."
-go test -race ./internal/exp/... ./internal/sched/... ./internal/sim/...
+echo "==> go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/..."
+go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/...
 
 echo "==> sweep smoke (every mode, tiny grid)"
 go build -o /tmp/gridtrust-ci-sweep ./cmd/sweep
-for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging; do
+/tmp/gridtrust-ci-sweep -list > /dev/null
+for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging fault; do
     echo "    sweep -mode $mode"
     /tmp/gridtrust-ci-sweep -mode "$mode" -reps 2 -tasks 20 -seed 1 > /dev/null
 done
