@@ -1,6 +1,6 @@
 # Convenience targets; scripts/ci.sh is the canonical verify flow.
 
-.PHONY: verify test race smoke bench bench-kernels bench-sweep
+.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal
 
 # verify runs the tier-1 flow: build, vet, full tests, race tests for
 # the concurrent packages (exp's experiment engine, sim's cell runners,
@@ -41,3 +41,8 @@ bench-sweep:
 # BENCH_fault.json (fast path vs masking-only vs real churn).
 bench-fault:
 	go test ./internal/sim -run '^$$' -bench 'FaultPathOverhead' -benchmem
+
+# bench-wal measures write-ahead-log append throughput (group commit vs
+# NoSync) and recovery speed, recorded in BENCH_wal.json.
+bench-wal:
+	go test ./internal/wal -run '^$$' -bench 'Append|Recover' -benchmem

@@ -7,6 +7,12 @@
 //	gridctl -addr 127.0.0.1:7431 submit -client 0 -activities 0,1 -rtl E -eec 100,110,95
 //	gridctl -addr 127.0.0.1:7431 report -placement 3 -outcome 5.5
 //	gridctl -addr 127.0.0.1:7431 stats
+//	gridctl -addr 127.0.0.1:7431 checkpoint     # snapshot + compact the daemon's WAL
+//	gridctl wal-info -data /var/lib/gridtrustd  # offline: inspect a WAL directory
+//	gridctl wal-dump -data /var/lib/gridtrustd  # offline: print every live record
+//
+// The wal-* subcommands read the log directory directly (read-only, safe
+// while the daemon is stopped); checkpoint talks to a running daemon.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"gridtrust/internal/grid"
 	"gridtrust/internal/rmswire"
+	"gridtrust/internal/wal"
 )
 
 func main() {
@@ -26,6 +33,20 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// Offline subcommands never dial.
+	switch args[0] {
+	case "wal-info":
+		if err := cmdWALInfo(args[1:]); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	case "wal-dump":
+		if err := cmdWALDump(args[1:]); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	client, err := rmswire.Dial(*addr)
@@ -41,6 +62,8 @@ func main() {
 		err = cmdReport(client, args[1:])
 	case "stats":
 		err = cmdStats(client)
+	case "checkpoint":
+		err = cmdCheckpoint(client)
 	default:
 		usage()
 	}
@@ -108,6 +131,71 @@ func cmdStats(client *rmswire.Client) error {
 	return nil
 }
 
+func cmdCheckpoint(client *rmswire.Client) error {
+	info, err := client.Checkpoint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpointed: %d records compacted, boundary seq %d, %d live segment(s)\n",
+		info.Compacted, info.Boundary, info.Segments)
+	return nil
+}
+
+func cmdWALInfo(args []string) error {
+	fs := flag.NewFlagSet("wal-info", flag.ExitOnError)
+	data := fs.String("data", "", "gridtrustd data directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("wal-info requires -data")
+	}
+	rec, err := wal.Inspect(*data, wal.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:      boundary seq %d\n", rec.SnapshotSeq)
+	fmt.Printf("live records:  %d (next seq %d)\n", len(rec.Records), rec.NextSeq)
+	fmt.Printf("segments:      %d\n", len(rec.Segments))
+	for _, s := range rec.Segments {
+		state := "ok"
+		switch {
+		case s.Dropped:
+			state = "DROPPED"
+		case s.TornBytes > 0:
+			state = fmt.Sprintf("torn tail (%d bytes)", s.TornBytes)
+		}
+		fmt.Printf("  seg base %-8d %5d records %8d bytes  %s\n", s.Base, s.Records, s.Bytes, state)
+	}
+	if !rec.Clean() {
+		fmt.Printf("damage:        %d truncated bytes, %d dropped segments, %d corrupt snapshots (repaired on next daemon start)\n",
+			rec.TruncatedBytes, rec.DroppedSegments, rec.CorruptSnapshots)
+	}
+	return nil
+}
+
+func cmdWALDump(args []string) error {
+	fs := flag.NewFlagSet("wal-dump", flag.ExitOnError)
+	data := fs.String("data", "", "gridtrustd data directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("wal-dump requires -data")
+	}
+	rec, err := wal.Inspect(*data, wal.Options{})
+	if err != nil {
+		return err
+	}
+	if rec.SnapshotSeq > 0 {
+		fmt.Printf("snapshot@%d: %d bytes\n", rec.SnapshotSeq, len(rec.Snapshot))
+	}
+	for _, r := range rec.Records {
+		fmt.Printf("%8d  %s\n", r.Seq, r.Payload)
+	}
+	return nil
+}
+
 func parseActivities(s string) ([]grid.Activity, error) {
 	parts := strings.Split(s, ",")
 	out := make([]grid.Activity, 0, len(parts))
@@ -149,7 +237,7 @@ func parseFloats(s string) ([]float64, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats|checkpoint|wal-info|wal-dump} [flags]")
 	os.Exit(2)
 }
 

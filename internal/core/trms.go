@@ -70,15 +70,18 @@ type Task struct {
 // Placement describes where the TRMS put a task and at what expected cost.
 type Placement struct {
 	Machine *grid.Machine
-	RD      grid.DomainID
-	CD      grid.DomainID
-	OTL     grid.TrustLevel
-	TC      int
-	EEC     float64
-	ESC     float64
-	ECC     float64
-	Start   float64
-	Finish  float64
+	// MachineIdx is the machine's index in topology order, the stable
+	// handle journals use to replay a placement with RecoverPlacement.
+	MachineIdx int
+	RD         grid.DomainID
+	CD         grid.DomainID
+	OTL        grid.TrustLevel
+	TC         int
+	EEC        float64
+	ESC        float64
+	ECC        float64
+	Start      float64
+	Finish     float64
 }
 
 // TRMS is the trust-aware resource management system.  Its methods are
@@ -243,11 +246,57 @@ func (t *TRMS) Table() *grid.TrustTable { return t.table }
 // recommender factors.
 func (t *TRMS) Engine() *trust.Engine { return t.engine }
 
+// Topology exposes the static grid structure the TRMS was built over.
+func (t *TRMS) Topology() *grid.Topology { return t.cfg.Topology }
+
 // Placed returns how many tasks have been placed.
 func (t *TRMS) Placed() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.placed
+}
+
+// SchedulerState captures the mutable scheduler state — placement count
+// and per-machine free times in topology machine order — for persistence.
+func (t *TRMS) SchedulerState() (placed int, freeTime []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ft := make([]float64, len(t.freeTime))
+	copy(ft, t.freeTime)
+	return t.placed, ft
+}
+
+// RestoreSchedulerState installs state captured by SchedulerState, e.g.
+// when rebuilding a TRMS from a durability snapshot.  It replaces, not
+// merges: call it on a fresh TRMS before submitting work.
+func (t *TRMS) RestoreSchedulerState(placed int, freeTime []float64) error {
+	if placed < 0 {
+		return fmt.Errorf("core: negative placement count %d", placed)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(freeTime) != len(t.freeTime) {
+		return fmt.Errorf("core: restore has %d machine free times, topology has %d",
+			len(freeTime), len(t.freeTime))
+	}
+	copy(t.freeTime, freeTime)
+	t.placed = placed
+	return nil
+}
+
+// RecoverPlacement replays one journalled placement: machine m (topology
+// order) is busy until finish, and the placement counts.  Replay is
+// order-insensitive — free time only ever advances — so records may be
+// applied in any order after a snapshot restore.
+func (t *TRMS) RecoverPlacement(m int, finish float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m < 0 || m >= len(t.freeTime) {
+		return fmt.Errorf("core: recovered placement on machine %d of %d", m, len(t.freeTime))
+	}
+	t.freeTime[m] = math.Max(t.freeTime[m], finish)
+	t.placed++
+	return nil
 }
 
 // Submit maps a task at time now and commits it to the chosen machine's
@@ -329,16 +378,17 @@ func (t *TRMS) Submit(task Task, now float64) (*Placement, error) {
 	t.freeTime[m] = finish
 	t.placed++
 	return &Placement{
-		Machine: machine,
-		RD:      rd.ID,
-		CD:      cd.ID,
-		OTL:     otls[m],
-		TC:      tcs[m],
-		EEC:     eec,
-		ESC:     esc,
-		ECC:     eec + esc,
-		Start:   start,
-		Finish:  finish,
+		Machine:    machine,
+		MachineIdx: m,
+		RD:         rd.ID,
+		CD:         cd.ID,
+		OTL:        otls[m],
+		TC:         tcs[m],
+		EEC:        eec,
+		ESC:        esc,
+		ECC:        eec + esc,
+		Start:      start,
+		Finish:     finish,
 	}, nil
 }
 

@@ -327,3 +327,75 @@ func TestCustomHeuristic(t *testing.T) {
 		t.Fatalf("OLB placement %+v, want machine 1", p)
 	}
 }
+
+func TestSchedulerStateRoundTrip(t *testing.T) {
+	trms := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	task := Task{Client: 0, ToA: grid.MustToA(grid.ActCompute), RTL: grid.LevelA, EEC: []float64{10, 20}}
+	p, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, freeTime := trms.SchedulerState()
+	if placed != 1 || freeTime[p.MachineIdx] != p.Finish {
+		t.Fatalf("state %d %v, want 1 placement finishing at %g", placed, freeTime, p.Finish)
+	}
+	// Mutating the returned slice must not touch the live TRMS.
+	freeTime[0] = 999
+	_, again := trms.SchedulerState()
+	if again[0] == 999 {
+		t.Fatal("SchedulerState aliases internal state")
+	}
+
+	fresh := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	if err := fresh.RestoreSchedulerState(placed, []float64{p.Finish, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Placed() != 1 {
+		t.Fatal("restore lost the placement count")
+	}
+	// The restored machine queue must shape the next placement exactly as
+	// on the original: machine 0 is busy until 10, so 10+10 vs 0+20 ties
+	// and MCT keeps machine 0.
+	pOrig, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRest, err := fresh.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOrig.MachineIdx != pRest.MachineIdx || pOrig.Start != pRest.Start || pOrig.Finish != pRest.Finish {
+		t.Fatalf("restored TRMS diverged: %+v vs %+v", pOrig, pRest)
+	}
+
+	if err := fresh.RestoreSchedulerState(0, []float64{1}); err == nil {
+		t.Fatal("RestoreSchedulerState accepted wrong machine count")
+	}
+	if err := fresh.RestoreSchedulerState(-1, []float64{0, 0}); err == nil {
+		t.Fatal("RestoreSchedulerState accepted negative count")
+	}
+}
+
+func TestRecoverPlacementIsOrderInsensitive(t *testing.T) {
+	a := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	b := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	finishes := []float64{30, 10, 20}
+	for _, f := range finishes {
+		if err := a.RecoverPlacement(0, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := len(finishes) - 1; i >= 0; i-- {
+		if err := b.RecoverPlacement(0, finishes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa, fa := a.SchedulerState()
+	pb, fb := b.SchedulerState()
+	if pa != pb || fa[0] != fb[0] || fa[0] != 30 {
+		t.Fatalf("replay order changed state: %d %v vs %d %v", pa, fa, pb, fb)
+	}
+	if err := a.RecoverPlacement(7, 1); err == nil {
+		t.Fatal("RecoverPlacement accepted an out-of-range machine")
+	}
+}

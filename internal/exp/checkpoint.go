@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"gridtrust/internal/wal"
+)
+
+// Checkpoint is a durable cache of completed experiment cells backed by a
+// write-ahead log.  Run journals every error-free cell through it as the
+// cell drains, and looks cells up before dispatching, so a grid interrupted
+// mid-sweep and re-run against the same directory re-executes only the
+// cells that never finished.
+//
+// Cells are keyed by (salt, cell name, master seed, replication count):
+// changing any of them is a cache miss, so a checkpoint directory can never
+// serve results from a different configuration.  One directory may be
+// shared by several grids as long as their salts (or cell names) differ.
+type Checkpoint struct {
+	mu    sync.Mutex
+	log   *wal.Log
+	cache map[string]json.RawMessage
+}
+
+// checkpointRecord is one journalled cell result.
+type checkpointRecord struct {
+	Key  string          `json:"key"`
+	Reps json.RawMessage `json:"reps"`
+}
+
+// OpenCheckpoint opens (or creates) a checkpoint directory and replays its
+// log, making previously completed cells visible to lookups.  Later records
+// win when a key was stored twice.
+func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	log, rec, err := wal.Create(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cache := make(map[string]json.RawMessage)
+	if len(rec.Snapshot) > 0 {
+		if err := json.Unmarshal(rec.Snapshot, &cache); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("exp: checkpoint snapshot: %w", err)
+		}
+	}
+	for _, r := range rec.Records {
+		var cr checkpointRecord
+		if err := json.Unmarshal(r.Payload, &cr); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("exp: checkpoint record %d: %w", r.Seq, err)
+		}
+		cache[cr.Key] = cr.Reps
+	}
+	return &Checkpoint{log: log, cache: cache}, nil
+}
+
+// Len reports the number of cached cells.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// lookup returns the cached encoding for key.
+func (c *Checkpoint) lookup(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, ok := c.cache[key]
+	return blob, ok
+}
+
+// store journals one completed cell and makes it visible to lookups.  The
+// append is synced before store returns: a stored cell survives a kill.
+func (c *Checkpoint) store(key string, reps json.RawMessage) error {
+	payload, err := json.Marshal(checkpointRecord{Key: key, Reps: reps})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.log.Append(payload); err != nil {
+		return err
+	}
+	c.cache[key] = reps
+	return nil
+}
+
+// Compact folds every cached cell into one snapshot and drops the record
+// tail, bounding the directory for long-lived sweep series.
+func (c *Checkpoint) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, err := json.Marshal(c.cache)
+	if err != nil {
+		return err
+	}
+	return c.log.Snapshot(c.log.NextSeq(), blob)
+}
+
+// Close releases the underlying log.
+func (c *Checkpoint) Close() error { return c.log.Close() }
+
+// cellKey derives the durable identity of one cell's result set.
+func cellKey(salt, name string, seed uint64, reps int) string {
+	return fmt.Sprintf("%s|%s|seed=%d|reps=%d", salt, name, seed, reps)
+}

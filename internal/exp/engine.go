@@ -72,6 +72,21 @@ type Options struct {
 	// OnCell, when set, is called once per cell as its final replication
 	// completes.  Calls are serialised, so the hook may print.
 	OnCell func(Progress)
+	// Checkpoint, when set, makes the grid resumable: every error-free
+	// cell is journalled through it as it drains, and cells found in it
+	// are restored without re-executing any replication.  EncodeReps and
+	// DecodeReps must also be set.
+	Checkpoint *Checkpoint
+	// CheckpointSalt namespaces this grid's cells inside a shared
+	// checkpoint directory (typically the sweep mode plus any knobs that
+	// change cell contents without changing cell names).
+	CheckpointSalt string
+	// EncodeReps and DecodeReps convert a cell's completed replication
+	// slice to and from its durable encoding.  Decoding must invert
+	// encoding exactly: restored replications fold through the same
+	// aggregation paths as fresh ones.
+	EncodeReps func(reps []any) ([]byte, error)
+	DecodeReps func(data []byte) ([]any, error)
 }
 
 // Progress describes one completed cell.
@@ -89,6 +104,9 @@ type Progress struct {
 	Work time.Duration
 	// Err is the cell's error, if any replication failed.
 	Err error
+	// Cached reports that the cell was restored from Options.Checkpoint
+	// instead of executed; Work is zero for cached cells.
+	Cached bool
 }
 
 // CellResult collects one cell's outputs.
@@ -123,6 +141,9 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]CellResult, error) 
 	if len(cells) == 0 {
 		return nil, nil
 	}
+	if opts.Checkpoint != nil && (opts.EncodeReps == nil || opts.DecodeReps == nil) {
+		return nil, fmt.Errorf("exp: Options.Checkpoint requires EncodeReps and DecodeReps")
+	}
 	results := make([]CellResult, len(cells))
 	total := 0
 	maxReps := 0
@@ -143,6 +164,28 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]CellResult, error) 
 			maxReps = reps
 		}
 	}
+	// Restore cells the checkpoint already holds; their replications are
+	// never dispatched.  An entry that fails to decode or carries the
+	// wrong replication count is treated as a miss and re-executed.
+	keys := make([]string, len(cells))
+	cached := make([]bool, len(cells))
+	if opts.Checkpoint != nil {
+		for i := range cells {
+			keys[i] = cellKey(opts.CheckpointSalt, cells[i].Name, opts.Seed, len(results[i].Reps))
+			blob, ok := opts.Checkpoint.lookup(keys[i])
+			if !ok {
+				continue
+			}
+			reps, err := opts.DecodeReps(blob)
+			if err != nil || len(reps) != len(results[i].Reps) {
+				continue
+			}
+			cached[i] = true
+			results[i].Reps = reps
+			total -= len(reps)
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -170,6 +213,32 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]CellResult, error) 
 	var done atomic.Int64
 	var hookMu sync.Mutex
 
+	// Cached cells complete up front: count them done and fire their
+	// progress events in cell order before any live work starts.
+	for i := range cells {
+		if !cached[i] {
+			continue
+		}
+		n := done.Add(1)
+		if opts.OnCell != nil {
+			opts.OnCell(Progress{
+				Cell: results[i].Name, Index: i, Reps: len(results[i].Reps),
+				Done: int(n), Cells: len(cells), Cached: true,
+			})
+		}
+	}
+
+	// Checkpoint failures must not poison cell results; they are joined
+	// into the run error instead, so a sweep never silently loses the
+	// durability it was asked for.
+	var ckMu sync.Mutex
+	var ckErrs []error
+	ckFail := func(err error) {
+		ckMu.Lock()
+		ckErrs = append(ckErrs, err)
+		ckMu.Unlock()
+	}
+
 	// finishRep folds one completed replication into its cell's state and
 	// fires the progress hook when the cell drains.
 	finishRep := func(j job, elapsed time.Duration) {
@@ -184,6 +253,13 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]CellResult, error) 
 			if err != nil {
 				res.Err = fmt.Errorf("exp: cell %q replication %d: %w", res.Name, rep, err)
 				break
+			}
+		}
+		if opts.Checkpoint != nil && res.Err == nil {
+			if blob, err := opts.EncodeReps(res.Reps); err != nil {
+				ckFail(fmt.Errorf("exp: checkpoint encode cell %q: %w", res.Name, err))
+			} else if err := opts.Checkpoint.store(keys[j.cell], blob); err != nil {
+				ckFail(fmt.Errorf("exp: checkpoint cell %q: %w", res.Name, err))
 			}
 		}
 		n := done.Add(1)
@@ -224,6 +300,9 @@ func Run(ctx context.Context, cells []Cell, opts Options) ([]CellResult, error) 
 	cancelled := false
 dispatch:
 	for c := range cells {
+		if cached[c] {
+			continue
+		}
 		for r := range results[c].Reps {
 			select {
 			case jobs <- job{cell: c, rep: r}:
@@ -245,6 +324,7 @@ dispatch:
 			cellErrs = append(cellErrs, results[i].Err)
 		}
 	}
+	cellErrs = append(cellErrs, ckErrs...)
 	return results, errors.Join(cellErrs...)
 }
 

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -103,6 +104,58 @@ func (t *TrustTable) ForEach(fn func(cd, rd DomainID, act Activity, tl TrustLeve
 	for k, tl := range t.entries {
 		fn(k.cd, k.rd, k.act, tl)
 	}
+}
+
+// TableEntry is one (cd, rd, activity) → level record in exported form,
+// used to persist the table and rebuild it on recovery.
+type TableEntry struct {
+	CD       DomainID   `json:"cd"`
+	RD       DomainID   `json:"rd"`
+	Activity Activity   `json:"activity"`
+	Level    TrustLevel `json:"level"`
+}
+
+// Entries exports every table entry in deterministic (cd, rd, activity)
+// order, suitable for serialisation.
+func (t *TrustTable) Entries() []TableEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]TableEntry, 0, len(t.entries))
+	for k, tl := range t.entries {
+		out = append(out, TableEntry{CD: k.cd, RD: k.rd, Activity: k.act, Level: tl})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.CD != b.CD {
+			return a.CD < b.CD
+		}
+		if a.RD != b.RD {
+			return a.RD < b.RD
+		}
+		return a.Activity < b.Activity
+	})
+	return out
+}
+
+// Restore replaces the table contents with the given entries and sets the
+// mutation counter, rebuilding a persisted table exactly.  Entries are
+// validated up front; on error the table is left unchanged.
+func (t *TrustTable) Restore(entries []TableEntry, version uint64) error {
+	fresh := make(map[tableKey]TrustLevel, len(entries))
+	for _, e := range entries {
+		if !e.Level.Offerable() {
+			return fmt.Errorf("grid: restore entry for CD %d / RD %d has non-offerable level %v", e.CD, e.RD, e.Level)
+		}
+		if !e.Activity.Valid() {
+			return fmt.Errorf("grid: restore entry has invalid activity %d", int(e.Activity))
+		}
+		fresh[tableKey{e.CD, e.RD, e.Activity}] = e.Level
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = fresh
+	t.version = version
+	return nil
 }
 
 // Snapshot returns a read-only copy of the table, the "replicated at

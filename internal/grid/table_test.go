@@ -250,3 +250,79 @@ func TestForEachVisitsEveryEntry(t *testing.T) {
 		}
 	}
 }
+
+func TestEntriesRestoreRoundTrip(t *testing.T) {
+	tt := NewTrustTable()
+	seed := []struct {
+		cd, rd DomainID
+		act    Activity
+		tl     TrustLevel
+	}{
+		{1, 2, ActCompute, LevelB},
+		{0, 3, ActStorage, LevelD},
+		{2, 0, ActCompute, LevelA},
+	}
+	for _, s := range seed {
+		if err := tt.Set(s.cd, s.rd, s.act, s.tl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := tt.Entries()
+	if len(entries) != len(seed) {
+		t.Fatalf("Entries returned %d, want %d", len(entries), len(seed))
+	}
+	// Deterministic order: (cd, rd, activity) ascending.
+	for i := 1; i < len(entries); i++ {
+		a, b := entries[i-1], entries[i]
+		if a.CD > b.CD || (a.CD == b.CD && a.RD > b.RD) {
+			t.Fatalf("entries out of order: %+v before %+v", a, b)
+		}
+	}
+
+	restored := NewTrustTable()
+	if err := restored.Restore(entries, tt.Version()); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Version() != tt.Version() || restored.Len() != tt.Len() {
+		t.Fatalf("restored version/len %d/%d, want %d/%d",
+			restored.Version(), restored.Len(), tt.Version(), tt.Len())
+	}
+	for _, s := range seed {
+		got, ok := restored.Get(s.cd, s.rd, s.act)
+		if !ok || got != s.tl {
+			t.Fatalf("restored entry (%d,%d,%v) = %v/%v, want %v", s.cd, s.rd, s.act, got, ok, s.tl)
+		}
+	}
+}
+
+func TestRestoreValidatesAndReplaces(t *testing.T) {
+	tt := NewTrustTable()
+	if err := tt.Set(9, 9, ActCompute, LevelE); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid entries reject atomically: the table keeps its old contents.
+	err := tt.Restore([]TableEntry{{CD: 0, RD: 1, Activity: ActCompute, Level: LevelF}}, 5)
+	if err == nil {
+		t.Fatal("Restore accepted a non-offerable level")
+	}
+	err = tt.Restore([]TableEntry{{CD: 0, RD: 1, Activity: Activity(-2), Level: LevelB}}, 5)
+	if err == nil {
+		t.Fatal("Restore accepted an invalid activity")
+	}
+	if _, ok := tt.Get(9, 9, ActCompute); !ok {
+		t.Fatal("failed Restore clobbered the table")
+	}
+	// A valid Restore replaces rather than merges.
+	if err := tt.Restore([]TableEntry{{CD: 0, RD: 1, Activity: ActCompute, Level: LevelB}}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tt.Get(9, 9, ActCompute); ok {
+		t.Fatal("Restore merged instead of replacing")
+	}
+	if tl, ok := tt.Get(0, 1, ActCompute); !ok || tl != LevelB {
+		t.Fatal("Restore dropped the new entry")
+	}
+	if tt.Version() != 7 {
+		t.Fatalf("Restore version = %d, want 7", tt.Version())
+	}
+}

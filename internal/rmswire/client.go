@@ -82,6 +82,19 @@ func (c *Client) Report(placementID uint64, outcome, now float64) error {
 	return err
 }
 
+// Checkpoint asks the daemon to snapshot its state and compact the
+// write-ahead log.  It fails if the daemon runs without a journal.
+func (c *Client) Checkpoint() (*CheckpointInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpCheckpoint})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Checkpoint == nil {
+		return nil, fmt.Errorf("rmswire: checkpoint response missing info")
+	}
+	return resp.Checkpoint, nil
+}
+
 // Stats fetches daemon statistics.
 func (c *Client) Stats() (*StatsInfo, error) {
 	resp, err := c.roundTrip(Request{Op: OpStats})

@@ -1,0 +1,329 @@
+package rmswire
+
+// journal.go makes the daemon crash-safe: every accepted placement and
+// outcome report is appended to a write-ahead log before the response
+// frame leaves the server, and checkpoints fold the log into one snapshot
+// so restart cost stays bounded.
+//
+// Records journal *results*, not requests.  A placement record carries the
+// machine, timing and trust figures the heuristic chose, and replay applies
+// them directly with TRMS.RecoverPlacement — re-running the heuristic
+// against a replayed table could diverge, because the live table evolves
+// asynchronously under the monitoring agents.  Replay of placements is
+// therefore order-insensitive; reports replay through ReportOutcome so the
+// trust engine sees the same transaction stream it saw live.
+//
+// Concurrency: request handlers hold jmu for reading while they mutate the
+// TRMS and append to the journal; Checkpoint takes jmu for writing, so it
+// observes a quiescent daemon whose journal position exactly matches the
+// captured state.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"gridtrust/internal/core"
+	"gridtrust/internal/grid"
+	"gridtrust/internal/trust"
+	"gridtrust/internal/wal"
+)
+
+// journal record kinds.
+const (
+	recPlace  = "place"
+	recReport = "report"
+)
+
+// journalRecord is one WAL entry, JSON-encoded.  Place records hold the
+// complete placement so recovery needs no rescheduling; report records
+// reference the placement id.
+type journalRecord struct {
+	Kind string `json:"kind"`
+
+	// Place fields.
+	ID         uint64  `json:"id,omitempty"`
+	Machine    int     `json:"machine"` // topology machine index
+	MachineID  int     `json:"machine_id,omitempty"`
+	RD         int     `json:"rd"`
+	CD         int     `json:"cd"`
+	OTL        string  `json:"otl,omitempty"`
+	TC         int     `json:"tc,omitempty"`
+	EEC        float64 `json:"eec,omitempty"`
+	ESC        float64 `json:"esc,omitempty"`
+	Start      float64 `json:"start,omitempty"`
+	Finish     float64 `json:"finish,omitempty"`
+	Activities []int   `json:"activities,omitempty"`
+
+	// Report fields.
+	Outcome float64 `json:"outcome,omitempty"`
+
+	Now float64 `json:"now,omitempty"`
+}
+
+// daemonSnapshotVersion guards the checkpoint payload format.
+const daemonSnapshotVersion = 1
+
+// daemonSnapshot is the checkpoint payload: everything needed to rebuild
+// the daemon at a journal boundary.  The trust fabric reuses the engine's
+// own snapshot format, so its version discipline (trust.ErrSnapshotVersion)
+// applies on the recovery path too.
+type daemonSnapshot struct {
+	Version      int               `json:"version"`
+	NextID       uint64            `json:"next_id"`
+	Placed       int               `json:"placed"`
+	FreeTime     []float64         `json:"free_time"`
+	TableVersion uint64            `json:"table_version"`
+	Table        []grid.TableEntry `json:"table"`
+	Trust        *trust.Snapshot   `json:"trust"`
+	// Open holds the placements still awaiting an outcome report, as
+	// place records.  Their scheduler effect is already inside
+	// Placed/FreeTime; they are kept so late reports still resolve.
+	Open []journalRecord `json:"open,omitempty"`
+}
+
+// CheckpointInfo reports the outcome of a WAL checkpoint.
+type CheckpointInfo struct {
+	// Boundary is the first sequence NOT covered by the new snapshot.
+	Boundary uint64 `json:"boundary"`
+	// Compacted is how many live records the snapshot subsumed.
+	Compacted uint64 `json:"compacted"`
+	// Segments is the live segment-file count after compaction.
+	Segments int `json:"segments"`
+}
+
+// AttachJournal replays a recovered WAL into the server's TRMS and starts
+// journaling subsequent operations to log.  Call it on a freshly built
+// server before ListenAndServe.  compactEvery > 0 checkpoints automatically
+// once that many records accumulate past the last boundary.
+func (s *Server) AttachJournal(log *wal.Log, rec *wal.Recovered, compactEvery int) error {
+	if log == nil {
+		return fmt.Errorf("rmswire: nil journal")
+	}
+	if rec != nil {
+		if err := s.replay(rec); err != nil {
+			return fmt.Errorf("rmswire: journal replay: %w", err)
+		}
+	}
+	s.jmu.Lock()
+	s.journal = log
+	s.compactEvery = compactEvery
+	s.lastBoundary = log.NextSeq()
+	if rec != nil && rec.SnapshotSeq > 0 {
+		s.lastBoundary = rec.SnapshotSeq
+	}
+	s.jmu.Unlock()
+	return nil
+}
+
+// replay rebuilds daemon state from a recovered snapshot + record tail.
+func (s *Server) replay(rec *wal.Recovered) error {
+	if rec.Snapshot != nil {
+		var snap daemonSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return fmt.Errorf("decode snapshot: %w", err)
+		}
+		if snap.Version != daemonSnapshotVersion {
+			return fmt.Errorf("snapshot version %d, want %d", snap.Version, daemonSnapshotVersion)
+		}
+		if err := s.trms.RestoreSchedulerState(snap.Placed, snap.FreeTime); err != nil {
+			return err
+		}
+		if err := s.trms.Table().Restore(snap.Table, snap.TableVersion); err != nil {
+			return err
+		}
+		if snap.Trust != nil {
+			if err := s.trms.Engine().Import(snap.Trust); err != nil {
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.nextID = snap.NextID
+		s.mu.Unlock()
+		for i := range snap.Open {
+			r := &snap.Open[i]
+			p, toa, err := r.placement(s.trms.Topology())
+			if err != nil {
+				return fmt.Errorf("open placement %d: %w", r.ID, err)
+			}
+			s.mu.Lock()
+			s.placements[r.ID] = openPlacement{p: p, toa: toa}
+			s.mu.Unlock()
+		}
+	}
+	for _, w := range rec.Records {
+		var r journalRecord
+		if err := json.Unmarshal(w.Payload, &r); err != nil {
+			return fmt.Errorf("decode record %d: %w", w.Seq, err)
+		}
+		switch r.Kind {
+		case recPlace:
+			p, toa, err := r.placement(s.trms.Topology())
+			if err != nil {
+				return fmt.Errorf("record %d: %w", w.Seq, err)
+			}
+			if err := s.trms.RecoverPlacement(r.Machine, r.Finish); err != nil {
+				return fmt.Errorf("record %d: %w", w.Seq, err)
+			}
+			s.mu.Lock()
+			s.placements[r.ID] = openPlacement{p: p, toa: toa}
+			if r.ID > s.nextID {
+				s.nextID = r.ID
+			}
+			s.mu.Unlock()
+		case recReport:
+			s.mu.Lock()
+			op, ok := s.placements[r.ID]
+			if ok {
+				delete(s.placements, r.ID)
+			}
+			s.mu.Unlock()
+			if !ok {
+				return fmt.Errorf("record %d: report for unknown placement %d", w.Seq, r.ID)
+			}
+			if err := s.trms.ReportOutcome(op.p, op.toa, r.Outcome, r.Now); err != nil {
+				return fmt.Errorf("record %d: %w", w.Seq, err)
+			}
+		default:
+			return fmt.Errorf("record %d: unknown kind %q", w.Seq, r.Kind)
+		}
+	}
+	// Settle the agents so the table reflects every replayed report before
+	// the daemon takes traffic.
+	s.trms.Drain()
+	return nil
+}
+
+// placement rebuilds the in-memory placement a record describes.
+func (r *journalRecord) placement(top *grid.Topology) (*core.Placement, grid.ToA, error) {
+	machines := top.Machines()
+	if r.Machine < 0 || r.Machine >= len(machines) {
+		return nil, grid.ToA{}, fmt.Errorf("machine index %d of %d", r.Machine, len(machines))
+	}
+	toa, err := activitiesToToA(r.Activities)
+	if err != nil {
+		return nil, grid.ToA{}, err
+	}
+	otl, err := grid.ParseLevel(r.OTL)
+	if err != nil {
+		return nil, grid.ToA{}, err
+	}
+	return &core.Placement{
+		Machine:    machines[r.Machine],
+		MachineIdx: r.Machine,
+		RD:         grid.DomainID(r.RD),
+		CD:         grid.DomainID(r.CD),
+		OTL:        otl,
+		TC:         r.TC,
+		EEC:        r.EEC,
+		ESC:        r.ESC,
+		ECC:        r.EEC + r.ESC,
+		Start:      r.Start,
+		Finish:     r.Finish,
+	}, toa, nil
+}
+
+// placeRecord encodes a placement for the journal or a snapshot's open set.
+func placeRecord(id uint64, p *core.Placement, toa grid.ToA, now float64) journalRecord {
+	acts := make([]int, len(toa.Activities))
+	for i, a := range toa.Activities {
+		acts[i] = int(a)
+	}
+	return journalRecord{
+		Kind:       recPlace,
+		ID:         id,
+		Machine:    p.MachineIdx,
+		MachineID:  int(p.Machine.ID),
+		RD:         int(p.RD),
+		CD:         int(p.CD),
+		OTL:        p.OTL.String(),
+		TC:         p.TC,
+		EEC:        p.EEC,
+		ESC:        p.ESC,
+		Start:      p.Start,
+		Finish:     p.Finish,
+		Activities: acts,
+		Now:        now,
+	}
+}
+
+// journalAppend durably appends one record; a nil journal is a no-op.  The
+// caller holds jmu for reading.
+func (s *Server) journalAppend(r journalRecord) error {
+	if s.journal == nil {
+		return nil
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("rmswire: encode journal record: %w", err)
+	}
+	if _, err := s.journal.Append(data); err != nil {
+		return fmt.Errorf("rmswire: journal append: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint quiesces the daemon, snapshots its full state at the current
+// journal position and compacts the log behind it.
+func (s *Server) Checkpoint() (*CheckpointInfo, error) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.journal == nil {
+		return nil, fmt.Errorf("rmswire: no journal attached")
+	}
+	// Settle in-flight trust transactions so the engine export includes
+	// every report already journalled.
+	s.trms.Drain()
+	snap := s.capture()
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("rmswire: encode snapshot: %w", err)
+	}
+	boundary := s.journal.NextSeq()
+	compacted := s.journal.LiveRecords()
+	if err := s.journal.Snapshot(boundary, payload); err != nil {
+		return nil, err
+	}
+	s.lastBoundary = boundary
+	return &CheckpointInfo{
+		Boundary:  boundary,
+		Compacted: compacted,
+		Segments:  s.journal.Stats().Segments,
+	}, nil
+}
+
+// capture assembles the snapshot payload.  The caller holds jmu for
+// writing and has drained the agents, so all state is at rest.
+func (s *Server) capture() *daemonSnapshot {
+	placed, freeTime := s.trms.SchedulerState()
+	table := s.trms.Table()
+	snap := &daemonSnapshot{
+		Version:      daemonSnapshotVersion,
+		Placed:       placed,
+		FreeTime:     freeTime,
+		TableVersion: table.Version(),
+		Table:        table.Entries(),
+		Trust:        s.trms.Engine().Export(),
+	}
+	s.mu.Lock()
+	snap.NextID = s.nextID
+	for id, op := range s.placements {
+		snap.Open = append(snap.Open, placeRecord(id, op.p, op.toa, 0))
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Open, func(i, j int) bool { return snap.Open[i].ID < snap.Open[j].ID })
+	return snap
+}
+
+// maybeCompact checkpoints once enough records accumulated past the last
+// boundary.  Called outside jmu; a losing racer re-checks under the lock
+// via lastBoundary and becomes a cheap extra checkpoint at worst.
+func (s *Server) maybeCompact() {
+	s.jmu.RLock()
+	due := s.journal != nil && s.compactEvery > 0 &&
+		s.journal.NextSeq()-s.lastBoundary >= uint64(s.compactEvery)
+	s.jmu.RUnlock()
+	if due {
+		_, _ = s.Checkpoint()
+	}
+}

@@ -32,9 +32,10 @@ var ErrFrameTooLarge = errors.New("rmswire: frame exceeds MaxFrameBytes")
 
 // Operation names.
 const (
-	OpSubmit = "submit"
-	OpReport = "report"
-	OpStats  = "stats"
+	OpSubmit     = "submit"
+	OpReport     = "report"
+	OpStats      = "stats"
+	OpCheckpoint = "checkpoint"
 )
 
 // Request is one client request frame.
@@ -83,10 +84,11 @@ type StatsInfo struct {
 
 // Response is one server response frame.
 type Response struct {
-	Status    string         `json:"status"` // "ok" | "error"
-	Error     string         `json:"error,omitempty"`
-	Placement *PlacementInfo `json:"placement,omitempty"`
-	Stats     *StatsInfo     `json:"stats,omitempty"`
+	Status     string          `json:"status"` // "ok" | "error"
+	Error      string          `json:"error,omitempty"`
+	Placement  *PlacementInfo  `json:"placement,omitempty"`
+	Stats      *StatsInfo      `json:"stats,omitempty"`
+	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
 }
 
 // Response statuses.

@@ -12,6 +12,7 @@ import (
 
 	"gridtrust/internal/core"
 	"gridtrust/internal/grid"
+	"gridtrust/internal/wal"
 )
 
 // DefaultIdleTimeout is the per-connection read/write deadline applied
@@ -40,6 +41,15 @@ type Server struct {
 	mu         sync.Mutex
 	nextID     uint64
 	placements map[uint64]openPlacement
+
+	// jmu serialises operations against checkpoints: handlers that
+	// mutate the TRMS and append to the journal hold it for reading,
+	// Checkpoint holds it for writing so the captured state matches the
+	// journal position exactly.  See journal.go.
+	jmu          sync.RWMutex
+	journal      *wal.Log
+	compactEvery int
+	lastBoundary uint64
 }
 
 // openPlacement pairs a placement with the ToA it was submitted under so
@@ -159,18 +169,35 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// respond executes one request against the TRMS.
+// respond executes one request against the TRMS.  Mutating ops run under
+// the journal read-lock so checkpoints observe a quiescent daemon.
 func (s *Server) respond(req Request) Response {
+	if req.Op == OpCheckpoint {
+		return s.handleCheckpoint()
+	}
+	s.jmu.RLock()
+	var resp Response
 	switch req.Op {
 	case OpSubmit:
-		return s.handleSubmit(req)
+		resp = s.handleSubmit(req)
 	case OpReport:
-		return s.handleReport(req)
+		resp = s.handleReport(req)
 	case OpStats:
-		return s.handleStats()
+		resp = s.handleStats()
 	default:
-		return Response{Status: StatusError, Error: fmt.Sprintf("unknown op %q", req.Op)}
+		resp = Response{Status: StatusError, Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+	s.jmu.RUnlock()
+	s.maybeCompact()
+	return resp
+}
+
+func (s *Server) handleCheckpoint() Response {
+	info, err := s.Checkpoint()
+	if err != nil {
+		return Response{Status: StatusError, Error: err.Error()}
+	}
+	return Response{Status: StatusOK, Checkpoint: info}
 }
 
 func (s *Server) handleSubmit(req Request) Response {
@@ -196,6 +223,12 @@ func (s *Server) handleSubmit(req Request) Response {
 	id := s.nextID
 	s.placements[id] = openPlacement{p: p, toa: toa}
 	s.mu.Unlock()
+	if err := s.journalAppend(placeRecord(id, p, toa, req.Now)); err != nil {
+		// The placement is applied but not durable: surface that instead
+		// of pretending either way.
+		return Response{Status: StatusError,
+			Error: fmt.Sprintf("placement %d applied but not journalled: %v", id, err)}
+	}
 	return Response{Status: StatusOK, Placement: &PlacementInfo{
 		ID:      id,
 		Machine: int(p.Machine.ID),
@@ -229,6 +262,12 @@ func (s *Server) handleReport(req Request) Response {
 		s.placements[req.PlacementID] = op
 		s.mu.Unlock()
 		return Response{Status: StatusError, Error: err.Error()}
+	}
+	if err := s.journalAppend(journalRecord{
+		Kind: recReport, ID: req.PlacementID, Outcome: req.Outcome, Now: req.Now,
+	}); err != nil {
+		return Response{Status: StatusError,
+			Error: fmt.Sprintf("report for %d applied but not journalled: %v", req.PlacementID, err)}
 	}
 	return Response{Status: StatusOK}
 }

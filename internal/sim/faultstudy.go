@@ -41,7 +41,7 @@ func FaultStudyGrid(ctx context.Context, cells []FaultStudyCell, opts GridOption
 			return fault.RunStudy(cfg, src)
 		}}
 	}
-	res, err := exp.Run(ctx, ecells, opts.engineOptions())
+	res, err := exp.Run(ctx, ecells, opts.engineOptions(repsCodec[fault.StudyResult]()))
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"gridtrust/internal/exp"
@@ -20,18 +21,65 @@ type GridOptions struct {
 	Workers int
 	// OnCell, when set, receives one progress event per completed cell.
 	OnCell func(exp.Progress)
+	// Checkpoint, when set, journals every completed cell and restores
+	// cells already on disk instead of re-running them, so an interrupted
+	// grid resumed against the same directory re-executes only the cells
+	// that never finished.  Restored cells fold to bit-identical
+	// aggregates: every grid result type carries only exported fields on
+	// its fold path, and Go's JSON float64 encoding round-trips exactly.
+	Checkpoint *exp.Checkpoint
+	// CheckpointSalt namespaces this grid's cells inside a shared
+	// checkpoint directory (e.g. the sweep mode plus the task count).
+	CheckpointSalt string
 }
 
 // engineOptions translates grid options for the engine, attaching the
-// per-worker simulation scratch.
-func (o GridOptions) engineOptions() exp.Options {
+// per-worker simulation scratch and the checkpoint codec for the grid's
+// concrete replication type.
+func (o GridOptions) engineOptions(enc func([]any) ([]byte, error), dec func([]byte) ([]any, error)) exp.Options {
 	return exp.Options{
-		Seed:       o.Seed,
-		Reps:       o.Reps,
-		Workers:    o.Workers,
-		NewScratch: func() any { return &runScratch{} },
-		OnCell:     o.OnCell,
+		Seed:           o.Seed,
+		Reps:           o.Reps,
+		Workers:        o.Workers,
+		NewScratch:     func() any { return &runScratch{} },
+		OnCell:         o.OnCell,
+		Checkpoint:     o.Checkpoint,
+		CheckpointSalt: o.CheckpointSalt,
+		EncodeReps:     enc,
+		DecodeReps:     dec,
 	}
+}
+
+// repsCodec builds the checkpoint codec for grids whose replications
+// produce *T: a JSON array with one element per replication, in
+// replication order.
+func repsCodec[T any]() (func([]any) ([]byte, error), func([]byte) ([]any, error)) {
+	enc := func(reps []any) ([]byte, error) {
+		out := make([]*T, len(reps))
+		for i, v := range reps {
+			tv, ok := v.(*T)
+			if !ok || tv == nil {
+				return nil, fmt.Errorf("sim: replication %d is %T, want %T", i, v, out[i])
+			}
+			out[i] = tv
+		}
+		return json.Marshal(out)
+	}
+	dec := func(data []byte) ([]any, error) {
+		var in []*T
+		if err := json.Unmarshal(data, &in); err != nil {
+			return nil, err
+		}
+		out := make([]any, len(in))
+		for i, v := range in {
+			if v == nil {
+				return nil, fmt.Errorf("sim: cached replication %d is null", i)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	return enc, dec
 }
 
 // simScratch recovers the worker's simulation scratch inside a cell
@@ -70,7 +118,7 @@ func CompareGrid(ctx context.Context, cells []CompareCell, opts GridOptions) ([]
 		}
 		ecells[i] = exp.Cell{Name: name, Run: compareRunner(sc)}
 	}
-	res, err := exp.Run(ctx, ecells, opts.engineOptions())
+	res, err := exp.Run(ctx, ecells, opts.engineOptions(repsCodec[PairResult]()))
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +183,7 @@ func EvolvingGrid(ctx context.Context, cells []EvolvingCell, opts GridOptions) (
 			return RunEvolving(cfg, src)
 		}}
 	}
-	res, err := exp.Run(ctx, ecells, opts.engineOptions())
+	res, err := exp.Run(ctx, ecells, opts.engineOptions(repsCodec[EvolvingResult]()))
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +233,7 @@ func StagingGrid(ctx context.Context, cells []StagingCell, opts GridOptions) ([]
 			return RunStaging(cfg, src)
 		}}
 	}
-	res, err := exp.Run(ctx, ecells, opts.engineOptions())
+	res, err := exp.Run(ctx, ecells, opts.engineOptions(repsCodec[StagingResult]()))
 	if err != nil {
 		return nil, err
 	}

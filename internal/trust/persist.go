@@ -2,6 +2,7 @@ package trust
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -39,6 +40,27 @@ type RecommenderRecord struct {
 
 // snapshotVersion guards the wire format.
 const snapshotVersion = 1
+
+// ErrSnapshotVersion is the sentinel for snapshots whose wire format this
+// build cannot read.  Callers match it with errors.Is; to learn which
+// version was actually found, unwrap with errors.As into a
+// *SnapshotVersionError.
+var ErrSnapshotVersion = errors.New("trust: unsupported snapshot version")
+
+// SnapshotVersionError reports the unsupported version encountered.  It
+// matches ErrSnapshotVersion under errors.Is.
+type SnapshotVersionError struct {
+	Version int
+}
+
+func (e *SnapshotVersionError) Error() string {
+	return fmt.Sprintf("trust: unsupported snapshot version %d (want %d)", e.Version, snapshotVersion)
+}
+
+// Is lets errors.Is(err, ErrSnapshotVersion) succeed on the typed error.
+func (e *SnapshotVersionError) Is(target error) bool {
+	return target == ErrSnapshotVersion
+}
 
 // Export captures the engine state.  Pending (uncommitted) observation
 // batches are not exported: they are transient evidence, not trust.
@@ -104,7 +126,7 @@ func (e *Engine) Import(snap *Snapshot) error {
 		return fmt.Errorf("trust: nil snapshot")
 	}
 	if snap.Version != snapshotVersion {
-		return fmt.Errorf("trust: unsupported snapshot version %d", snap.Version)
+		return &SnapshotVersionError{Version: snap.Version}
 	}
 	for _, r := range snap.Relationships {
 		if r.Score < MinScore || r.Score > MaxScore {

@@ -2,6 +2,7 @@ package trust
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -121,6 +122,36 @@ func TestImportValidation(t *testing.T) {
 	// A failed import must not have mutated the engine.
 	if e.Relationships() != 0 {
 		t.Error("rejected import leaked state")
+	}
+}
+
+func TestSnapshotVersionErrorTyped(t *testing.T) {
+	e := newTestEngine(t, defaultCfg())
+	err := e.Import(&Snapshot{Version: 99})
+	if err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("errors.Is(err, ErrSnapshotVersion) = false for %v", err)
+	}
+	var verr *SnapshotVersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("errors.As failed for %v", err)
+	}
+	if verr.Version != 99 {
+		t.Fatalf("reported version %d, want 99", verr.Version)
+	}
+	// Load must propagate the sentinel through JSON parsing too.
+	lerr := e.Load(strings.NewReader(`{"version": 7}`))
+	if !errors.Is(lerr, ErrSnapshotVersion) {
+		t.Fatalf("Load did not surface ErrSnapshotVersion: %v", lerr)
+	}
+	// Other import failures must NOT match the sentinel.
+	serr := e.Import(&Snapshot{Version: 1, Relationships: []RelationshipRecord{
+		{From: "x", To: "y", Ctx: "c", Score: 9},
+	}})
+	if errors.Is(serr, ErrSnapshotVersion) {
+		t.Fatalf("score error wrongly matches ErrSnapshotVersion: %v", serr)
 	}
 }
 

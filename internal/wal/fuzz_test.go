@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSeedSegment produces the bytes of a valid single-segment log with
+// n records whose payloads are a pure function of their index, so any
+// recovered record can be checked against what was originally written.
+func buildSeedSegment(tb testing.TB, n int) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	l, _, err := Create(dir, Options{SegmentBytes: 1 << 20, NoSync: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(fuzzPayload(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, segmentName(1)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func fuzzPayload(i int) []byte {
+	return []byte(fmt.Sprintf("fuzz-record-%04d", i))
+}
+
+// FuzzWALRecover feeds arbitrary mutations of a valid segment file into
+// recovery.  The durability invariants under any corruption — bit flips,
+// truncation, appended garbage, wholesale rewrites:
+//
+//  1. recovery never panics;
+//  2. it either succeeds or fails with the typed ErrCorrupt;
+//  3. every record it does return is exactly a record that was written:
+//     the recovered sequence is a strict prefix of the original, in
+//     order, with byte-identical payloads (never a corrupt record).
+func FuzzWALRecover(f *testing.F) {
+	const records = 12
+	seed := buildSeedSegment(f, records)
+	f.Add(seed)                                  // intact
+	f.Add(seed[:len(seed)-3])                    // torn tail
+	f.Add(seed[:segHeaderLen])                   // header only
+	f.Add(append(bytes.Clone(seed), 0xde, 0xad)) // trailing garbage
+	flipped := bytes.Clone(seed)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped) // mid-file bit flip
+	f.Add([]byte("not a segment at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, mutated []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Create(dir, Options{NoSync: true})
+		if err != nil {
+			// The only legal failure is the typed corruption error;
+			// anything else (or a panic, which the harness catches)
+			// violates the recovery contract.  With a single segment
+			// based at 1 and no snapshot this should in fact never
+			// trigger, since an empty prefix is always recoverable.
+			t.Fatalf("recovery refused with %v (want nil error)", err)
+		}
+		defer l.Close()
+		if len(rec.Records) > records {
+			t.Fatalf("recovered %d records from a %d-record log", len(rec.Records), records)
+		}
+		for i, r := range rec.Records {
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("recovered seq %d at position %d: not a prefix", r.Seq, i)
+			}
+			if !bytes.Equal(r.Payload, fuzzPayload(i)) {
+				t.Fatalf("record %d corrupted: %q", i, r.Payload)
+			}
+		}
+		// The repaired log must accept appends and recover them plus the
+		// prefix on a second open — recovery converges.
+		n := len(rec.Records)
+		if _, err := l.Append([]byte("post-repair")); err != nil {
+			t.Fatalf("append after repair: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close after repair: %v", err)
+		}
+		_, rec2, err := Create(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("second recovery: %v", err)
+		}
+		if len(rec2.Records) != n+1 {
+			t.Fatalf("second recovery found %d records, want %d", len(rec2.Records), n+1)
+		}
+		if !rec2.Clean() {
+			t.Fatalf("second recovery still repairing: %+v", rec2)
+		}
+	})
+}
+
+// FuzzWALRecoverSnapshot mutates a snapshot file next to an intact
+// segment chain: recovery must fall back to replaying the full chain (the
+// segments still cover seq 1) or fail typed — never serve a damaged
+// snapshot.
+func FuzzWALRecoverSnapshot(f *testing.F) {
+	dir := f.TempDir()
+	l, _, err := Create(dir, Options{SegmentBytes: 1 << 20, NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(fuzzPayload(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := writeSnapshotFile(dir, 4, []byte("snapshot-state"), false); err != nil {
+		f.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	segBytes, err := os.ReadFile(filepath.Join(dir, segmentName(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	snapBytes, err := os.ReadFile(filepath.Join(dir, snapshotName(4)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snapBytes)
+	f.Add(snapBytes[:len(snapBytes)-1])
+	f.Add([]byte("junk"))
+
+	f.Fuzz(func(t *testing.T, mutated []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), segBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapshotName(4)), mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Create(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("recovery error with intact segments: %v", err)
+		}
+		defer l.Close()
+		if rec.SnapshotSeq == 4 {
+			// The mutation left (or reconstructed) a valid snapshot:
+			// payload must be exactly the original.
+			if string(rec.Snapshot) != "snapshot-state" {
+				t.Fatalf("snapshot corrupted to %q", rec.Snapshot)
+			}
+			if len(rec.Records) != 3 || rec.Records[0].Seq != 4 {
+				t.Fatalf("tail after snapshot: %+v", rec.Records)
+			}
+		} else {
+			// Snapshot rejected: the full chain replays instead.
+			if rec.SnapshotSeq != 0 || len(rec.Records) != 6 {
+				t.Fatalf("fallback recovery got snapseq %d, %d records", rec.SnapshotSeq, len(rec.Records))
+			}
+		}
+		for i, r := range rec.Records {
+			want := fuzzPayload(int(r.Seq) - 1)
+			if !bytes.Equal(r.Payload, want) {
+				t.Fatalf("record %d corrupted: %q", i, r.Payload)
+			}
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Record is one recovered log entry.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// SegmentInfo describes one scanned segment file.
+type SegmentInfo struct {
+	// Base is the sequence of the segment's first record.
+	Base uint64
+	// Records is how many valid records the segment holds.
+	Records int
+	// Bytes is the valid prefix length (header + intact frames).
+	Bytes int64
+	// TornBytes is how much trailing garbage followed the valid prefix.
+	TornBytes int64
+	// Dropped marks a segment discarded whole: unreadable header, or
+	// unreachable because an earlier segment's tail was torn.
+	Dropped bool
+}
+
+// Recovered is the result of replaying a log directory: the longest valid
+// prefix.  Corruption never surfaces as an error here unless state is
+// unrecoverable (ErrCorrupt); a torn tail is truncated and accounted in
+// TruncatedBytes/DroppedSegments.
+type Recovered struct {
+	// SnapshotSeq is the boundary of the recovered snapshot: the first
+	// record NOT covered by it.  0 means no snapshot.
+	SnapshotSeq uint64
+	// Snapshot is the snapshot payload, nil when SnapshotSeq is 0.
+	Snapshot []byte
+	// Records holds every recovered record with seq >= SnapshotSeq, in
+	// sequence order with no gaps.
+	Records []Record
+	// NextSeq is the sequence the next append will receive.
+	NextSeq uint64
+	// Segments describes the scanned chain (inspection/debugging).
+	Segments []SegmentInfo
+	// TruncatedBytes counts torn tail bytes cut from the last valid
+	// segment; DroppedSegments counts files discarded whole;
+	// CorruptSnapshots counts unreadable snapshot files skipped over.
+	TruncatedBytes   int64
+	DroppedSegments  int
+	CorruptSnapshots int
+}
+
+// Clean reports whether recovery found no damage at all.
+func (r *Recovered) Clean() bool {
+	return r.TruncatedBytes == 0 && r.DroppedSegments == 0 && r.CorruptSnapshots == 0
+}
+
+// Inspect replays a log directory read-only: nothing is truncated,
+// deleted or created.  The same prefix rules as Create apply, so the
+// result is exactly what a subsequent Create would recover.
+func Inspect(dir string, opts Options) (*Recovered, error) {
+	rec, _, err := recoverDir(dir, opts.withDefaults(), false)
+	return rec, err
+}
+
+// recoverDir scans dir and returns the longest valid prefix plus the
+// bases of the segments kept live.  With mutate set it also repairs:
+// truncating the torn tail, deleting dropped/obsolete segments and
+// corrupt snapshot files.
+func recoverDir(dir string, opts Options, mutate bool) (*Recovered, []uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) && !mutate {
+			return &Recovered{NextSeq: 1}, nil, nil
+		}
+		return nil, nil, fmt.Errorf("wal: list dir: %w", err)
+	}
+
+	var bases []uint64
+	var snapSeqs []uint64
+	for _, e := range entries {
+		var v uint64
+		if n, serr := fmt.Sscanf(e.Name(), "wal-%016x.seg", &v); serr == nil && n == 1 && e.Name() == segmentName(v) {
+			bases = append(bases, v)
+			continue
+		}
+		if n, serr := fmt.Sscanf(e.Name(), "snap-%016x.snap", &v); serr == nil && n == 1 && e.Name() == snapshotName(v) {
+			snapSeqs = append(snapSeqs, v)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+
+	rec := &Recovered{}
+
+	// Newest readable snapshot wins; unreadable ones are skipped (and
+	// removed under mutate).
+	for _, s := range snapSeqs {
+		payload, serr := readSnapshotFile(filepath.Join(dir, snapshotName(s)), s)
+		if serr != nil {
+			rec.CorruptSnapshots++
+			if mutate {
+				_ = os.Remove(filepath.Join(dir, snapshotName(s)))
+			}
+			continue
+		}
+		rec.SnapshotSeq, rec.Snapshot = s, payload
+		break
+	}
+
+	// Segments wholly below the snapshot boundary are redundant: skip
+	// them (and delete under mutate).  start is the first segment that
+	// may hold live records.
+	start := 0
+	for start < len(bases)-1 && bases[start+1] <= rec.SnapshotSeq {
+		if mutate {
+			_ = os.Remove(filepath.Join(dir, segmentName(bases[start])))
+		}
+		start++
+	}
+	// Coverage check: the chain must begin at seq 1 or at/below the
+	// snapshot boundary, else records were lost with no snapshot to
+	// stand in for them.
+	if len(bases) > 0 {
+		first := bases[start]
+		covered := first == 1 || (rec.SnapshotSeq > 0 && first <= rec.SnapshotSeq)
+		if !covered {
+			return nil, nil, fmt.Errorf("%w: first segment starts at seq %d with snapshot boundary %d",
+				ErrCorrupt, first, rec.SnapshotSeq)
+		}
+	} else if rec.SnapshotSeq == 0 && rec.CorruptSnapshots > 0 {
+		return nil, nil, fmt.Errorf("%w: no readable snapshot and no segments", ErrCorrupt)
+	}
+
+	// Scan the chain: contiguous valid records, prefix rule on any
+	// damage.
+	var kept []uint64
+	expect := uint64(0)
+	broken := false
+	for i := start; i < len(bases); i++ {
+		base := bases[i]
+		path := filepath.Join(dir, segmentName(base))
+		if broken || (expect != 0 && base != expect) {
+			// Unreachable: an earlier tear or a sequence gap.
+			rec.DroppedSegments++
+			rec.Segments = append(rec.Segments, SegmentInfo{Base: base, Dropped: true})
+			if mutate {
+				_ = os.Remove(path)
+			}
+			broken = true
+			continue
+		}
+		info, payloads, serr := scanSegment(path, base, opts.MaxRecordBytes)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		if info.Records == 0 && info.Bytes == 0 {
+			// Header unreadable: drop the file whole.
+			info.Dropped = true
+			rec.DroppedSegments++
+			rec.Segments = append(rec.Segments, info)
+			if mutate {
+				_ = os.Remove(path)
+			}
+			broken = true
+			continue
+		}
+		rec.Segments = append(rec.Segments, info)
+		for j, p := range payloads {
+			seq := base + uint64(j)
+			if seq >= rec.SnapshotSeq {
+				rec.Records = append(rec.Records, Record{Seq: seq, Payload: p})
+			}
+		}
+		expect = base + uint64(info.Records)
+		kept = append(kept, base)
+		if info.TornBytes > 0 {
+			rec.TruncatedBytes += info.TornBytes
+			if mutate {
+				if terr := os.Truncate(path, info.Bytes); terr != nil {
+					return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", terr)
+				}
+			}
+			broken = true
+		}
+	}
+
+	switch {
+	case expect > 0:
+		rec.NextSeq = expect
+	case rec.SnapshotSeq > 0:
+		rec.NextSeq = rec.SnapshotSeq
+	default:
+		rec.NextSeq = 1
+	}
+	return rec, kept, nil
+}
+
+// readSnapshotFile validates and returns one snapshot payload.
+func readSnapshotFile(path string, wantSeq uint64) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read snapshot: %w", err)
+	}
+	if len(data) < snapHeaderLen || string(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("wal: snapshot header invalid")
+	}
+	seq := binary.LittleEndian.Uint64(data[8:16])
+	n := binary.LittleEndian.Uint32(data[16:20])
+	crc := binary.LittleEndian.Uint32(data[20:24])
+	if seq != wantSeq {
+		return nil, fmt.Errorf("wal: snapshot seq %d does not match name %d", seq, wantSeq)
+	}
+	if int64(n) != int64(len(data)-snapHeaderLen) {
+		return nil, fmt.Errorf("wal: snapshot length mismatch")
+	}
+	sum := crc32.Checksum(data[:20], castagnoli)
+	sum = crc32.Update(sum, castagnoli, data[snapHeaderLen:])
+	if sum != crc {
+		return nil, fmt.Errorf("wal: snapshot checksum mismatch")
+	}
+	return data[snapHeaderLen:], nil
+}
+
+// scanSegment reads one segment's longest valid prefix.  It returns the
+// segment description and the record payloads in order.  A damaged or
+// missing header yields Records == 0 and Bytes == 0 (drop the file); any
+// later damage yields the valid prefix with TornBytes > 0.
+func scanSegment(path string, base uint64, maxRecord int) (SegmentInfo, [][]byte, error) {
+	info := SegmentInfo{Base: base}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return info, nil, fmt.Errorf("wal: read segment: %w", err)
+	}
+	size := int64(len(data))
+	if size < segHeaderLen || string(data[:8]) != segMagic ||
+		binary.LittleEndian.Uint64(data[8:16]) != base {
+		info.TornBytes = size
+		return info, nil, nil
+	}
+	var payloads [][]byte
+	off := int64(segHeaderLen)
+	for {
+		if off == size {
+			break // clean end at a record boundary
+		}
+		if size-off < frameHeader {
+			break // torn mid-header
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || int(n) > maxRecord || off+frameHeader+int64(n) > size {
+			break // absurd or truncated length
+		}
+		payload := data[off+frameHeader : off+frameHeader+int64(n)]
+		seq := base + uint64(len(payloads))
+		if frameCRC(seq, data[off:off+4], payload) != crc {
+			break // corrupt, or a valid frame relocated from elsewhere
+		}
+		// Copy out: data is one big read buffer.
+		p := make([]byte, n)
+		copy(p, payload)
+		payloads = append(payloads, p)
+		off += frameHeader + int64(n)
+	}
+	info.Records = len(payloads)
+	info.Bytes = off
+	info.TornBytes = size - off
+	return info, payloads, nil
+}

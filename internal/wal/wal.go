@@ -1,0 +1,583 @@
+// Package wal implements the crash-safe durability substrate of the
+// gridtrust daemon and the experiment engine: a segmented, CRC32C-framed
+// append-only log with group-committed batched fsync, snapshot-triggered
+// compaction and prefix-truncating recovery.
+//
+// The paper's trust fabric is explicitly long-lived state — "techniques
+// for managing and evolving trust in a large-scale distributed system"
+// (Section 7) — so the state must survive a crash.  The WAL provides the
+// standard contract:
+//
+//   - An Append that returned has been fsynced: the record survives a
+//     kill -9 or power cut.
+//   - Concurrent appenders share one fsync (group commit): while a sync
+//     is in flight, later appenders buffer their frames and the next
+//     sync covers them all, so throughput scales with concurrency
+//     instead of paying one disk flush per record.
+//   - Recovery replays the longest valid prefix.  A torn or corrupt tail
+//     is truncated cleanly — never a panic, never a corrupt record — and
+//     at most the last unsynced batch is lost.
+//   - A snapshot subsumes every record below its boundary; compaction
+//     deletes the now-redundant segments, bounding disk use and recovery
+//     time.
+//
+// Layout of a log directory:
+//
+//	wal-%016x.seg   segment; the hex field is the base sequence number
+//	snap-%016x.snap latest snapshot; the hex field is the boundary
+//	                sequence (first record NOT covered by the snapshot)
+//
+// Segment format: a 16-byte header (8-byte magic, little-endian uint64
+// base sequence) followed by frames of
+//
+//	uint32 LE payload length | uint32 LE CRC32C(seq ‖ length bytes ‖ payload) | payload
+//
+// The CRC covers the length prefix, so a corrupted length cannot cause a
+// misframed but checksum-valid read, and it covers the record's sequence
+// number (implied by position: segment base + index), so a valid frame
+// spliced in from elsewhere in the log is rejected rather than replayed
+// at the wrong position.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Framing and file-format constants.
+const (
+	segMagic  = "gtWALs01" // segment header magic
+	snapMagic = "gtWALn01" // snapshot header magic
+
+	segHeaderLen  = 16 // magic + base seq
+	frameHeader   = 8  // length + crc
+	snapHeaderLen = 24 // magic + next seq + length + crc
+
+	// DefaultSegmentBytes is the rotation threshold: a segment that has
+	// grown past it is sealed and a fresh one opened.
+	DefaultSegmentBytes = 4 << 20
+
+	// DefaultMaxRecordBytes bounds one record payload.  Recovery treats a
+	// larger claimed length as corruption, so the bound also caps the
+	// allocation a corrupt length field can demand.
+	DefaultMaxRecordBytes = 8 << 20
+)
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed errors callers can branch on with errors.Is.
+var (
+	// ErrClosed reports an operation on a closed log.
+	ErrClosed = errors.New("wal: log is closed")
+	// ErrRecordTooLarge reports an Append payload over MaxRecordBytes
+	// (or an empty one — zero-length records are not representable).
+	ErrRecordTooLarge = errors.New("wal: record size outside (0, MaxRecordBytes]")
+	// ErrCorrupt reports unrecoverable corruption: state the log is
+	// supposed to hold cannot be reconstructed (e.g. every snapshot is
+	// unreadable but the pre-snapshot segments were already compacted
+	// away).  Tail corruption is NOT this error — it is repaired by
+	// truncation and reported in Recovered.
+	ErrCorrupt = errors.New("wal: corrupt log")
+)
+
+// Options configure a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold; 0 selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// MaxRecordBytes bounds one payload; 0 selects DefaultMaxRecordBytes.
+	MaxRecordBytes int
+	// NoSync skips the fsync on commit (tests and benchmarks that
+	// measure framing cost, not disk cost).  Durability is forfeited.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	return o
+}
+
+// Stats counts log activity since Open.
+type Stats struct {
+	// Appends is the number of records appended.
+	Appends uint64
+	// Syncs is the number of fsync batches issued; Appends−Syncs is the
+	// group-commit saving.
+	Syncs uint64
+	// Rotations counts segment rolls.
+	Rotations uint64
+	// Segments is the number of live segment files.
+	Segments int
+}
+
+// Log is an append-only segmented log.  It is safe for concurrent use;
+// concurrent Appends share fsyncs via group commit.
+type Log struct {
+	dir  string
+	opts Options
+
+	// mu guards the writer state: the open segment, its buffered tail,
+	// and the sequence counters.
+	mu       sync.Mutex
+	f        *os.File
+	buf      []byte   // frames written but not yet handed to the OS+synced
+	segBases []uint64 // base seq of every live segment, ascending
+	segSize  int64    // size of the current segment including buffered tail
+	nextSeq  uint64   // sequence the next Append will receive
+	written  uint64   // highest seq written into buf
+	closed   bool
+
+	appends   uint64
+	rotations uint64
+
+	// Group commit: appenders wait on cond until synced covers their
+	// record; the first waiter to find no sync in flight becomes the
+	// leader and flushes everything buffered so far with one fsync.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	synced   uint64
+	syncing  bool
+	syncErr  error
+	syncs    uint64
+
+	// beforeSync, when set (tests only), runs before the leader takes
+	// the writer lock — a window in which followers can pile more
+	// records into the batch.
+	beforeSync func()
+}
+
+// Create opens the log directory for appending, running recovery first:
+// the tail is truncated to the longest valid prefix and the recovered
+// snapshot and records are returned for the caller to rebuild its state.
+func Create(dir string, opts Options) (*Log, *Recovered, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	rec, bases, err := recoverDir(dir, opts, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{
+		dir:      dir,
+		opts:     opts,
+		segBases: bases,
+		nextSeq:  rec.NextSeq,
+		written:  rec.NextSeq - 1,
+	}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	l.synced = l.written
+	if len(l.segBases) == 0 {
+		if err := l.openSegment(l.nextSeq); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		// Append to the recovered tail segment.
+		name := segmentName(l.segBases[len(l.segBases)-1])
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: open tail segment: %w", err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("wal: stat tail segment: %w", err)
+		}
+		l.f, l.segSize = f, info.Size()
+	}
+	return l, rec, nil
+}
+
+// segmentName formats the on-disk name for a segment with the given base
+// sequence.
+func segmentName(base uint64) string { return fmt.Sprintf("wal-%016x.seg", base) }
+
+// snapshotName formats the on-disk name for a snapshot with the given
+// boundary sequence.
+func snapshotName(next uint64) string { return fmt.Sprintf("snap-%016x.snap", next) }
+
+// openSegment creates a fresh segment with the given base sequence and
+// makes it the append target.  Callers must hold mu (or own the log
+// exclusively, as Create does).
+func (l *Log) openSegment(base uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(base)),
+		os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("wal: sync segment header: %w", err)
+		}
+		if err := syncDir(l.dir); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	l.f = f
+	l.segSize = segHeaderLen
+	l.segBases = append(l.segBases, base)
+	return nil
+}
+
+// appendFrame encodes one record frame into dst.  The CRC mixes in seq so
+// the frame is only valid at its own position in the log.
+func appendFrame(dst []byte, seq uint64, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC(seq, hdr[0:4], payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// frameCRC computes CRC32C over (seq ‖ length bytes ‖ payload).
+func frameCRC(seq uint64, lenBytes, payload []byte) uint32 {
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	crc := crc32.Checksum(seqBuf[:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, lenBytes)
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// Append writes one record and blocks until it is durable (fsynced),
+// returning its sequence number.  Concurrent appenders are group
+// committed: one fsync covers every record buffered while the previous
+// sync was in flight.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) == 0 || len(payload) > l.opts.MaxRecordBytes {
+		return 0, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(payload))
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.segSize >= l.opts.SegmentBytes && l.segSize > segHeaderLen {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	l.buf = appendFrame(l.buf, seq, payload)
+	l.segSize += int64(frameHeader + len(payload))
+	l.written = seq
+	l.appends++
+	l.mu.Unlock()
+
+	if err := l.waitSync(seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// rotateLocked seals the current segment (flushing and syncing its
+// buffered tail) and opens a fresh one based at nextSeq.  Callers hold mu.
+func (l *Log) rotateLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close sealed segment: %w", err)
+	}
+	l.rotations++
+	// Everything written so far is durable in the sealed segment.
+	l.syncMu.Lock()
+	if l.written > l.synced {
+		l.synced = l.written
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return l.openSegment(l.nextSeq)
+}
+
+// flushLocked hands the buffered frames to the OS and fsyncs.  Callers
+// hold mu.
+func (l *Log) flushLocked() error {
+	if len(l.buf) > 0 {
+		if _, err := l.f.Write(l.buf); err != nil {
+			return fmt.Errorf("wal: write: %w", err)
+		}
+		l.buf = l.buf[:0]
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// waitSync blocks until seq is durable.  The first waiter that finds no
+// sync in flight becomes the leader: it flushes and fsyncs everything
+// buffered, covering its own record and every follower's.
+func (l *Log) waitSync(seq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	for {
+		if l.synced >= seq {
+			return nil
+		}
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.syncMu.Unlock()
+
+		if h := l.beforeSync; h != nil {
+			h()
+		}
+		l.mu.Lock()
+		var err error
+		var hw uint64
+		if l.closed {
+			err = ErrClosed
+		} else {
+			hw = l.written
+			err = l.flushLocked()
+		}
+		l.mu.Unlock()
+
+		l.syncMu.Lock()
+		l.syncing = false
+		l.syncs++
+		if err != nil {
+			l.syncErr = err
+		} else if hw > l.synced {
+			l.synced = hw
+		}
+		l.syncCond.Broadcast()
+	}
+}
+
+// Sync forces everything appended so far to disk.  Appends that already
+// returned are durable without it; Sync is for NoSync logs and tests.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.buf) > 0 {
+		if _, err := l.f.Write(l.buf); err != nil {
+			return fmt.Errorf("wal: write: %w", err)
+		}
+		l.buf = l.buf[:0]
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// NextSeq returns the sequence number the next Append will receive;
+// records with seq < NextSeq have been appended.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// LiveRecords returns how many appended records are not yet subsumed by a
+// snapshot boundary (an upper bound: torn tails recovered away are not
+// re-counted).
+func (l *Log) LiveRecords() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segBases) == 0 {
+		return 0
+	}
+	return l.nextSeq - l.segBases[0]
+}
+
+// Stats returns activity counters since Create.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	segs := len(l.segBases)
+	appends, rotations := l.appends, l.rotations
+	l.mu.Unlock()
+	l.syncMu.Lock()
+	syncs := l.syncs
+	l.syncMu.Unlock()
+	return Stats{Appends: appends, Syncs: syncs, Rotations: rotations, Segments: segs}
+}
+
+// Snapshot durably installs a snapshot covering every record with
+// seq < nextSeq, then compacts: segments whose records all fall below the
+// boundary are deleted, as are older snapshot files.  The caller
+// guarantees payload reflects the state after applying exactly those
+// records; capture the state and NextSeq under the same quiescence.
+func (l *Log) Snapshot(nextSeq uint64, payload []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if nextSeq > l.nextSeq {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: snapshot boundary %d beyond next seq %d", nextSeq, l.nextSeq)
+	}
+	// Seal the boundary: buffered records below it must be on disk
+	// before the segments claiming to hold them become deletable.
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+
+	if err := writeSnapshotFile(l.dir, nextSeq, payload, !l.opts.NoSync); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Drop segments fully below the boundary (never the current one).
+	kept := l.segBases[:0]
+	for i, base := range l.segBases {
+		last := i == len(l.segBases)-1
+		if !last && l.segBases[i+1] <= nextSeq {
+			if err := os.Remove(filepath.Join(l.dir, segmentName(base))); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: compact: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, base)
+	}
+	l.segBases = kept
+	// Drop superseded snapshot files.
+	if err := removeOldSnapshots(l.dir, nextSeq); err != nil {
+		return err
+	}
+	if !l.opts.NoSync {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// writeSnapshotFile atomically writes the snapshot for boundary nextSeq:
+// temp file, fsync, rename, directory fsync.
+func writeSnapshotFile(dir string, nextSeq uint64, payload []byte, durable bool) error {
+	hdr := make([]byte, snapHeaderLen)
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], nextSeq)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(payload)))
+	crc := crc32.Checksum(hdr[:20], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[20:24], crc)
+
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(hdr); err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if durable {
+		if err := tmp.Sync(); err != nil {
+			_ = tmp.Close()
+			return fmt.Errorf("wal: snapshot fsync: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotName(nextSeq))); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if durable {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+// removeOldSnapshots deletes snapshot files with a boundary below keep.
+func removeOldSnapshots(dir string, keep uint64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("wal: list snapshots: %w", err)
+	}
+	for _, e := range entries {
+		var next uint64
+		if n, err := fmt.Sscanf(e.Name(), "snap-%016x.snap", &next); err != nil || n != 1 {
+			continue
+		}
+		if next < keep {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: remove old snapshot: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log.  Blocked appenders are
+// released (their records were flushed by the final sync).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.flushLocked()
+	hw := l.written
+	l.closed = true
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	l.mu.Unlock()
+
+	l.syncMu.Lock()
+	if err == nil && hw > l.synced {
+		l.synced = hw
+	}
+	if err != nil && l.syncErr == nil {
+		l.syncErr = err
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,506 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// testOptions keeps unit tests fast: tiny segments force rotation, and
+// NoSync skips disk flushes the assertions do not depend on.
+func testOptions() Options {
+	return Options{SegmentBytes: 512, NoSync: true}
+}
+
+func payloadFor(i int) []byte {
+	return []byte(fmt.Sprintf("record-%06d-%s", i, "payload"))
+}
+
+// fill appends n records and returns the log's directory contents for
+// later mutation.
+func fill(t *testing.T, dir string, n int, opts Options) {
+	t.Helper()
+	l, rec, err := Create(dir, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if rec.NextSeq != 1 || len(rec.Records) != 0 {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	for i := 0; i < n; i++ {
+		seq, err := l.Append(payloadFor(i))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d: seq %d, want %d", i, seq, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 100, testOptions())
+
+	l, rec, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if !rec.Clean() {
+		t.Fatalf("clean shutdown recovered damage: %+v", rec)
+	}
+	if len(rec.Records) != 100 {
+		t.Fatalf("recovered %d records, want 100", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if !bytes.Equal(r.Payload, payloadFor(i)) {
+			t.Fatalf("record %d payload %q", i, r.Payload)
+		}
+	}
+	if rec.NextSeq != 101 {
+		t.Fatalf("NextSeq %d, want 101", rec.NextSeq)
+	}
+	// The 512-byte segments must have rotated for 100 ~23-byte frames.
+	if len(rec.Segments) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(rec.Segments))
+	}
+	// Appending after recovery continues the sequence.
+	seq, err := l.Append([]byte("after"))
+	if err != nil || seq != 101 {
+		t.Fatalf("post-recovery append: seq %d err %v", seq, err)
+	}
+}
+
+func TestTornTailTruncates(t *testing.T) {
+	for _, cut := range []int{1, 3, 7} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			fill(t, dir, 20, Options{SegmentBytes: 1 << 20, NoSync: true})
+			// Chop bytes off the single segment's tail: the last record
+			// frame becomes torn.
+			segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+			if len(segs) != 1 {
+				t.Fatalf("want 1 segment, got %d", len(segs))
+			}
+			info, _ := os.Stat(segs[0])
+			if err := os.Truncate(segs[0], info.Size()-int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+			l, rec, err := Create(dir, testOptions())
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer l.Close()
+			if len(rec.Records) != 19 {
+				t.Fatalf("recovered %d records, want 19", len(rec.Records))
+			}
+			if rec.TruncatedBytes == 0 {
+				t.Fatal("truncation not reported")
+			}
+			// The torn record is gone for good: append then reopen.
+			if _, err := l.Append([]byte("fresh")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, rec2, err := Create(dir, testOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rec2.Clean() {
+				t.Fatalf("second recovery found damage: %+v", rec2)
+			}
+			last := rec2.Records[len(rec2.Records)-1]
+			if string(last.Payload) != "fresh" || last.Seq != 20 {
+				t.Fatalf("last record %d %q", last.Seq, last.Payload)
+			}
+		})
+	}
+}
+
+func TestCorruptMiddleDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 200, testOptions()) // several 512-byte segments
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d", len(segs))
+	}
+	// Flip a payload byte in the middle of the SECOND segment: its valid
+	// prefix ends there and every later segment is unreachable.
+	f, err := os.OpenFile(segs[1], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, segHeaderLen+frameHeader+2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, rec, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if rec.DroppedSegments == 0 {
+		t.Fatalf("no dropped segments: %+v", rec)
+	}
+	// Prefix property: recovered records are exactly 1..N for some N,
+	// all with their original payloads.
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i+1) || !bytes.Equal(r.Payload, payloadFor(i)) {
+			t.Fatalf("record %d: seq %d payload %q", i, r.Seq, r.Payload)
+		}
+	}
+	if len(rec.Records) >= 200 || len(rec.Records) == 0 {
+		t.Fatalf("recovered %d records", len(rec.Records))
+	}
+	if rec.NextSeq != uint64(len(rec.Records))+1 {
+		t.Fatalf("NextSeq %d after %d records", rec.NextSeq, len(rec.Records))
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boundary := l.NextSeq() // covers all 150
+	if err := l.Snapshot(boundary, []byte("state-after-150")); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("compaction kept %d segments", st.Segments)
+	}
+	for i := 150; i < 170; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rec.SnapshotSeq != boundary || string(rec.Snapshot) != "state-after-150" {
+		t.Fatalf("snapshot seq %d payload %q", rec.SnapshotSeq, rec.Snapshot)
+	}
+	if len(rec.Records) != 20 {
+		t.Fatalf("recovered %d tail records, want 20", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if r.Seq != boundary+uint64(i) || !bytes.Equal(r.Payload, payloadFor(150+i)) {
+			t.Fatalf("tail record %d: seq %d payload %q", i, r.Seq, r.Payload)
+		}
+	}
+}
+
+func TestSnapshotOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(l.NextSeq(), []byte("all-in-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if string(rec.Snapshot) != "all-in-snapshot" || len(rec.Records) != 0 {
+		t.Fatalf("recovered %+v", rec)
+	}
+	if seq, err := l2.Append([]byte("next")); err != nil || seq != 11 {
+		t.Fatalf("append after snapshot-only recovery: seq %d err %v", seq, err)
+	}
+}
+
+func TestCorruptSnapshotFallsBackToOlder(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Create(dir, Options{SegmentBytes: 1 << 20, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(3, []byte("snap-at-3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Fabricate a newer, corrupt snapshot file.
+	bad := filepath.Join(dir, snapshotName(6))
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rec.CorruptSnapshots != 1 || rec.SnapshotSeq != 3 || string(rec.Snapshot) != "snap-at-3" {
+		t.Fatalf("recovered %+v", rec)
+	}
+	// Records 3..5 replay on top of the older snapshot.
+	if len(rec.Records) != 3 || rec.Records[0].Seq != 3 {
+		t.Fatalf("tail records %+v", rec.Records)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("corrupt snapshot not removed by recovery")
+	}
+}
+
+func TestUnrecoverableCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(l.NextSeq(), []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the only snapshot: the compacted-away prefix cannot be
+	// rebuilt, which must surface as a typed error, not silence.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %d", len(snaps))
+	}
+	if err := os.WriteFile(snaps[0], []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Create(dir, testOptions())
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGroupCommitBatchesSyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Create(dir, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const n = 8
+	release := make(chan struct{})
+	var once sync.Once
+	l.beforeSync = func() {
+		// The first leader stalls here until all n appenders have
+		// buffered their frames; its single fsync then covers them all.
+		once.Do(func() { <-release })
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.Append(payloadFor(i)); err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Wait until every appender has written its frame (Appends counts at
+	// write time, before the commit wait).
+	for l.Stats().Appends < n {
+	}
+	close(release)
+	wg.Wait()
+	if st := l.Stats(); st.Syncs > 2 {
+		t.Fatalf("%d appends took %d syncs; group commit failed", st.Appends, st.Syncs)
+	}
+}
+
+func TestConcurrentAppendsRecoverInOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Create(dir, Options{SegmentBytes: 2048, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, each = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != goroutines*each {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), goroutines*each)
+	}
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("gap at %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Create(dir, Options{MaxRecordBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(nil); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("empty append: %v", err)
+	}
+	if _, err := l.Append(make([]byte, 65)); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestInspectIsReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 30, Options{SegmentBytes: 1 << 20, NoSync: true})
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	info, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(segs[0])
+
+	rec, err := Inspect(dir, Options{})
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if len(rec.Records) != 29 || rec.TruncatedBytes == 0 {
+		t.Fatalf("inspect recovered %d records, truncated %d", len(rec.Records), rec.TruncatedBytes)
+	}
+	after, _ := os.Stat(segs[0])
+	if before.Size() != after.Size() {
+		t.Fatal("Inspect mutated the segment file")
+	}
+	// A subsequent Create recovers exactly what Inspect predicted.
+	_, rec2, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Records) != len(rec.Records) || rec2.NextSeq != rec.NextSeq {
+		t.Fatalf("Create recovered %d/%d, Inspect said %d/%d",
+			len(rec2.Records), rec2.NextSeq, len(rec.Records), rec.NextSeq)
+	}
+}
+
+func TestInspectMissingDir(t *testing.T) {
+	rec, err := Inspect(filepath.Join(t.TempDir(), "nope"), Options{})
+	if err != nil {
+		t.Fatalf("Inspect on missing dir: %v", err)
+	}
+	if rec.NextSeq != 1 || len(rec.Records) != 0 {
+		t.Fatalf("missing dir recovered %+v", rec)
+	}
+}
+
+func TestSnapshotBoundaryValidation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Create(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Snapshot(99, []byte("x")); err == nil {
+		t.Fatal("snapshot beyond next seq accepted")
+	}
+}
+
+func TestDurableAppendSurvivesCopy(t *testing.T) {
+	// With real fsync enabled, everything an Append acknowledged is in
+	// the file even without Close — simulate a crash by copying the dir.
+	dir := t.TempDir()
+	l, _, err := Create(dir, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: read the files as a post-crash recovery would.
+	crash := t.TempDir()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	for _, s := range segs {
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crash, filepath.Base(s)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = l.Close()
+	_, rec, err := Create(crash, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 10 {
+		t.Fatalf("crash copy recovered %d records, want 10", len(rec.Records))
+	}
+}

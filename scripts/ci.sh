@@ -2,8 +2,11 @@
 # Tier-1 verify flow.  Beyond the seed contract (build + test), it vets
 # the whole module, race-tests the packages with real concurrency or
 # shared scratch (the experiment engine's global pool, internal/sim's
-# cell runners, internal/sched's pooled kernel state), and smoke-runs
-# every sweep mode through the engine.
+# cell runners, internal/sched's pooled kernel state, the WAL's group
+# commit, the daemon's journal), fuzzes every fuzz target briefly,
+# smoke-runs every sweep mode through the engine, smoke-runs the
+# journalled daemon demo, and proves checkpoint-resume: a SIGINT'd sweep
+# resumed against its checkpoint directory prints byte-identical output.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,8 +20,24 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/..."
-go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/...
+echo "==> go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/wal/... ./internal/rmswire/..."
+go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/wal/... ./internal/rmswire/...
+
+echo "==> fuzz smoke (every fuzz target, 5s each)"
+for spec in \
+    "./internal/wal FuzzWALRecover" \
+    "./internal/wal FuzzWALRecoverSnapshot" \
+    "./internal/sched FuzzKernelEquivalence" \
+    "./internal/grid FuzzParseLevel" \
+    "./internal/grid FuzzETSWith" \
+    "./internal/grid FuzzLevelFromScore" \
+    "./internal/trustwire FuzzReadFrame" \
+    "./internal/trustwire FuzzApplyEntries" \
+    "./internal/trustwire FuzzServerRespond"; do
+    set -- $spec
+    echo "    fuzz $1 $2"
+    go test "$1" -run '^$' -fuzz "^$2\$" -fuzztime 5s > /dev/null
+done
 
 echo "==> sweep smoke (every mode, tiny grid)"
 go build -o /tmp/gridtrust-ci-sweep ./cmd/sweep
@@ -28,6 +47,30 @@ for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolvi
     /tmp/gridtrust-ci-sweep -mode "$mode" -reps 2 -tasks 20 -seed 1 > /dev/null
 done
 /tmp/gridtrust-ci-sweep -mode machines -reps 2 -tasks 20 -seed 1 -format json > /dev/null
+
+echo "==> gridtrustd demo smoke (journalled)"
+go build -o /tmp/gridtrust-ci-daemon ./cmd/gridtrustd
+go build -o /tmp/gridtrust-ci-gridctl ./cmd/gridctl
+dd=$(mktemp -d)
+/tmp/gridtrust-ci-daemon -addr 127.0.0.1:0 -data "$dd" -demo | grep -q "demo: placed=5"
+/tmp/gridtrust-ci-gridctl wal-info -data "$dd" | grep -q "live records"
+rm -rf "$dd"
+rm -f /tmp/gridtrust-ci-daemon /tmp/gridtrust-ci-gridctl
+
+echo "==> sweep checkpoint-resume smoke (SIGINT, resume, diff)"
+ckd=$(mktemp -d)
+sweepargs="-mode machines -reps 20 -tasks 6000 -seed 5 -workers 1"
+/tmp/gridtrust-ci-sweep $sweepargs > "$ckd/expected.txt"
+# Interrupt a checkpointed run partway; completed cells are journalled.
+/tmp/gridtrust-ci-sweep $sweepargs -checkpoint "$ckd/ck" > /dev/null 2>&1 &
+pid=$!
+sleep 1
+kill -INT "$pid" 2> /dev/null || true
+wait "$pid" || true
+# The resumed run must emit output byte-identical to the uninterrupted one.
+/tmp/gridtrust-ci-sweep $sweepargs -checkpoint "$ckd/ck" > "$ckd/resumed.txt"
+cmp "$ckd/expected.txt" "$ckd/resumed.txt"
+rm -rf "$ckd"
 rm -f /tmp/gridtrust-ci-sweep
 
 echo "ci: ok"
