@@ -7,6 +7,8 @@
 //	gridctl -addr 127.0.0.1:7431 submit -client 0 -activities 0,1 -rtl E -eec 100,110,95
 //	gridctl -addr 127.0.0.1:7431 report -placement 3 -outcome 5.5
 //	gridctl -addr 127.0.0.1:7431 stats
+//	gridctl -addr 127.0.0.1:7431 health         # readiness: conns, in-flight, journal, drain state
+//	gridctl -addr 127.0.0.1:7431 drain          # graceful shutdown: finish in-flight, checkpoint, exit
 //	gridctl -addr 127.0.0.1:7431 checkpoint     # snapshot + compact the daemon's WAL
 //	gridctl wal-info -data /var/lib/gridtrustd  # offline: inspect a WAL directory
 //	gridctl wal-dump -data /var/lib/gridtrustd  # offline: print every live record
@@ -29,6 +31,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7431", "gridtrustd address")
+	timeout := flag.Duration("timeout", rmswire.DefaultDialTimeout, "dial and per-op timeout")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -49,11 +52,12 @@ func main() {
 		return
 	}
 
-	client, err := rmswire.Dial(*addr)
+	client, err := rmswire.DialTimeout(*addr, *timeout)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer client.Close()
+	client.Timeout = *timeout
 
 	switch args[0] {
 	case "submit":
@@ -64,6 +68,10 @@ func main() {
 		err = cmdStats(client)
 	case "checkpoint":
 		err = cmdCheckpoint(client)
+	case "health":
+		err = cmdHealth(client)
+	case "drain":
+		err = cmdDrain(client)
 	default:
 		usage()
 	}
@@ -138,6 +146,38 @@ func cmdCheckpoint(client *rmswire.Client) error {
 	}
 	fmt.Printf("checkpointed: %d records compacted, boundary seq %d, %d live segment(s)\n",
 		info.Compacted, info.Boundary, info.Segments)
+	return nil
+}
+
+func cmdHealth(client *rmswire.Client) error {
+	h, err := client.Health()
+	if err != nil {
+		return err
+	}
+	limit := func(n int) string {
+		if n <= 0 {
+			return "unlimited"
+		}
+		return strconv.Itoa(n)
+	}
+	fmt.Printf("status:            %s\n", h.Status)
+	fmt.Printf("connections:       %d (limit %s)\n", h.Conns, limit(h.MaxConns))
+	fmt.Printf("in-flight:         %d (limit %s)\n", h.InFlight, limit(h.MaxInFlight))
+	fmt.Printf("placed:            %d (%d open)\n", h.Placed, h.OpenPlacements)
+	if h.Journal {
+		fmt.Printf("journal:           next seq %d, %d segment(s), %d idempotency key(s)\n",
+			h.JournalNextSeq, h.JournalSegments, h.IdemEntries)
+	} else {
+		fmt.Printf("journal:           disabled\n")
+	}
+	return nil
+}
+
+func cmdDrain(client *rmswire.Client) error {
+	if err := client.Drain(); err != nil {
+		return err
+	}
+	fmt.Println("drain requested: the daemon finishes in-flight requests, checkpoints and exits")
 	return nil
 }
 
@@ -237,7 +277,7 @@ func parseFloats(s string) ([]float64, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats|checkpoint|wal-info|wal-dump} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats|health|drain|checkpoint|wal-info|wal-dump} [flags]")
 	os.Exit(2)
 }
 

@@ -17,14 +17,23 @@
 // parameters in meta.json so a restart cannot silently replay a journal
 // against a different grid.
 //
+// Under load the daemon degrades gracefully instead of falling over:
+// -max-conns and -max-inflight bound admission (excess work is shed with
+// a retryable "overloaded" response carrying retry_after_ms), submits may
+// carry idempotency keys so client retries never double-place, and
+// SIGTERM/SIGINT (or gridctl drain) stops accepting, finishes in-flight
+// requests under -drain-timeout, takes a final checkpoint and exits 0.
+//
 // The topology is drawn by internal/gridgen from -topology-seed; a real
 // deployment would construct its grid.Topology from inventory instead.
 // Protocol (one JSON object per line):
 //
-//	{"op":"submit","client":0,"activities":[0],"rtl":"E","eec":[100,110],"now":0}
+//	{"op":"submit","client":0,"activities":[0],"rtl":"E","eec":[100,110],"now":0,"idem_key":"k1","budget_ms":250}
 //	{"op":"report","placement_id":1,"outcome":6,"now":1}
 //	{"op":"stats"}
 //	{"op":"checkpoint"}
+//	{"op":"health"}
+//	{"op":"drain"}
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"gridtrust/internal/core"
 	"gridtrust/internal/grid"
@@ -89,6 +99,10 @@ func main() {
 		dot      = flag.Bool("dot", false, "print the topology as Graphviz DOT and exit")
 		dataDir  = flag.String("data", "", "durability directory (empty disables the write-ahead log)")
 		compact  = flag.Int("compact-every", 1024, "auto-checkpoint after this many journal records (0 disables; manual checkpoints always work)")
+
+		maxConns    = flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited); excess connections are answered with one overloaded frame and closed")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = unlimited); excess requests are shed with a retryable overloaded response")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM/SIGINT or gridctl drain")
 	)
 	flag.Parse()
 
@@ -117,6 +131,9 @@ func main() {
 	if err != nil {
 		fatalf("server: %v", err)
 	}
+	srv.MaxConns = *maxConns
+	srv.MaxInFlight = *maxInflight
+	journalled := *dataDir != ""
 	if *dataDir != "" {
 		log, rec, err := wal.Create(*dataDir, wal.Options{})
 		if err != nil {
@@ -142,22 +159,41 @@ func main() {
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
-	defer srv.Close()
 
 	fmt.Printf("gridtrustd listening on %s\n", bound)
 	fmt.Printf("topology: %s, %d trust entries\n", grid.Summary(top), trms.Table().Len())
 
 	if *demo {
+		defer srv.Close()
 		if err := runDemo(bound.String(), top); err != nil {
 			fatalf("demo: %v", err)
 		}
 		return
 	}
 
+	// Graceful drain on SIGTERM/SIGINT or a client drain op: stop
+	// accepting, finish in-flight requests under the drain deadline, take
+	// a final checkpoint so restart replays from one snapshot, exit 0.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
+	select {
+	case s := <-sig:
+		fmt.Printf("draining: signal %v\n", s)
+	case <-srv.DrainRequested():
+		fmt.Println("draining: requested over the wire")
+	}
+	if !srv.Shutdown(*drainWait) {
+		fmt.Printf("drain deadline %v exceeded; connections force-closed\n", *drainWait)
+	}
+	if journalled {
+		if info, err := srv.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "gridtrustd: final checkpoint: %v\n", err)
+		} else {
+			fmt.Printf("final checkpoint: boundary seq %d, %d record(s) compacted\n",
+				info.Boundary, info.Compacted)
+		}
+	}
+	fmt.Println("drained; exiting")
 }
 
 // runDemo exercises the daemon end to end with a handful of tasks.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,9 +24,22 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
+// daemonOutput accumulates a spawned daemon's stdout lines for assertions
+// about its shutdown narrative.
+type daemonOutput struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (o *daemonOutput) String() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return strings.Join(o.lines, "\n")
+}
+
 // spawnDaemon re-executes the test binary as gridtrustd and waits for the
 // listening line to learn the bound address.
-func spawnDaemon(t *testing.T, args ...string) (*exec.Cmd, string) {
+func spawnDaemon(t *testing.T, args ...string) (*exec.Cmd, string, *daemonOutput) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), "GRIDTRUSTD_RUN_MAIN=1")
@@ -37,11 +51,15 @@ func spawnDaemon(t *testing.T, args ...string) (*exec.Cmd, string) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
+	out := &daemonOutput{}
 	addrCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
+			out.mu.Lock()
+			out.lines = append(out.lines, line)
+			out.mu.Unlock()
 			if rest, ok := strings.CutPrefix(line, "gridtrustd listening on "); ok {
 				addrCh <- rest
 			}
@@ -49,11 +67,11 @@ func spawnDaemon(t *testing.T, args ...string) (*exec.Cmd, string) {
 	}()
 	select {
 	case addr := <-addrCh:
-		return cmd, addr
+		return cmd, addr, out
 	case <-time.After(10 * time.Second):
 		_ = cmd.Process.Kill()
 		t.Fatal("daemon did not report a listening address")
-		return nil, ""
+		return nil, "", nil
 	}
 }
 
@@ -73,7 +91,7 @@ func TestCrashRestartRoundTrip(t *testing.T) {
 		// the live run and journal replay.
 		"-agents", "1",
 	}
-	cmd, addr := spawnDaemon(t, args...)
+	cmd, addr, _ := spawnDaemon(t, args...)
 	client, err := rmswire.Dial(addr)
 	if err != nil {
 		_ = cmd.Process.Kill()
@@ -159,7 +177,7 @@ func TestCrashRestartRoundTrip(t *testing.T) {
 	}
 	_ = cmd.Wait()
 
-	cmd2, addr2 := spawnDaemon(t, args...)
+	cmd2, addr2, _ := spawnDaemon(t, args...)
 	defer func() {
 		_ = cmd2.Process.Kill()
 		_ = cmd2.Wait()

@@ -107,6 +107,12 @@ type TRMS struct {
 	placed   int
 	reported int
 	closed   bool
+	// base* seed the cumulative agent counters when a TRMS is rebuilt
+	// from a durability snapshot (RestoreAgentStats); AgentStats adds
+	// them to the live agents' counts.
+	baseProcessed int
+	baseCommitted int
+	baseRejected  int
 }
 
 // New builds and starts a TRMS; call Close to stop its agents.
@@ -487,8 +493,34 @@ func (t *TRMS) Drain() {
 	}
 }
 
-// AgentStats sums processed/committed/rejected across the agents.
+// RestoreAgentStats seeds the cumulative agent counters from a
+// durability snapshot, so a restarted daemon reports the same lifetime
+// totals its predecessor acknowledged.  The restored count also enters
+// the Drain ledger, keeping "reported vs processed" consistent.  Call
+// it on a fresh TRMS before it takes traffic.
+func (t *TRMS) RestoreAgentStats(processed, committed, rejected int) error {
+	if processed < 0 || committed < 0 || rejected < 0 {
+		return fmt.Errorf("core: negative agent stats %d/%d/%d", processed, committed, rejected)
+	}
+	if committed+rejected > processed {
+		return fmt.Errorf("core: agent stats %d committed + %d rejected exceed %d processed",
+			committed, rejected, processed)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.baseProcessed = processed
+	t.baseCommitted = committed
+	t.baseRejected = rejected
+	t.reported += processed
+	return nil
+}
+
+// AgentStats sums processed/committed/rejected across the agents, on
+// top of any snapshot-restored base counts.
 func (t *TRMS) AgentStats() (processed, committed, rejected int) {
+	t.mu.Lock()
+	processed, committed, rejected = t.baseProcessed, t.baseCommitted, t.baseRejected
+	t.mu.Unlock()
 	for _, a := range t.agents {
 		p, c, r := a.Stats()
 		processed += p

@@ -399,3 +399,37 @@ func TestRecoverPlacementIsOrderInsensitive(t *testing.T) {
 		t.Fatal("RecoverPlacement accepted an out-of-range machine")
 	}
 }
+
+func TestRestoreAgentStats(t *testing.T) {
+	trms := newTRMS(t, Config{Topology: twoDomainTopology(t)})
+	if err := trms.RestoreAgentStats(10, 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	p, c, r := trms.AgentStats()
+	if p != 10 || c != 7 || r != 2 {
+		t.Fatalf("restored stats %d/%d/%d, want 10/7/2", p, c, r)
+	}
+	// Drain must still wait for genuinely queued transactions: the base
+	// count entered the reported ledger too, so one live report raises
+	// the processed target past the base.
+	task := Task{Client: 0, ToA: grid.MustToA(grid.ActCompute), RTL: grid.LevelA, EEC: []float64{10, 20}}
+	pl, err := trms.Submit(task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trms.ReportOutcome(pl, task.ToA, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	trms.Drain()
+	p, _, r = trms.AgentStats()
+	if p != 11 || r != 2 {
+		t.Fatalf("stats after one live report %d/%d, want 11 processed, 2 rejected", p, r)
+	}
+
+	if err := trms.RestoreAgentStats(-1, 0, 0); err == nil {
+		t.Fatal("accepted negative processed")
+	}
+	if err := trms.RestoreAgentStats(3, 2, 2); err == nil {
+		t.Fatal("accepted committed+rejected > processed")
+	}
+}

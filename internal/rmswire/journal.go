@@ -55,6 +55,11 @@ type journalRecord struct {
 	Finish     float64 `json:"finish,omitempty"`
 	Activities []int   `json:"activities,omitempty"`
 
+	// IdemKey, when non-empty, registers the placement in the submit
+	// dedup table on replay so retried submits survive a restart without
+	// double-placing.
+	IdemKey string `json:"idem_key,omitempty"`
+
 	// Report fields.
 	Outcome float64 `json:"outcome,omitempty"`
 
@@ -80,6 +85,16 @@ type daemonSnapshot struct {
 	// place records.  Their scheduler effect is already inside
 	// Placed/FreeTime; they are kept so late reports still resolve.
 	Open []journalRecord `json:"open,omitempty"`
+	// Idem holds the submit dedup table (place records with their keys),
+	// including entries whose placements were already reported — a retry
+	// may arrive arbitrarily late, and compaction must not forget it.
+	Idem []journalRecord `json:"idem,omitempty"`
+	// Agent counters at the boundary: the lifetime totals the daemon
+	// acknowledged, restored so a restart's stats view matches exactly
+	// (the record tail re-runs its reports through the agents on top).
+	AgentsProcessed int `json:"agents_processed,omitempty"`
+	AgentsCommitted int `json:"agents_committed,omitempty"`
+	AgentsRejected  int `json:"agents_rejected,omitempty"`
 }
 
 // CheckpointInfo reports the outcome of a WAL checkpoint.
@@ -129,6 +144,9 @@ func (s *Server) replay(rec *wal.Recovered) error {
 		if err := s.trms.RestoreSchedulerState(snap.Placed, snap.FreeTime); err != nil {
 			return err
 		}
+		if err := s.trms.RestoreAgentStats(snap.AgentsProcessed, snap.AgentsCommitted, snap.AgentsRejected); err != nil {
+			return err
+		}
 		if err := s.trms.Table().Restore(snap.Table, snap.TableVersion); err != nil {
 			return err
 		}
@@ -150,6 +168,13 @@ func (s *Server) replay(rec *wal.Recovered) error {
 			s.placements[r.ID] = openPlacement{p: p, toa: toa}
 			s.mu.Unlock()
 		}
+		s.mu.Lock()
+		for _, r := range snap.Idem {
+			if r.IdemKey != "" {
+				s.idem[r.IdemKey] = r
+			}
+		}
+		s.mu.Unlock()
 	}
 	for _, w := range rec.Records {
 		var r journalRecord
@@ -167,6 +192,9 @@ func (s *Server) replay(rec *wal.Recovered) error {
 			}
 			s.mu.Lock()
 			s.placements[r.ID] = openPlacement{p: p, toa: toa}
+			if r.IdemKey != "" {
+				s.idem[r.IdemKey] = r
+			}
 			if r.ID > s.nextID {
 				s.nextID = r.ID
 			}
@@ -221,6 +249,25 @@ func (r *journalRecord) placement(top *grid.Topology) (*core.Placement, grid.ToA
 		Start:      r.Start,
 		Finish:     r.Finish,
 	}, toa, nil
+}
+
+// placementInfo rebuilds the wire response a place record was acknowledged
+// with, so an idempotent retry returns exactly what the original submit
+// returned.
+func (r *journalRecord) placementInfo() *PlacementInfo {
+	return &PlacementInfo{
+		ID:      r.ID,
+		Machine: r.MachineID,
+		RD:      r.RD,
+		CD:      r.CD,
+		OTL:     r.OTL,
+		TC:      r.TC,
+		EEC:     r.EEC,
+		ESC:     r.ESC,
+		ECC:     r.EEC + r.ESC,
+		Start:   r.Start,
+		Finish:  r.Finish,
+	}
 }
 
 // placeRecord encodes a placement for the journal or a snapshot's open set.
@@ -305,13 +352,18 @@ func (s *Server) capture() *daemonSnapshot {
 		Table:        table.Entries(),
 		Trust:        s.trms.Engine().Export(),
 	}
+	snap.AgentsProcessed, snap.AgentsCommitted, snap.AgentsRejected = s.trms.AgentStats()
 	s.mu.Lock()
 	snap.NextID = s.nextID
 	for id, op := range s.placements {
 		snap.Open = append(snap.Open, placeRecord(id, op.p, op.toa, 0))
 	}
+	for _, rec := range s.idem {
+		snap.Idem = append(snap.Idem, rec)
+	}
 	s.mu.Unlock()
 	sort.Slice(snap.Open, func(i, j int) bool { return snap.Open[i].ID < snap.Open[j].ID })
+	sort.Slice(snap.Idem, func(i, j int) bool { return snap.Idem[i].IdemKey < snap.Idem[j].IdemKey })
 	return snap
 }
 

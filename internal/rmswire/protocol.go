@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"gridtrust/internal/grid"
 )
@@ -36,6 +37,8 @@ const (
 	OpReport     = "report"
 	OpStats      = "stats"
 	OpCheckpoint = "checkpoint"
+	OpHealth     = "health"
+	OpDrain      = "drain"
 )
 
 // Request is one client request frame.
@@ -47,6 +50,19 @@ type Request struct {
 	Activities []int     `json:"activities,omitempty"`
 	RTL        string    `json:"rtl,omitempty"`
 	EEC        []float64 `json:"eec,omitempty"`
+
+	// IdemKey makes a Submit idempotent: the server remembers the key in
+	// its journal and a replayed or retried submit with the same key
+	// returns the original placement instead of double-placing.  Empty
+	// disables deduplication (and keeps the frame byte-identical to the
+	// pre-resilience protocol).
+	IdemKey string `json:"idem_key,omitempty"`
+
+	// BudgetMS is the client's remaining deadline budget for this request
+	// in milliseconds.  A loaded server holds admission for at most this
+	// long before shedding; zero means "do not wait at all" when the
+	// server is at its in-flight limit.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
 
 	// Report fields.
 	PlacementID uint64  `json:"placement_id,omitempty"`
@@ -82,20 +98,70 @@ type StatsInfo struct {
 	OpenPlacements  int    `json:"open_placements"`
 }
 
+// HealthInfo is the readiness view returned by the health op.  It is
+// served even when the daemon is shedding load, so probes and balancers
+// can distinguish "overloaded but alive" from "draining" from "dead".
+type HealthInfo struct {
+	Status         string `json:"status"` // "ok" | "draining"
+	Draining       bool   `json:"draining,omitempty"`
+	Conns          int    `json:"conns"`
+	MaxConns       int    `json:"max_conns,omitempty"`
+	InFlight       int    `json:"in_flight"`
+	MaxInFlight    int    `json:"max_in_flight,omitempty"`
+	OpenPlacements int    `json:"open_placements"`
+	Placed         int    `json:"placed"`
+
+	// Journal state; all zero when the daemon runs without a WAL.
+	Journal         bool   `json:"journal,omitempty"`
+	JournalNextSeq  uint64 `json:"journal_next_seq,omitempty"`
+	JournalSegments int    `json:"journal_segments,omitempty"`
+	IdemEntries     int    `json:"idem_entries,omitempty"`
+}
+
 // Response is one server response frame.
 type Response struct {
-	Status     string          `json:"status"` // "ok" | "error"
+	Status     string          `json:"status"` // "ok" | "error" | "overloaded"
 	Error      string          `json:"error,omitempty"`
 	Placement  *PlacementInfo  `json:"placement,omitempty"`
 	Stats      *StatsInfo      `json:"stats,omitempty"`
 	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
+	Health     *HealthInfo     `json:"health,omitempty"`
+
+	// RetryAfterMS accompanies StatusOverloaded: the server's hint for how
+	// long a well-behaved client should back off before retrying.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Response statuses.
 const (
 	StatusOK    = "ok"
 	StatusError = "error"
+	// StatusOverloaded is a typed, retryable rejection: the request was
+	// not admitted (no state changed) and may be retried after the
+	// carried retry_after_ms hint.
+	StatusOverloaded = "overloaded"
 )
+
+// ErrOverloaded matches (via errors.Is) the client-side error produced by
+// a StatusOverloaded response.
+var ErrOverloaded = errors.New("rmswire: server overloaded")
+
+// OverloadedError is the typed client-side form of a StatusOverloaded
+// response.  errors.Is(err, ErrOverloaded) reports true for it.
+type OverloadedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("rmswire: server overloaded: %s (retry after %v)", e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("rmswire: server overloaded (retry after %v)", e.RetryAfter)
+}
+
+// Is lets errors.Is(err, ErrOverloaded) match without unwrapping.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // writeFrame marshals v as one newline-terminated frame.
 func writeFrame(w io.Writer, v any) error {

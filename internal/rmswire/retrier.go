@@ -1,0 +1,247 @@
+package rmswire
+
+// retrier.go is the client-side half of the overload-resilience layer: a
+// wrapper that dials, retries and reconnects so callers see one logical
+// request stream over an unreliable daemon.  Retries are safe because the
+// only non-idempotent op, Submit, always travels under an idempotency key
+// here — an ambiguous failure (connection died after the frame was
+// written) is resolved by resubmitting the same key, and the server
+// answers with the original placement instead of double-placing.
+//
+// Backoff jitter is drawn from internal/rng seeded by the caller, so a
+// retry storm in a test is exactly reproducible run to run.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gridtrust/internal/grid"
+	"gridtrust/internal/rng"
+)
+
+// Retrier defaults.
+const (
+	DefaultMaxAttempts = 8
+	DefaultBaseBackoff = 10 * time.Millisecond
+	DefaultMaxBackoff  = time.Second
+)
+
+// RetrierConfig parameterises a Retrier.  Zero values select defaults.
+type RetrierConfig struct {
+	Addr        string
+	MaxAttempts int           // attempts per op, including the first
+	BaseBackoff time.Duration // backoff before the first retry
+	MaxBackoff  time.Duration // exponential growth cap
+	DialTimeout time.Duration // per-reconnect dial bound
+	OpTimeout   time.Duration // per-op client deadline (0 disables)
+	Budget      time.Duration // admission budget sent with each request
+	Seed        uint64        // jitter + idempotency-key stream seed
+}
+
+func (c RetrierConfig) withDefaults() RetrierConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = DefaultBaseBackoff
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = DefaultMaxBackoff
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	return c
+}
+
+// Retrier is a self-healing client: it retries retryable failures
+// (overload sheds, broken or refused connections) with capped exponential
+// backoff and deterministic jitter, reconnecting as needed.  Application
+// errors — validation failures, unknown placements — are returned
+// immediately.  Safe for concurrent use.
+type Retrier struct {
+	cfg RetrierConfig
+
+	mu     sync.Mutex
+	client *Client
+	jitter *rng.Source
+	keys   *rng.Source
+}
+
+// NewRetrier builds a Retrier for addr-style config.  Connections are
+// dialed lazily on first use.
+func NewRetrier(cfg RetrierConfig) *Retrier {
+	cfg = cfg.withDefaults()
+	master := rng.New(cfg.Seed)
+	return &Retrier{
+		cfg:    cfg,
+		jitter: master.Split(),
+		keys:   master.Split(),
+	}
+}
+
+// NewKey draws the next idempotency key from the Retrier's deterministic
+// key stream.
+func (r *Retrier) NewKey() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("%016x%016x", r.keys.Uint64(), r.keys.Uint64())
+}
+
+// Close releases the current connection, if any.
+func (r *Retrier) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		return nil
+	}
+	err := r.client.Close()
+	r.client = nil
+	return err
+}
+
+// connect returns a healthy client, dialing a fresh connection if the
+// cached one is missing or broken.
+func (r *Retrier) connect() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil && !r.client.Broken() {
+		return r.client, nil
+	}
+	if r.client != nil {
+		_ = r.client.Close()
+		r.client = nil
+	}
+	c, err := DialTimeout(r.cfg.Addr, r.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.Timeout = r.cfg.OpTimeout
+	c.Budget = r.cfg.Budget
+	r.client = c
+	return c, nil
+}
+
+// drop discards a connection the retrier no longer trusts.
+func (r *Retrier) drop(c *Client) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == c {
+		_ = r.client.Close()
+		r.client = nil
+	}
+}
+
+// backoff computes the sleep before retry number attempt (0-based): capped
+// exponential with deterministic half-jitter, floored by the server's
+// retry_after hint when the previous failure was an overload shed.
+func (r *Retrier) backoff(attempt int, lastErr error) time.Duration {
+	d := r.cfg.BaseBackoff
+	for i := 0; i < attempt && d < r.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	var oe *OverloadedError
+	if errors.As(lastErr, &oe) && oe.RetryAfter > d {
+		d = oe.RetryAfter
+	}
+	r.mu.Lock()
+	jittered := d/2 + time.Duration(r.jitter.Uniform(0, float64(d/2)))
+	r.mu.Unlock()
+	return jittered
+}
+
+// do runs op with retries.  op receives a healthy client; the error it
+// returns is classified: overload sheds and transport failures retry,
+// anything else is final.
+func (r *Retrier) do(op func(*Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.backoff(attempt-1, lastErr))
+		}
+		c, err := r.connect()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := op(c); err != nil {
+			lastErr = err
+			if errors.Is(err, ErrOverloaded) {
+				continue // shed before execution; the connection is fine
+			}
+			if c.Broken() || errors.Is(err, ErrClientBroken) {
+				r.drop(c)
+				continue
+			}
+			return err // application error: retrying cannot help
+		}
+		return nil
+	}
+	return fmt.Errorf("rmswire: %d attempts exhausted: %w", r.cfg.MaxAttempts, lastErr)
+}
+
+// Submit schedules a task under a fresh idempotency key, retrying until
+// the daemon acknowledges exactly one placement for it.
+func (r *Retrier) Submit(client grid.ClientID, activities []grid.Activity, rtl grid.TrustLevel, eec []float64, now float64) (*PlacementInfo, error) {
+	return r.SubmitKeyed(r.NewKey(), client, activities, rtl, eec, now)
+}
+
+// SubmitKeyed retries a submit under a caller-pinned idempotency key —
+// callers that must survive their own restarts derive keys from durable
+// task identity instead of the Retrier's stream.
+func (r *Retrier) SubmitKeyed(key string, client grid.ClientID, activities []grid.Activity, rtl grid.TrustLevel, eec []float64, now float64) (*PlacementInfo, error) {
+	if key == "" {
+		return nil, fmt.Errorf("rmswire: retried submit requires an idempotency key")
+	}
+	var p *PlacementInfo
+	err := r.do(func(c *Client) error {
+		var e error
+		p, e = c.SubmitKeyed(key, client, activities, rtl, eec, now)
+		return e
+	})
+	return p, err
+}
+
+// Report retries an outcome report.  Reports carry no idempotency key, so
+// after a retried attempt an "already-reported" rejection is treated as
+// success: the only plausible writer of this placement's outcome is the
+// earlier attempt whose acknowledgement was lost.
+func (r *Retrier) Report(placementID uint64, outcome, now float64) error {
+	attempts := 0
+	return r.do(func(c *Client) error {
+		attempts++
+		err := c.Report(placementID, outcome, now)
+		if err != nil && attempts > 1 && strings.Contains(err.Error(), "already-reported") {
+			return nil
+		}
+		return err
+	})
+}
+
+// Stats fetches daemon statistics with retries.
+func (r *Retrier) Stats() (*StatsInfo, error) {
+	var st *StatsInfo
+	err := r.do(func(c *Client) error {
+		var e error
+		st, e = c.Stats()
+		return e
+	})
+	return st, err
+}
+
+// Health fetches the daemon readiness view with retries.
+func (r *Retrier) Health() (*HealthInfo, error) {
+	var h *HealthInfo
+	err := r.do(func(c *Client) error {
+		var e error
+		h, e = c.Health()
+		return e
+	})
+	return h, err
+}

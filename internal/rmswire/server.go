@@ -21,6 +21,10 @@ import (
 // handler goroutine forever.
 const DefaultIdleTimeout = 2 * time.Minute
 
+// DefaultRetryAfter is the backoff hint carried on StatusOverloaded
+// responses when Server.RetryAfter is zero.
+const DefaultRetryAfter = 50 * time.Millisecond
+
 // Server exposes one TRMS over the wire.  It owns a placement registry so
 // outcome reports can reference placements by id across connections.
 type Server struct {
@@ -31,9 +35,33 @@ type Server struct {
 	// ListenAndServe.
 	IdleTimeout time.Duration
 
+	// MaxConns bounds concurrently served connections; a connection over
+	// the limit is answered with one StatusOverloaded frame and closed.
+	// 0 means unlimited.  Set before ListenAndServe.
+	MaxConns int
+
+	// MaxInFlight bounds concurrently executing requests across all
+	// connections.  A request that cannot be admitted within its budget
+	// (Request.BudgetMS) is shed with StatusOverloaded; nothing about it
+	// is applied or journalled.  0 means unlimited.  Set before
+	// ListenAndServe.
+	MaxInFlight int
+
+	// RetryAfter overrides the backoff hint on StatusOverloaded
+	// responses; 0 selects DefaultRetryAfter.
+	RetryAfter time.Duration
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	// tokens is the admission semaphore (nil when MaxInFlight == 0);
+	// inflight counts executing requests for health and drain even when
+	// admission is unlimited.
+	tokens   chan struct{}
+	inflight atomic.Int64
+	draining atomic.Bool
+	drainReq chan struct{}
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -41,6 +69,14 @@ type Server struct {
 	mu         sync.Mutex
 	nextID     uint64
 	placements map[uint64]openPlacement
+
+	// idem maps Submit idempotency keys to the acknowledged placement
+	// record so a retried submit returns the original placement instead
+	// of double-placing; idemPending reserves keys whose first attempt is
+	// still executing.  Both live under mu; idem is rebuilt from the
+	// journal on replay, so it survives restart.
+	idem        map[string]journalRecord
+	idemPending map[string]struct{}
 
 	// jmu serialises operations against checkpoints: handlers that
 	// mutate the TRMS and append to the journal hold it for reading,
@@ -66,9 +102,12 @@ func NewServer(trms *core.TRMS) (*Server, error) {
 		return nil, fmt.Errorf("rmswire: nil TRMS")
 	}
 	return &Server{
-		trms:       trms,
-		placements: make(map[uint64]openPlacement),
-		conns:      make(map[net.Conn]struct{}),
+		trms:        trms,
+		placements:  make(map[uint64]openPlacement),
+		conns:       make(map[net.Conn]struct{}),
+		idem:        make(map[string]journalRecord),
+		idemPending: make(map[string]struct{}),
+		drainReq:    make(chan struct{}, 1),
 	}, nil
 }
 
@@ -79,9 +118,23 @@ func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.MaxInFlight > 0 {
+		s.tokens = make(chan struct{}, s.MaxInFlight)
+	}
 	s.ln = ln
 	go s.acceptLoop()
 	return ln.Addr(), nil
+}
+
+// rejectConn answers an unadmitted connection with a single overloaded
+// frame and closes it, so the peer learns "retry later" instead of seeing
+// a bare RST.
+func (s *Server) rejectConn(conn net.Conn, reason string) {
+	if t := s.idleTimeout(); t > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	_ = writeFrame(conn, s.overloaded(reason))
+	_ = conn.Close()
 }
 
 func (s *Server) acceptLoop() {
@@ -90,11 +143,20 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if s.draining.Load() {
+			s.rejectConn(conn, "draining")
+			continue
+		}
 		s.connMu.Lock()
 		if s.closed.Load() {
 			s.connMu.Unlock()
 			_ = conn.Close()
 			return
+		}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.connMu.Unlock()
+			s.rejectConn(conn, fmt.Sprintf("connection limit %d reached", s.MaxConns))
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
@@ -126,6 +188,86 @@ func (s *Server) Close() {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
+}
+
+// Shutdown drains the server gracefully: it stops accepting, sheds every
+// request that arrives after the call with StatusOverloaded("draining"),
+// and waits up to timeout for already-admitted requests to finish before
+// force-closing the remaining connections.  It returns true if all
+// in-flight work completed inside the deadline.  Callers holding a
+// journal typically take a final Checkpoint afterwards.
+func (s *Server) Shutdown(timeout time.Duration) bool {
+	s.draining.Store(true)
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	clean := true
+	for s.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			clean = false
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	return clean
+}
+
+// DrainRequested is signalled (once, non-blocking) when a client issues
+// the drain op; the process owning the server decides how to shut down.
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainReq }
+
+// retryAfter resolves the overload backoff hint.
+func (s *Server) retryAfter() time.Duration {
+	if s.RetryAfter > 0 {
+		return s.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
+// overloaded builds the typed retryable rejection frame.
+func (s *Server) overloaded(reason string) Response {
+	return Response{
+		Status:       StatusOverloaded,
+		Error:        reason,
+		RetryAfterMS: s.retryAfter().Milliseconds(),
+	}
+}
+
+// acquire admits one request, waiting at most budget for an in-flight
+// slot.  It reports false when the request must be shed; nothing was
+// applied.  release undoes a successful acquire.
+func (s *Server) acquire(budget time.Duration) bool {
+	if s.tokens == nil {
+		s.inflight.Add(1)
+		return true
+	}
+	select {
+	case s.tokens <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	default:
+	}
+	if budget <= 0 {
+		return false
+	}
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case s.tokens <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	if s.tokens != nil {
+		<-s.tokens
+	}
 }
 
 // idleTimeout resolves the effective per-connection deadline.
@@ -166,15 +308,34 @@ func (s *Server) handle(conn net.Conn) {
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
+		// A draining server finishes the request it already answered and
+		// then closes the stream so the client reconnects elsewhere.
+		if s.draining.Load() {
+			return
+		}
 	}
 }
 
 // respond executes one request against the TRMS.  Mutating ops run under
 // the journal read-lock so checkpoints observe a quiescent daemon.
+// Health and drain bypass admission entirely — they must answer precisely
+// when the daemon is overloaded or draining.
 func (s *Server) respond(req Request) Response {
-	if req.Op == OpCheckpoint {
+	switch req.Op {
+	case OpHealth:
+		return s.handleHealth()
+	case OpDrain:
+		return s.handleDrain()
+	case OpCheckpoint:
 		return s.handleCheckpoint()
 	}
+	if s.draining.Load() {
+		return s.overloaded("draining")
+	}
+	if !s.acquire(time.Duration(req.BudgetMS) * time.Millisecond) {
+		return s.overloaded(fmt.Sprintf("in-flight limit %d reached", s.MaxInFlight))
+	}
+	defer s.release()
 	s.jmu.RLock()
 	var resp Response
 	switch req.Op {
@@ -192,6 +353,51 @@ func (s *Server) respond(req Request) Response {
 	return resp
 }
 
+// handleHealth reports readiness without touching admission: probes see a
+// truthful view even while the daemon sheds or drains.
+func (s *Server) handleHealth() Response {
+	s.connMu.Lock()
+	conns := len(s.conns)
+	s.connMu.Unlock()
+	s.mu.Lock()
+	open := len(s.placements)
+	idem := len(s.idem)
+	s.mu.Unlock()
+	h := &HealthInfo{
+		Status:         "ok",
+		Draining:       s.draining.Load(),
+		Conns:          conns,
+		MaxConns:       s.MaxConns,
+		InFlight:       int(s.inflight.Load()),
+		MaxInFlight:    s.MaxInFlight,
+		OpenPlacements: open,
+		Placed:         s.trms.Placed(),
+		IdemEntries:    idem,
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	s.jmu.RLock()
+	if s.journal != nil {
+		h.Journal = true
+		h.JournalNextSeq = s.journal.NextSeq()
+		h.JournalSegments = s.journal.Stats().Segments
+	}
+	s.jmu.RUnlock()
+	return Response{Status: StatusOK, Health: h}
+}
+
+// handleDrain acknowledges the request and signals the process owner; the
+// actual drain (Shutdown + final checkpoint) is the owner's call, because
+// only it knows whether to exit afterwards.
+func (s *Server) handleDrain() Response {
+	select {
+	case s.drainReq <- struct{}{}:
+	default:
+	}
+	return Response{Status: StatusOK}
+}
+
 func (s *Server) handleCheckpoint() Response {
 	info, err := s.Checkpoint()
 	if err != nil {
@@ -201,6 +407,27 @@ func (s *Server) handleCheckpoint() Response {
 }
 
 func (s *Server) handleSubmit(req Request) Response {
+	// Idempotency: a key already acknowledged replays the original
+	// placement; a key whose first attempt is still executing is shed as
+	// retryable rather than racing it into a double-place.
+	if req.IdemKey != "" {
+		s.mu.Lock()
+		if rec, ok := s.idem[req.IdemKey]; ok {
+			s.mu.Unlock()
+			return Response{Status: StatusOK, Placement: rec.placementInfo()}
+		}
+		if _, busy := s.idemPending[req.IdemKey]; busy {
+			s.mu.Unlock()
+			return s.overloaded(fmt.Sprintf("submit with idempotency key %q in flight", req.IdemKey))
+		}
+		s.idemPending[req.IdemKey] = struct{}{}
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.idemPending, req.IdemKey)
+			s.mu.Unlock()
+		}()
+	}
 	toa, err := activitiesToToA(req.Activities)
 	if err != nil {
 		return Response{Status: StatusError, Error: err.Error()}
@@ -223,11 +450,20 @@ func (s *Server) handleSubmit(req Request) Response {
 	id := s.nextID
 	s.placements[id] = openPlacement{p: p, toa: toa}
 	s.mu.Unlock()
-	if err := s.journalAppend(placeRecord(id, p, toa, req.Now)); err != nil {
+	rec := placeRecord(id, p, toa, req.Now)
+	rec.IdemKey = req.IdemKey
+	if err := s.journalAppend(rec); err != nil {
 		// The placement is applied but not durable: surface that instead
-		// of pretending either way.
+		// of pretending either way.  The key is deliberately not recorded
+		// — the client saw an error, and a dedup hit must never vouch for
+		// a placement the journal does not hold.
 		return Response{Status: StatusError,
 			Error: fmt.Sprintf("placement %d applied but not journalled: %v", id, err)}
+	}
+	if req.IdemKey != "" {
+		s.mu.Lock()
+		s.idem[req.IdemKey] = rec
+		s.mu.Unlock()
 	}
 	return Response{Status: StatusOK, Placement: &PlacementInfo{
 		ID:      id,
