@@ -1,6 +1,6 @@
 # Convenience targets; scripts/ci.sh is the canonical verify flow.
 
-.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal
+.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal bench-des bench-des-flagship
 
 # verify runs the tier-1 flow: build, vet, full tests, race tests for
 # the concurrent packages (exp's experiment engine, sim's cell runners,
@@ -46,3 +46,15 @@ bench-fault:
 # NoSync) and recovery speed, recorded in BENCH_wal.json.
 bench-wal:
 	go test ./internal/wal -run '^$$' -bench 'Append|Recover' -benchmem
+
+# bench-des measures the flat DES kernel against the closure-based
+# reference (queue microbenchmarks plus end-to-end replications at 1024
+# machines), recorded in BENCH_des.json.
+bench-des:
+	go test ./internal/des -run '^$$' -bench 'ScheduleDrain|SteadyState|CancelHeavy' -benchmem
+	go test ./internal/sim -run '^$$' -bench 'SimRun' -benchmem
+
+# bench-des-flagship runs the 5000-machine x 1M-task headline replication
+# once (about half a minute; see BENCH_des.json).
+bench-des-flagship:
+	go test ./internal/sim -run '^$$' -bench 'SimFlagship' -benchtime 1x -benchmem -timeout 30m

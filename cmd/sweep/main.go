@@ -43,6 +43,7 @@ import (
 
 	"gridtrust/internal/exp"
 	"gridtrust/internal/grid"
+	"gridtrust/internal/prof"
 	"gridtrust/internal/report"
 	"gridtrust/internal/sim"
 	"gridtrust/internal/stats"
@@ -97,8 +98,24 @@ func main() {
 		chart   = flag.Bool("chart", false, "also render an improvement bar chart for scalar sweeps")
 		verbose = flag.Bool("v", false, "print per-cell progress and timing to stderr")
 		ckDir   = flag.String("checkpoint", "", "checkpoint directory: journal completed cells and, on re-run, skip them (\"\" disables)")
+		kernel  = flag.String("des", "fast", "DES kernel: fast (flat typed queue) or reference (closure queue); outputs are byte-identical")
+		intra   = flag.Int("intra", 1, "intra-replication scan workers on the fast kernel (results identical for any value)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	k, err := sim.KernelByName(*kernel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	sim.SetKernel(k)
+	sim.SetIntraWorkers(*intra)
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
 	if *list {
 		for _, m := range modes {
 			fmt.Printf("%-14s %s\n", m.name, m.description)
@@ -122,7 +139,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := fmt.Errorf("unknown mode %q (try -list)", *mode)
+	err = fmt.Errorf("unknown mode %q (try -list)", *mode)
 	for _, m := range modes {
 		if m.name == *mode {
 			err = m.run(ctx, cfg)
@@ -140,6 +157,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: checkpoint close: %v\n", cerr)
 		}
 	}
+	stopProf()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		if ctx.Err() != nil {

@@ -26,6 +26,7 @@ import (
 
 	"gridtrust"
 	"gridtrust/internal/exp"
+	"gridtrust/internal/prof"
 	"gridtrust/internal/report"
 	"gridtrust/internal/rng"
 	"gridtrust/internal/sched"
@@ -45,8 +46,21 @@ func main() {
 		config  = flag.String("config", "", "JSON scenario file to run instead of the paper tables")
 		gantt   = flag.String("gantt", "", "render one run's execution timeline for a heuristic (mct, minmin or sufferage)")
 		verbose = flag.Bool("v", false, "print per-table timing and significance")
+		kernel  = flag.String("des", "fast", "DES kernel: fast (flat typed queue) or reference (closure queue); outputs are byte-identical")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	k, err := sim.KernelByName(*kernel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sim.SetKernel(k)
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
 
 	// SIGINT/SIGTERM cancel the experiment grid cleanly: in-flight
 	// replications finish and the pool drains before exit.
@@ -157,11 +171,12 @@ func runGantt(heuristic string, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	var tr trace.Trace // reused across the paired runs; Reset keeps capacity
 	for _, policy := range []sched.Policy{
 		sched.MustTrustUnaware(sc.FlatOverheadPct),
 		sched.MustTrustAware(sc.TCWeight),
 	} {
-		var tr trace.Trace
+		tr.Reset()
 		res, err := sim.RunTraced(sc, w, policy, &tr)
 		if err != nil {
 			return err

@@ -42,7 +42,38 @@ type Policy struct {
 	// ChargedESC is the security cost actually incurred when the task
 	// runs.
 	ChargedESC func(eec float64, tc int) float64
+
+	// decForm/chForm describe the closed form of the two ESC functions
+	// when the policy was built by a package constructor, letting hot
+	// loops inline the arithmetic instead of calling through the func
+	// values.  Hand-assembled Policy literals keep the zero ESCOpaque
+	// form and take the generic path.
+	decForm, chForm     ESCForm
+	decWeight, chWeight float64
 }
+
+// ESCForm classifies a policy's ESC function for fused hot loops.  A
+// non-opaque form MUST compute, operation for operation, the same float
+// expression as the corresponding func field: the simulator's fast path
+// relies on that to stay bit-identical to the reference path.
+type ESCForm int
+
+const (
+	// ESCOpaque: unknown shape; call the func field.
+	ESCOpaque ESCForm = iota
+	// ESCZero: ESC = 0 (the decision view of unaware/blind policies).
+	ESCZero
+	// ESCLinear: ESC = eec * (float64(tc) * weight) / 100.
+	ESCLinear
+	// ESCFlat: ESC = eec * weight / 100, independent of TC.
+	ESCFlat
+)
+
+// DecisionForm returns the closed form of DecisionESC and its weight.
+func (p Policy) DecisionForm() (ESCForm, float64) { return p.decForm, p.decWeight }
+
+// ChargedForm returns the closed form of ChargedESC and its weight.
+func (p Policy) ChargedForm() (ESCForm, float64) { return p.chForm, p.chWeight }
 
 // TrustAware returns the paper's trust-aware policy with the given TC
 // weight (use DefaultTCWeight for the paper's 15).  Decision and charged
@@ -54,7 +85,11 @@ func TrustAware(tcWeight float64) (Policy, error) {
 	esc := func(eec float64, tc int) float64 {
 		return eec * (float64(tc) * tcWeight) / 100
 	}
-	return Policy{Name: "trust-aware", DecisionESC: esc, ChargedESC: esc}, nil
+	return Policy{
+		Name: "trust-aware", DecisionESC: esc, ChargedESC: esc,
+		decForm: ESCLinear, decWeight: tcWeight,
+		chForm: ESCLinear, chWeight: tcWeight,
+	}, nil
 }
 
 // TrustUnaware returns the paper's trust-unaware policy: the mapper ignores
@@ -68,6 +103,8 @@ func TrustUnaware(flatPct float64) (Policy, error) {
 		Name:        "trust-unaware",
 		DecisionESC: func(float64, int) float64 { return 0 },
 		ChargedESC:  func(eec float64, _ int) float64 { return eec * flatPct / 100 },
+		decForm:     ESCZero,
+		chForm:      ESCFlat, chWeight: flatPct,
 	}, nil
 }
 
@@ -88,6 +125,8 @@ func TrustBlind(tcWeight float64) (Policy, error) {
 		ChargedESC: func(eec float64, tc int) float64 {
 			return eec * (float64(tc) * tcWeight) / 100
 		},
+		decForm: ESCZero,
+		chForm:  ESCLinear, chWeight: tcWeight,
 	}, nil
 }
 

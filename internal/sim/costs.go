@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 
+	"gridtrust/internal/grid"
 	"gridtrust/internal/sched"
 	"gridtrust/internal/workload"
 )
@@ -16,10 +17,41 @@ import (
 // workloadCosts adapts a workload.Workload to sched.Costs, precomputing
 // the trust cost for every (request, machine) pair.  TCs depend only on
 // the request's CD/RTL/ToA and the machine's RD, both fixed at workload
-// generation, so precomputation is exact.
+// generation, so precomputation is exact — and because requests sharing a
+// (CD, RTL, ToA) profile share an identical TC row, rows are deduplicated
+// by profile: a 1M-request stream carries at most
+// |CDs| × |RTLs| × |ToA sets| distinct rows, which is what makes the
+// 5000-machine × 1M-task flagship run fit in memory.
 type workloadCosts struct {
-	w  *workload.Workload
-	tc [][]int
+	w     *workload.Workload
+	tc    [][]int // distinct TC rows, one per request profile
+	rowOf []int32 // request index -> row index into tc
+
+	// tableVersion is the trust-table version the TC rows were computed
+	// from; the scratch-level cache revalidates against it.
+	tableVersion uint64
+}
+
+// tcProfile keys the deduplication: everything a request contributes to
+// its trust costs.  The activity set is encoded as a bitmask (OTL is the
+// min over activities, so order is irrelevant).
+type tcProfile struct {
+	cd   grid.DomainID
+	rtl  grid.TrustLevel
+	acts uint64
+}
+
+// toaMask encodes a ToA's activity set as a bitmask; ok is false when an
+// activity index does not fit (the caller then skips deduplication for
+// that request).
+func toaMask(toa grid.ToA) (mask uint64, ok bool) {
+	for _, a := range toa.Activities {
+		if a < 0 || int(a) >= 64 {
+			return 0, false
+		}
+		mask |= 1 << uint(a)
+	}
+	return mask, true
 }
 
 // newWorkloadCosts builds the adapter, surfacing any trust-table gaps as
@@ -28,19 +60,60 @@ func newWorkloadCosts(w *workload.Workload) (*workloadCosts, error) {
 	if w == nil {
 		return nil, fmt.Errorf("sim: nil workload")
 	}
-	tc := make([][]int, len(w.Requests))
-	for i, r := range w.Requests {
-		row := make([]int, w.Spec.Machines)
-		for m := 0; m < w.Spec.Machines; m++ {
+	nm := w.Spec.Machines
+	c := &workloadCosts{w: w, rowOf: make([]int32, len(w.Requests))}
+	if w.Table != nil {
+		c.tableVersion = w.Table.Version()
+	}
+	seen := make(map[tcProfile]int32)
+	for i := range w.Requests {
+		r := w.Requests[i]
+		mask, maskOK := toaMask(r.ToA)
+		p := tcProfile{cd: r.CD, rtl: r.ClientRTL, acts: mask}
+		if maskOK {
+			if j, dup := seen[p]; dup {
+				c.rowOf[i] = j
+				continue
+			}
+		}
+		row := make([]int, nm)
+		for m := 0; m < nm; m++ {
 			v, err := w.TrustCost(r, m)
 			if err != nil {
 				return nil, fmt.Errorf("sim: trust cost for request %d on machine %d: %w", i, m, err)
 			}
 			row[m] = v
 		}
-		tc[i] = row
+		j := int32(len(c.tc))
+		c.tc = append(c.tc, row)
+		c.rowOf[i] = j
+		if maskOK {
+			seen[p] = j
+		}
 	}
-	return &workloadCosts{w: w, tc: tc}, nil
+	return c, nil
+}
+
+// cachedWorkloadCosts returns the scratch's memoized adapter when it was
+// built for this exact workload (same pointer, same trust-table version),
+// rebuilding otherwise.  RunPair and the exp replication pool reuse one
+// scratch across many runs of the same workload, so in the steady state
+// the TC precomputation is paid once per workload instead of once per
+// run.  The reference kernel deliberately keeps the seed's
+// rebuild-per-run behavior: it is the correctness baseline, and the
+// equivalence tests must exercise the cold-build path too.
+func cachedWorkloadCosts(scr *runScratch, w *workload.Workload) (*workloadCosts, error) {
+	if c := scr.costs; c != nil && c.w == w {
+		if w.Table == nil || c.tableVersion == w.Table.Version() {
+			return c, nil
+		}
+	}
+	c, err := newWorkloadCosts(w)
+	if err != nil {
+		return nil, err
+	}
+	scr.costs = c
+	return c, nil
 }
 
 // NumRequests returns the instance's request count.
@@ -55,12 +128,24 @@ func (c *workloadCosts) EEC(r, m int) float64 {
 	return c.w.EEC.At(c.w.Requests[r].TaskIndex, m)
 }
 
+// eecRow returns request r's execution-cost row without copying (see
+// Matrix.RowView); the fused scans walk it directly.
+func (c *workloadCosts) eecRow(r int) []float64 {
+	return c.w.EEC.RowView(c.w.Requests[r].TaskIndex)
+}
+
+// tcRow returns request r's trust-cost row (shared across requests with
+// the same profile; read-only).
+func (c *workloadCosts) tcRow(r int) []int {
+	return c.tc[c.rowOf[r]]
+}
+
 // TrustCost returns the precomputed TC.
 func (c *workloadCosts) TrustCost(r, m int) (int, error) {
-	if r < 0 || r >= len(c.tc) || m < 0 || m >= c.w.Spec.Machines {
+	if r < 0 || r >= len(c.rowOf) || m < 0 || m >= c.w.Spec.Machines {
 		return 0, fmt.Errorf("sim: trust cost index (%d,%d) out of range", r, m)
 	}
-	return c.tc[r][m], nil
+	return c.tc[c.rowOf[r]][m], nil
 }
 
 var _ sched.Costs = (*workloadCosts)(nil)

@@ -73,9 +73,12 @@ func newFaultCosts(truth *workloadCosts, plan fault.Plan) (*faultCosts, float64,
 	if !any {
 		return nil, 0, nil
 	}
-	dec := make([][]int, len(truth.tc))
-	for r := range truth.tc {
-		dec[r] = append([]int(nil), truth.tc[r]...)
+	// The decision view is materialised per request (not per profile):
+	// whitewashing perturbs rows machine-wise, and fault runs are small
+	// enough that the expansion is cheap.
+	dec := make([][]int, truth.NumRequests())
+	for r := range dec {
+		dec[r] = append([]int(nil), truth.tcRow(r)...)
 	}
 	var errSum float64
 	for m := 0; m < w.Spec.Machines; m++ {
@@ -94,8 +97,9 @@ func newFaultCosts(truth *workloadCosts, plan fault.Plan) (*faultCosts, float64,
 	}
 	n := 0
 	for r := range dec {
+		tcs := truth.tcRow(r)
 		for m := range dec[r] {
-			errSum += math.Abs(float64(dec[r][m] - truth.tc[r][m]))
+			errSum += math.Abs(float64(dec[r][m] - tcs[m]))
 			n++
 		}
 	}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kernel selects the discrete-event engine driving a run.  Both kernels
+// execute the identical logical event sequence and produce bit-identical
+// results; the reference kernel exists so that equivalence stays provable
+// end to end (scripts/ci.sh diffs full sweep outputs across kernels).
+type Kernel int
+
+const (
+	// KernelFast is the flat typed-event queue (des.Queue) with fused
+	// scheduling scans: zero allocations steady-state.  The default.
+	KernelFast Kernel = iota
+	// KernelReference is the original closure-based des.Simulator path.
+	KernelReference
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelFast:
+		return "fast"
+	case KernelReference:
+		return "reference"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// KernelByName resolves "fast" or "reference".
+func KernelByName(name string) (Kernel, error) {
+	switch name {
+	case "fast":
+		return KernelFast, nil
+	case "reference":
+		return KernelReference, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown DES kernel %q (want fast or reference)", name)
+	}
+}
+
+var kernelMode atomic.Int32 // Kernel; zero value = KernelFast
+
+// SetKernel selects the kernel for subsequent runs (process-wide; safe to
+// call concurrently with runs, each run reads it once at entry).
+func SetKernel(k Kernel) { kernelMode.Store(int32(k)) }
+
+// ActiveKernel returns the currently selected kernel.
+func ActiveKernel() Kernel { return Kernel(kernelMode.Load()) }
+
+// intraWorkers is the number of workers sharding the machine scan inside
+// one replication on the fast path.  1 (the default) scans serially.
+// This composes with the cross-replication pool in internal/exp: results
+// are bit-identical under any worker count (see DESIGN.md §13), so the
+// setting is pure speed for very wide machine sets.
+var intraWorkers atomic.Int32
+
+// intraShardMin is the minimum number of machines per worker before a
+// scan is sharded: below it, goroutine handoff costs more than the scan.
+// A variable (not a constant) so determinism tests can force sharding on
+// small instances.
+var intraShardMin atomic.Int32
+
+func init() {
+	intraWorkers.Store(1)
+	intraShardMin.Store(1024)
+}
+
+// SetIntraWorkers sets the intra-replication scan worker count; n < 1
+// resets to serial.  Values above 64 are clamped.
+func SetIntraWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	intraWorkers.Store(int32(n))
+}
+
+// IntraWorkers returns the current intra-replication worker count.
+func IntraWorkers() int { return int(intraWorkers.Load()) }

@@ -73,6 +73,15 @@ type runScratch struct {
 	avail    []float64
 	pending  []int
 	asg      []sched.Assignment
+
+	// q is the flat event queue reused across runs on the fast path
+	// (Reset keeps its buffers); shardM/shardV hold per-worker results
+	// of sharded decision scans; costs memoizes the TC precomputation
+	// per workload (see cachedWorkloadCosts).
+	q      *des.Queue
+	shardM []int
+	shardV []float64
+	costs  *workloadCosts
 }
 
 // prepare sizes the buffers for nm machines and zeroes the accumulators.
@@ -108,7 +117,13 @@ func runTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace
 		return nil, err
 	}
 	if sc.Fault.Active() {
+		if ActiveKernel() == KernelFast {
+			return runFaultTracedFlat(sc, w, policy, tr)
+		}
 		return runFaultTraced(sc, w, policy, tr)
+	}
+	if ActiveKernel() == KernelFast {
+		return runTracedFlat(sc, w, policy, tr, scr)
 	}
 	costs, err := newWorkloadCosts(w)
 	if err != nil {
@@ -208,6 +223,11 @@ type runState struct {
 	scr   *runScratch
 	trace *trace.Trace
 
+	// intraW and shardMin snapshot the intra-replication sharding knobs
+	// at run entry (fast path only) so one run never mixes settings.
+	intraW   int
+	shardMin int
+
 	tcSum  float64
 	result *RunResult
 	err    error
@@ -235,7 +255,6 @@ func (st *runState) record(e trace.Event) {
 // commit places request r on machine m at time now: the task starts when
 // the machine frees up (never before now) and runs for its charged ECC.
 func (st *runState) commit(r, m int, now, arrival float64) error {
-	deadline := st.costs.w.Requests[r].Deadline
 	ecc, err := sched.ChargedECC(st.costs, st.policy, r, m)
 	if err != nil {
 		return err
@@ -244,6 +263,15 @@ func (st *runState) commit(r, m int, now, arrival float64) error {
 	if err != nil {
 		return err
 	}
+	st.commitCosted(r, m, now, arrival, ecc, tc)
+	return nil
+}
+
+// commitCosted is commit with the charged ECC and TC already computed;
+// the fast path's fused scans call it directly with inlined arithmetic
+// that reproduces ChargedECC operation for operation.
+func (st *runState) commitCosted(r, m int, now, arrival, ecc float64, tc int) {
+	deadline := st.costs.w.Requests[r].Deadline
 	start := math.Max(st.scr.freeTime[m], now)
 	finish := start + ecc
 	st.record(trace.Event{Time: now, Kind: trace.Scheduled, Request: r, Machine: m, Cost: ecc})
@@ -260,7 +288,6 @@ func (st *runState) commit(r, m int, now, arrival float64) error {
 		st.result.Makespan = finish
 	}
 	st.result.Assigned++
-	return nil
 }
 
 // assignImmediate maps one arriving request.

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"gridtrust/internal/grid"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/workload"
+)
+
+// End-to-end simulator benchmarks, recorded in BENCH_des.json.
+//
+// BenchmarkSimRun drives complete replications (workload fixed, runs
+// repeated) through both kernels at a wide 1024-machine instance, the
+// scale where the fused scans and the typed queue pay off.  The scratch
+// is reused across iterations exactly as RunPair/Compare reuse it, so
+// the numbers reflect the steady state a sweep sees.
+func BenchmarkSimRun(b *testing.B) {
+	cases := []struct {
+		name      string
+		mode      Mode
+		heuristic string
+		tasks     int
+	}{
+		{"immediate-mct", Immediate, "mct", 2048},
+		{"batch-minmin", Batch, "minmin", 512},
+	}
+	for _, tc := range cases {
+		sc := PaperScenario(tc.heuristic, tc.tasks, workload.Inconsistent)
+		sc.Mode = tc.mode
+		sc.Heuristic = tc.heuristic
+		sc.Machines = 1024
+		w, err := workload.NewWorkload(rng.New(2024), sc.WorkloadSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		aware, _, err := sc.policies()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range []Kernel{KernelReference, KernelFast} {
+			b.Run(fmt.Sprintf("%s/%s", tc.name, k), func(b *testing.B) {
+				SetKernel(k)
+				defer SetKernel(KernelFast)
+				scr := &runScratch{}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := runTraced(sc, w, aware, nil, scr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// flagshipWorkload hand-builds a workload far beyond what the Spec
+// generator can materialise: the EEC matrix holds only `profiles`
+// distinct task rows (requests cycle through them via TaskIndex), the
+// ToA sets are shared slices, and the trust-cost rows deduplicate down
+// to |CDs| x |RTLs| x |ToA sets| profiles inside newWorkloadCosts — so a
+// 5000-machine x 1M-request instance fits comfortably in memory.
+func flagshipWorkload(machines, requests, profiles int) (*workload.Workload, error) {
+	const numCDs, numRDs = 4, 4
+	src := rng.New(42)
+
+	eec, err := workload.NewMatrix(profiles, machines)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < profiles; t++ {
+		for m := 0; m < machines; m++ {
+			eec.Set(t, m, src.Uniform(10, 1000))
+		}
+	}
+
+	table := grid.NewTrustTable()
+	for cd := 0; cd < numCDs; cd++ {
+		for rd := 0; rd < numRDs; rd++ {
+			for a := grid.Activity(0); a < grid.NumBuiltinActivities; a++ {
+				if err := table.Set(grid.DomainID(cd), grid.DomainID(numCDs+rd), a,
+					grid.TrustLevel(1+src.Intn(5))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	machineRD := make([]grid.DomainID, machines)
+	resourceRTL := make(map[grid.DomainID]grid.TrustLevel, numRDs)
+	for rd := 0; rd < numRDs; rd++ {
+		resourceRTL[grid.DomainID(numCDs+rd)] = grid.TrustLevel(src.IntRange(1, 6))
+	}
+	for m := range machineRD {
+		machineRD[m] = grid.DomainID(numCDs + m%numRDs)
+	}
+
+	toas := make([]grid.ToA, 8)
+	for i := range toas {
+		n := src.IntRange(1, 4)
+		perm := src.Perm(int(grid.NumBuiltinActivities))
+		acts := make([]grid.Activity, n)
+		for j := 0; j < n; j++ {
+			acts[j] = grid.Activity(perm[j])
+		}
+		toas[i] = grid.ToA{Activities: acts}
+	}
+
+	reqs := make([]workload.Request, requests)
+	now := 0.0
+	for i := range reqs {
+		now += src.Exponential(50)
+		reqs[i] = workload.Request{
+			ID:        i,
+			ArrivalAt: now,
+			TaskIndex: i % profiles,
+			CD:        grid.DomainID(i % numCDs),
+			ToA:       toas[i%len(toas)],
+			ClientRTL: grid.TrustLevel(1 + i%6),
+		}
+	}
+
+	return &workload.Workload{
+		Spec:        workload.Spec{Tasks: requests, Machines: machines},
+		EEC:         eec,
+		Requests:    reqs,
+		NumCDs:      numCDs,
+		NumRDs:      numRDs,
+		MachineRD:   machineRD,
+		ResourceRTL: resourceRTL,
+		Table:       table,
+	}, nil
+}
+
+// BenchmarkSimFlagship is the 5000-machine x 1,000,000-task headline run
+// (immediate MCT, trust-aware): 5e9 fused machine-scan steps through the
+// flat queue in a single replication.  Run with -benchtime 1x; one
+// iteration is the whole run.
+func BenchmarkSimFlagship(b *testing.B) {
+	const machines, requests = 5000, 1_000_000
+	w, err := flagshipWorkload(machines, requests, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := PaperScenario("mct", requests, workload.Inconsistent)
+	sc.Name = "flagship-5000x1M"
+	sc.Machines = machines
+	aware, err := sched.TrustAware(sc.TCWeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	SetKernel(KernelFast)
+	scr := &runScratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runTraced(sc, w, aware, nil, scr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Assigned != requests {
+			b.Fatalf("assigned %d of %d", res.Assigned, requests)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"gridtrust/internal/fault"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/trace"
+	"gridtrust/internal/workload"
+)
+
+// These tests pin the kernel-equivalence acceptance criterion: the flat
+// fast path (run_flat.go, faultrun_flat.go) must produce results
+// deep-equal — bit-identical floats included — to the closure-based
+// reference path, for every mode, heuristic class and fault plan, and
+// under any intra-replication worker count.
+
+// equivScenarios spans the code paths the two kernels implement twice:
+// fused immediate scans (mct/met/olb), fallback immediate (kpb/sa),
+// batch, deadlines, churn and adversary injection.
+func equivScenarios() []Scenario {
+	mk := func(name, heuristic string, mode Mode, tasks int) Scenario {
+		sc := PaperScenario("mct", tasks, workload.Inconsistent)
+		sc.Name = name
+		sc.Mode = mode
+		sc.Heuristic = heuristic
+		return sc
+	}
+	scs := []Scenario{
+		mk("imm-mct", "mct", Immediate, 60),
+		mk("imm-met", "met", Immediate, 40),
+		mk("imm-olb", "olb", Immediate, 40),
+		mk("imm-kpb", "kpb", Immediate, 40),
+		mk("imm-sa", "sa", Immediate, 40),
+		mk("batch-minmin", "minmin", Batch, 60),
+		mk("batch-sufferage", "sufferage", Batch, 40),
+	}
+	dl := mk("imm-mct-deadline", "mct", Immediate, 40)
+	dl.DeadlineSlack = 2
+	scs = append(scs, dl)
+	churn := mk("fault-churn", "mct", Immediate, 40)
+	churn.Fault = fault.Plan{MTBF: 2000, MTTR: 200}
+	scs = append(scs, churn)
+	churnBatch := mk("fault-churn-batch", "minmin", Batch, 40)
+	churnBatch.Fault = fault.Plan{MTBF: 2000, MTTR: 200}
+	scs = append(scs, churnBatch)
+	adv := mk("fault-adversary", "mct", Immediate, 40)
+	adv.Fault = fault.Plan{AdversaryFraction: 0.5}
+	scs = append(scs, adv)
+	return scs
+}
+
+// pairUnder runs one paired replication under the given kernel.
+func pairUnder(t *testing.T, k Kernel, sc Scenario, seed uint64) *PairResult {
+	t.Helper()
+	SetKernel(k)
+	defer SetKernel(KernelFast)
+	pair, err := RunPair(sc, rng.New(seed))
+	if err != nil {
+		t.Fatalf("%s under %v: %v", sc.Name, k, err)
+	}
+	return pair
+}
+
+// TestKernelEquivalence deep-compares full paired results across kernels.
+func TestKernelEquivalence(t *testing.T) {
+	defer SetKernel(KernelFast)
+	for _, sc := range equivScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				ref := pairUnder(t, KernelReference, sc, seed)
+				fast := pairUnder(t, KernelFast, sc, seed)
+				if !reflect.DeepEqual(ref, fast) {
+					t.Fatalf("seed %d: kernels diverge\nreference %+v\nfast      %+v", seed, ref, fast)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelEquivalenceTraced compares the recorded traces event by
+// event: fire order, timestamps and costs must match exactly.
+func TestKernelEquivalenceTraced(t *testing.T) {
+	defer SetKernel(KernelFast)
+	for _, sc := range equivScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			src := rng.New(99)
+			w, err := workload.NewWorkload(src, sc.WorkloadSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Fault.Active() {
+				sc.Fault.Seed = 77
+			}
+			aware, _, err := sc.policies()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(k Kernel) (*RunResult, []trace.Event) {
+				SetKernel(k)
+				var tr trace.Trace
+				res, err := RunTraced(sc, w, aware, &tr)
+				if err != nil {
+					t.Fatalf("%v: %v", k, err)
+				}
+				return res, tr.Events()
+			}
+			refRes, refEv := run(KernelReference)
+			fastRes, fastEv := run(KernelFast)
+			if !reflect.DeepEqual(refRes, fastRes) {
+				t.Fatalf("traced results diverge\nreference %+v\nfast      %+v", refRes, fastRes)
+			}
+			if !reflect.DeepEqual(refEv, fastEv) {
+				t.Fatalf("traces diverge: reference %d events, fast %d events", len(refEv), len(fastEv))
+			}
+		})
+	}
+}
+
+// TestIntraWorkerDeterminism forces sharding on small instances and
+// checks that every worker count yields identical results.
+func TestIntraWorkerDeterminism(t *testing.T) {
+	oldMin := intraShardMin.Load()
+	intraShardMin.Store(1)
+	defer func() {
+		intraShardMin.Store(oldMin)
+		SetIntraWorkers(1)
+	}()
+
+	sc := PaperScenario("mct", 80, workload.Inconsistent)
+	sc.Machines = 23 // odd width: shards of unequal size
+	base := pairUnder(t, KernelFast, sc, 7)
+	for _, workers := range []int{2, 3, 7, 16} {
+		SetIntraWorkers(workers)
+		got := pairUnder(t, KernelFast, sc, 7)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("%d intra workers diverge from serial", workers)
+		}
+	}
+}
+
+// TestFusedScanMatchesAssignOne drives the fused pick directly against
+// the generic heuristic on randomized free-time states.
+func TestFusedScanMatchesAssignOne(t *testing.T) {
+	src := rng.New(13)
+	for _, name := range []string{"mct", "met", "olb"} {
+		sc := PaperScenario(name, 30, workload.Inconsistent)
+		sc.Heuristic = name
+		sc.Mode = Immediate
+		sc.Machines = 17
+		w, err := workload.NewWorkload(src, sc.WorkloadSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs, err := newWorkloadCosts(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, unaware, err := sc.policies()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, policy := range []sched.Policy{aware, unaware} {
+			h, err := sched.ImmediateByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan := fusedScanFor(h, policy)
+			if scan == fusedNone {
+				t.Fatalf("no fused scan for %s under %s", name, policy.Name)
+			}
+			decForm, decW := policy.DecisionForm()
+			dec := fusedESC{form: decForm, w: decW}
+			scr := &runScratch{}
+			scr.prepare(sc.Machines)
+			st := &runState{sc: sc, costs: costs, policy: policy, scr: scr, intraW: 1, shardMin: 1}
+			for trial := 0; trial < 200; trial++ {
+				now := src.Uniform(0, 500)
+				for m := range scr.freeTime {
+					scr.freeTime[m] = src.Uniform(0, 1000)
+					if src.Bool(0.2) {
+						scr.freeTime[m] = now // provoke max(ft, now) ties
+					}
+				}
+				r := src.Intn(sc.Tasks)
+				want, err := h.AssignOne(costs, policy, r, st.availability(now))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := st.fusedPick(scan, dec, r, now); got != want.Machine {
+					t.Fatalf("%s/%s trial %d: fused picked %d, AssignOne picked %d",
+						name, policy.Name, trial, got, want.Machine)
+				}
+			}
+		}
+	}
+}

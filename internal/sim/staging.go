@@ -122,6 +122,21 @@ func RunStaging(cfg StagingConfig, src *rng.Source) (*StagingResult, error) {
 	for i := range inputMB {
 		inputMB[i] = src.Uniform(1, cfg.MaxInputMB)
 	}
+	// Staging times depend only on the request's input size, not the
+	// machine, so compute each request's scp and rcp time once instead of
+	// inside the O(requests x machines) ranking loop.  Time is a pure
+	// function of the size, so the precomputed values are the ones the
+	// loop would have computed.
+	scpTime := make([]float64, cfg.Requests)
+	rcpTime := make([]float64, cfg.Requests)
+	for r, mb := range inputMB {
+		if scpTime[r], err = link.Scp.Time(mb); err != nil {
+			return nil, err
+		}
+		if rcpTime[r], err = link.Rcp.Time(mb); err != nil {
+			return nil, err
+		}
+	}
 
 	// chargedCost returns the full cost of running request r on machine
 	// m under one of the two regimes.
@@ -134,21 +149,14 @@ func RunStaging(cfg StagingConfig, src *rng.Source) (*StagingResult, error) {
 		if aware {
 			var t float64
 			if tc == 0 {
-				t, err = link.Rcp.Time(inputMB[r])
+				t = rcpTime[r]
 				plain = true
 			} else {
-				t, err = link.Scp.Time(inputMB[r])
-			}
-			if err != nil {
-				return 0, 0, false, err
+				t = scpTime[r]
 			}
 			return eec*(1+cfg.TCWeight*float64(tc)/100) + t, t, plain, nil
 		}
-		t, err := link.Scp.Time(inputMB[r])
-		if err != nil {
-			return 0, 0, false, err
-		}
-		return eec*1.5 + t, t, false, nil
+		return eec*1.5 + scpTime[r], scpTime[r], false, nil
 	}
 
 	// schedule runs greedy MCT under one regime.  The aware scheduler

@@ -91,6 +91,11 @@ type Trace struct {
 // Add appends one event.
 func (t *Trace) Add(e Event) { t.events = append(t.events, e) }
 
+// Reset clears the trace while keeping the event buffer's capacity, so a
+// caller replaying many runs (e.g. one trace per replication) records
+// into the same backing array instead of regrowing it each time.
+func (t *Trace) Reset() { t.events = t.events[:0] }
+
 // Events returns the recorded events in order.
 func (t *Trace) Events() []Event {
 	out := make([]Event, len(t.events))

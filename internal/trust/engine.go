@@ -94,49 +94,233 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// relationship is one (truster, trustee, context) record.  "In practical
-// systems, entities will use the same information to evaluate direct
-// relationships and give recommendations, i.e., RTT and DTT will refer to
-// the same table" (Section 2.2) — hence a single record type backs both.
-type relationship struct {
-	score  float64 // current TL on [1,6]
-	lastTx float64 // t_xy, time of last transaction
-
-	// pending accumulates outcome evidence until a batch commits.
-	pendingSum   float64
-	pendingCount int
-}
-
-type relKey struct {
-	from EntityID
-	to   EntityID
-	ctx  Context
-}
-
 // Engine evolves and serves trust values.  It is safe for concurrent use.
+//
+// Storage layout.  The first implementation kept every table in Go maps
+// keyed by entity strings — (from,to,ctx) → *relationship, [2]EntityID →
+// factor — and Reputation walked the entire relationship map, allocated a
+// contribution slice and sorted it on every call.  This engine interns
+// each EntityID and Context into a dense integer index exactly once and
+// stores relationships in flat parallel slices (SoA) addressed by those
+// indices:
+//
+//   - out[x] is x's outgoing adjacency, sorted by (to, ctx) index — a
+//     binary search replaces the map lookup in Observe/Direct;
+//   - in[y] is y's incoming adjacency, sorted by the recommender's
+//     EntityID *string* (then ctx).  Reputation's contract is that
+//     contributions sum in recommender string order (float addition is
+//     not associative, so summation order defines the bits of Ω); the
+//     old engine sorted on every call, this one keeps the adjacency
+//     presorted and just scans, making Ω an allocation-free linear pass
+//     over exactly the relationships that matter;
+//   - recommender factors and alliances are per-entity sorted index
+//     lists, looked up by binary search.
+//
+// Steady-state Observe and Trust therefore allocate nothing and touch no
+// map beyond the O(1) intern lookups at the API boundary (EntityID and
+// Context are strings; the intern read is how a string becomes an index).
+// Scores are bit-identical to the reference implementation in
+// reference_test.go, which engine_equiv_test.go and FuzzEngineEquivalence
+// enforce.
 type Engine struct {
 	cfg Config
+	// noDecay marks the default Υ (Config.Decay == nil): decay is then
+	// the constant 1 and its per-relationship indirect call + output
+	// validation are amortised away.  An explicitly supplied DecayFunc —
+	// even NoDecay() — is still called per relationship, because the
+	// engine cannot inspect it.
+	noDecay bool
 
-	mu    sync.RWMutex
-	rels  map[relKey]*relationship
-	rec   map[[2]EntityID]float64 // R(z,y) recommender trust factors
-	ally  map[[2]EntityID]bool    // alliance(z,y), symmetric
-	peers map[EntityID]bool       // all entities ever seen
+	mu sync.RWMutex
+
+	// Entity and context interning: index maps are consulted once per
+	// API call; everything below works on dense int32 indices.
+	entIdx map[EntityID]int32
+	ents   []EntityID
+	ctxIdx map[Context]int32
+	ctxs   []Context
+
+	// Relationship records in flat parallel slices, addressed by the
+	// rel index stored in the adjacency edges.  Freed slots (Prune) are
+	// recycled through relFree.
+	relFrom    []int32
+	relTo      []int32
+	relCtx     []int32
+	relScore   []float64
+	relLastTx  []float64
+	relPendSum []float64
+	relPendCnt []int32
+	relLive    []bool
+	relFree    []int32
+
+	out  [][]edge      // per from-entity, sorted by (to, ctx) index
+	in   [][]edge      // per to-entity, sorted by (from string, ctx)
+	rec  [][]recEdge   // per recommender, sorted by about index
+	ally [][]int32     // per entity, sorted ally index list
+}
+
+// edge is one adjacency entry: the far endpoint, the context and the
+// relationship record it names.
+type edge struct {
+	peer int32 // out: the trustee; in: the recommender
+	ctx  int32
+	rel  int32
+}
+
+// recEdge is one explicit R(z,y) override.
+type recEdge struct {
+	about  int32
+	factor float64
 }
 
 // NewEngine builds an Engine from cfg.
 func NewEngine(cfg Config) (*Engine, error) {
+	noDecay := cfg.Decay == nil
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{
-		cfg:   cfg,
-		rels:  make(map[relKey]*relationship),
-		rec:   make(map[[2]EntityID]float64),
-		ally:  make(map[[2]EntityID]bool),
-		peers: make(map[EntityID]bool),
+		cfg:     cfg,
+		noDecay: noDecay,
+		entIdx:  make(map[EntityID]int32),
+		ctxIdx:  make(map[Context]int32),
 	}, nil
+}
+
+// intern returns the dense index of id, assigning one on first sight.
+// Write paths only: read paths use the index maps directly so queries
+// about unknown entities do not grow the tables.
+func (e *Engine) intern(id EntityID) int32 {
+	if i, ok := e.entIdx[id]; ok {
+		return i
+	}
+	i := int32(len(e.ents))
+	e.entIdx[id] = i
+	e.ents = append(e.ents, id)
+	e.out = append(e.out, nil)
+	e.in = append(e.in, nil)
+	e.rec = append(e.rec, nil)
+	e.ally = append(e.ally, nil)
+	return i
+}
+
+// internCtx is intern for contexts.
+func (e *Engine) internCtx(c Context) int32 {
+	if i, ok := e.ctxIdx[c]; ok {
+		return i
+	}
+	i := int32(len(e.ctxs))
+	e.ctxIdx[c] = i
+	e.ctxs = append(e.ctxs, c)
+	return i
+}
+
+// findRel locates the relationship (xi → yi, ci) by binary search over
+// xi's outgoing adjacency.
+func (e *Engine) findRel(xi, yi, ci int32) (int32, bool) {
+	adj := e.out[xi]
+	lo := sort.Search(len(adj), func(i int) bool {
+		if adj[i].peer != yi {
+			return adj[i].peer > yi
+		}
+		return adj[i].ctx >= ci
+	})
+	if lo < len(adj) && adj[lo].peer == yi && adj[lo].ctx == ci {
+		return adj[lo].rel, true
+	}
+	return 0, false
+}
+
+// newRel creates a relationship record and links it into both adjacency
+// lists.  The caller must hold the write lock and must have checked the
+// relationship does not already exist.
+func (e *Engine) newRel(xi, yi, ci int32, score, lastTx float64) int32 {
+	var ri int32
+	if n := len(e.relFree); n > 0 {
+		ri = e.relFree[n-1]
+		e.relFree = e.relFree[:n-1]
+		e.relFrom[ri], e.relTo[ri], e.relCtx[ri] = xi, yi, ci
+		e.relScore[ri], e.relLastTx[ri] = score, lastTx
+		e.relPendSum[ri], e.relPendCnt[ri] = 0, 0
+		e.relLive[ri] = true
+	} else {
+		ri = int32(len(e.relFrom))
+		e.relFrom = append(e.relFrom, xi)
+		e.relTo = append(e.relTo, yi)
+		e.relCtx = append(e.relCtx, ci)
+		e.relScore = append(e.relScore, score)
+		e.relLastTx = append(e.relLastTx, lastTx)
+		e.relPendSum = append(e.relPendSum, 0)
+		e.relPendCnt = append(e.relPendCnt, 0)
+		e.relLive = append(e.relLive, true)
+	}
+
+	// Outgoing adjacency: ordered by (to, ctx) index for binary search.
+	adj := e.out[xi]
+	pos := sort.Search(len(adj), func(i int) bool {
+		if adj[i].peer != yi {
+			return adj[i].peer > yi
+		}
+		return adj[i].ctx >= ci
+	})
+	adj = append(adj, edge{})
+	copy(adj[pos+1:], adj[pos:])
+	adj[pos] = edge{peer: yi, ctx: ci, rel: ri}
+	e.out[xi] = adj
+
+	// Incoming adjacency: ordered by the recommender's EntityID string
+	// (then ctx) so Reputation's scan sums contributions in exactly the
+	// order the reference implementation sorts them into.
+	from := e.ents[xi]
+	inc := e.in[yi]
+	pos = sort.Search(len(inc), func(i int) bool {
+		if p := e.ents[inc[i].peer]; p != from {
+			return p > from
+		}
+		return inc[i].ctx >= ci
+	})
+	inc = append(inc, edge{})
+	copy(inc[pos+1:], inc[pos:])
+	inc[pos] = edge{peer: xi, ctx: ci, rel: ri}
+	e.in[yi] = inc
+	return ri
+}
+
+// dropRel unlinks and frees a relationship record.  Caller holds the
+// write lock.
+func (e *Engine) dropRel(ri int32) {
+	xi, yi, ci := e.relFrom[ri], e.relTo[ri], e.relCtx[ri]
+	adj := e.out[xi]
+	for i := range adj {
+		if adj[i].rel == ri {
+			e.out[xi] = append(adj[:i], adj[i+1:]...)
+			break
+		}
+	}
+	inc := e.in[yi]
+	for i := range inc {
+		if inc[i].rel == ri {
+			e.in[yi] = append(inc[:i], inc[i+1:]...)
+			break
+		}
+	}
+	_ = ci
+	e.relLive[ri] = false
+	e.relFree = append(e.relFree, ri)
+}
+
+// decay evaluates Υ(age, c), amortising the call away for the default
+// no-decay configuration.
+func (e *Engine) decay(age float64, c Context) (float64, error) {
+	if e.noDecay {
+		return 1, nil
+	}
+	d := e.cfg.Decay(age, c)
+	if err := validateDecayOutput(d); err != nil {
+		return 0, err
+	}
+	return d, nil
 }
 
 // SetDirect installs a direct-trust table entry, e.g. from configuration or
@@ -147,8 +331,13 @@ func (e *Engine) SetDirect(x, y EntityID, c Context, score, now float64) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.peers[x], e.peers[y] = true, true
-	e.rels[relKey{x, y, c}] = &relationship{score: score, lastTx: now}
+	xi, yi, ci := e.intern(x), e.intern(y), e.internCtx(c)
+	if ri, ok := e.findRel(xi, yi, ci); ok {
+		e.relScore[ri], e.relLastTx[ri] = score, now
+		e.relPendSum[ri], e.relPendCnt[ri] = 0, 0
+		return nil
+	}
+	e.newRel(xi, yi, ci, score, now)
 	return nil
 }
 
@@ -159,16 +348,44 @@ func (e *Engine) SetDirect(x, y EntityID, c Context, score, now float64) error {
 func (e *Engine) DeclareAlliance(a, b EntityID) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.peers[a], e.peers[b] = true, true
-	e.ally[[2]EntityID{a, b}] = true
-	e.ally[[2]EntityID{b, a}] = true
+	ai, bi := e.intern(a), e.intern(b)
+	insertAlly(&e.ally[ai], bi)
+	insertAlly(&e.ally[bi], ai)
+}
+
+// insertAlly adds idx to a sorted ally list, ignoring duplicates.
+func insertAlly(list *[]int32, idx int32) {
+	l := *list
+	pos := sort.Search(len(l), func(i int) bool { return l[i] >= idx })
+	if pos < len(l) && l[pos] == idx {
+		return
+	}
+	l = append(l, 0)
+	copy(l[pos+1:], l[pos:])
+	l[pos] = idx
+	*list = l
+}
+
+// allied reports an alliance between interned entities.
+func (e *Engine) allied(ai, bi int32) bool {
+	l := e.ally[ai]
+	pos := sort.Search(len(l), func(i int) bool { return l[i] >= bi })
+	return pos < len(l) && l[pos] == bi
 }
 
 // Allied reports whether a and b have a declared alliance.
 func (e *Engine) Allied(a, b EntityID) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.ally[[2]EntityID{a, b}]
+	ai, ok := e.entIdx[a]
+	if !ok {
+		return false
+	}
+	bi, ok := e.entIdx[b]
+	if !ok {
+		return false
+	}
+	return e.allied(ai, bi)
 }
 
 // SetRecommenderFactor overrides the learned R(z,y) in [0,1].  "R is an
@@ -180,18 +397,30 @@ func (e *Engine) SetRecommenderFactor(z, y EntityID, r float64) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.peers[z], e.peers[y] = true, true
-	e.rec[[2]EntityID{z, y}] = r
+	zi, yi := e.intern(z), e.intern(y)
+	l := e.rec[zi]
+	pos := sort.Search(len(l), func(i int) bool { return l[i].about >= yi })
+	if pos < len(l) && l[pos].about == yi {
+		l[pos].factor = r
+		return nil
+	}
+	l = append(l, recEdge{})
+	copy(l[pos+1:], l[pos:])
+	l[pos] = recEdge{about: yi, factor: r}
+	e.rec[zi] = l
 	return nil
 }
 
-// recommenderFactor returns R(z,y): an explicit override if present, else
-// a low factor (0.1) for allies and full weight (1.0) otherwise.
-func (e *Engine) recommenderFactor(z, y EntityID) float64 {
-	if r, ok := e.rec[[2]EntityID{z, y}]; ok {
-		return r
+// recommenderFactor returns R(z,y) by index: an explicit override if
+// present, else a low factor (0.1) for allies and full weight (1.0)
+// otherwise.
+func (e *Engine) recommenderFactor(zi, yi int32) float64 {
+	l := e.rec[zi]
+	pos := sort.Search(len(l), func(i int) bool { return l[i].about >= yi })
+	if pos < len(l) && l[pos].about == yi {
+		return l[pos].factor
 	}
-	if e.ally[[2]EntityID{z, y}] {
+	if e.allied(zi, yi) {
 		return 0.1
 	}
 	return 1.0
@@ -210,23 +439,21 @@ func (e *Engine) Observe(x, y EntityID, c Context, outcome, now float64) (bool, 
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.peers[x], e.peers[y] = true, true
-	k := relKey{x, y, c}
-	rel, ok := e.rels[k]
+	xi, yi, ci := e.intern(x), e.intern(y), e.internCtx(c)
+	ri, ok := e.findRel(xi, yi, ci)
 	if !ok {
-		rel = &relationship{score: e.cfg.InitialScore, lastTx: now}
-		e.rels[k] = rel
+		ri = e.newRel(xi, yi, ci, e.cfg.InitialScore, now)
 	}
-	rel.pendingSum += outcome
-	rel.pendingCount++
-	rel.lastTx = now
-	if rel.pendingCount < e.cfg.UpdateBatch {
+	e.relPendSum[ri] += outcome
+	e.relPendCnt[ri]++
+	e.relLastTx[ri] = now
+	if int(e.relPendCnt[ri]) < e.cfg.UpdateBatch {
 		return false, nil
 	}
-	batchMean := rel.pendingSum / float64(rel.pendingCount)
-	rel.pendingSum, rel.pendingCount = 0, 0
+	batchMean := e.relPendSum[ri] / float64(e.relPendCnt[ri])
+	e.relPendSum[ri], e.relPendCnt[ri] = 0, 0
 	s := e.cfg.Smoothing
-	rel.score = clampScore((1-s)*rel.score + s*batchMean)
+	e.relScore[ri] = clampScore((1-s)*e.relScore[ri] + s*batchMean)
 	return true, nil
 }
 
@@ -238,21 +465,27 @@ func (e *Engine) Observe(x, y EntityID, c Context, outcome, now float64) (bool, 
 func (e *Engine) Direct(x, y EntityID, c Context, now float64) (float64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.directLocked(x, y, c, now)
+	xi, okx := e.entIdx[x]
+	yi, oky := e.entIdx[y]
+	ci, okc := e.ctxIdx[c]
+	if !okx || !oky || !okc {
+		return e.cfg.InitialScore, nil
+	}
+	return e.directIdx(xi, yi, ci, c, now)
 }
 
-func (e *Engine) directLocked(x, y EntityID, c Context, now float64) (float64, error) {
-	rel, ok := e.rels[relKey{x, y, c}]
+func (e *Engine) directIdx(xi, yi, ci int32, c Context, now float64) (float64, error) {
+	ri, ok := e.findRel(xi, yi, ci)
 	if !ok {
 		return e.cfg.InitialScore, nil
 	}
-	d := e.cfg.Decay(now-rel.lastTx, c)
-	if err := validateDecayOutput(d); err != nil {
+	d, err := e.decay(now-e.relLastTx[ri], c)
+	if err != nil {
 		return 0, err
 	}
 	// Decay pulls the remembered score toward the scale floor rather than
 	// to zero, keeping Θ on [1,6]: Θ = 1 + (score−1)·Υ.
-	return MinScore + (rel.score-MinScore)*d, nil
+	return MinScore + (e.relScore[ri]-MinScore)*d, nil
 }
 
 // Reputation computes Ω(y,t,c): the average over recommenders z≠x of
@@ -262,29 +495,35 @@ func (e *Engine) directLocked(x, y EntityID, c Context, now float64) (float64, e
 func (e *Engine) Reputation(x, y EntityID, c Context, now float64) (float64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.reputationLocked(x, y, c, now)
+	yi, oky := e.entIdx[y]
+	ci, okc := e.ctxIdx[c]
+	if !oky || !okc {
+		return e.cfg.InitialScore, nil
+	}
+	xi := int32(-1)
+	if i, ok := e.entIdx[x]; ok {
+		xi = i
+	}
+	return e.reputationIdx(xi, yi, ci, c, now)
 }
 
-func (e *Engine) reputationLocked(x, y EntityID, c Context, now float64) (float64, error) {
-	// Contributions are collected, sorted by recommender and only then
-	// summed: ranging over e.rels visits recommenders in randomized map
-	// order, and floating-point addition is not associative, so summing
-	// in visit order makes Ω differ in the last ulp between runs — enough
-	// to flip a trust-greedy tie and break replay determinism.
-	type contribution struct {
-		from  EntityID
-		value float64
-	}
-	var contribs []contribution
-	for k, rel := range e.rels {
-		if k.to != y || k.ctx != c || k.from == x || k.from == y {
+// reputationIdx scans y's incoming adjacency.  The list is presorted by
+// recommender string, so the sum accumulates in exactly the order the
+// reference implementation establishes by sorting per call — float
+// addition is not associative, and Ω's bits are part of the engine's
+// determinism contract.
+func (e *Engine) reputationIdx(xi, yi, ci int32, c Context, now float64) (float64, error) {
+	var sum float64
+	n := 0
+	for _, ed := range e.in[yi] {
+		if ed.ctx != ci || ed.peer == xi || ed.peer == yi {
 			continue
 		}
-		d := e.cfg.Decay(now-rel.lastTx, c)
-		if err := validateDecayOutput(d); err != nil {
+		d, err := e.decay(now-e.relLastTx[ed.rel], c)
+		if err != nil {
 			return 0, err
 		}
-		r := e.recommenderFactor(k.from, y)
+		r := e.recommenderFactor(ed.peer, yi)
 		if r < e.cfg.PurgeBelow {
 			// Purged: a recommender distrusted this far is not averaged
 			// in at the floor, it is ignored outright.
@@ -293,17 +532,13 @@ func (e *Engine) reputationLocked(x, y EntityID, c Context, now float64) (float6
 		// Like Θ, each recommendation is anchored at the scale floor:
 		// a distrusted or stale recommendation contributes the floor,
 		// not an off-scale zero.
-		contribs = append(contribs, contribution{k.from, MinScore + (rel.score-MinScore)*d*r})
+		sum += MinScore + (e.relScore[ed.rel]-MinScore)*d*r
+		n++
 	}
-	if len(contribs) == 0 {
+	if n == 0 {
 		return e.cfg.InitialScore, nil
 	}
-	sort.Slice(contribs, func(i, j int) bool { return contribs[i].from < contribs[j].from })
-	var sum float64
-	for _, ct := range contribs {
-		sum += ct.value
-	}
-	return sum / float64(len(contribs)), nil
+	return sum / float64(n), nil
 }
 
 // Recommendation returns the decayed trust level recommender z would
@@ -315,15 +550,21 @@ func (e *Engine) reputationLocked(x, y EntityID, c Context, now float64) (float6
 func (e *Engine) Recommendation(z, y EntityID, c Context, now float64) (float64, bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	rel, ok := e.rels[relKey{z, y, c}]
+	zi, okz := e.entIdx[z]
+	yi, oky := e.entIdx[y]
+	ci, okc := e.ctxIdx[c]
+	if !okz || !oky || !okc {
+		return 0, false, nil
+	}
+	ri, ok := e.findRel(zi, yi, ci)
 	if !ok {
 		return 0, false, nil
 	}
-	d := e.cfg.Decay(now-rel.lastTx, c)
-	if err := validateDecayOutput(d); err != nil {
+	d, err := e.decay(now-e.relLastTx[ri], c)
+	if err != nil {
 		return 0, false, err
 	}
-	return MinScore + (rel.score-MinScore)*d, true, nil
+	return MinScore + (e.relScore[ri]-MinScore)*d, true, nil
 }
 
 // Trust computes the eventual trust Γ(x,y,t,c) = α·Θ + β·Ω, clamped to the
@@ -331,13 +572,25 @@ func (e *Engine) Recommendation(z, y EntityID, c Context, now float64) (float64,
 func (e *Engine) Trust(x, y EntityID, c Context, now float64) (float64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	theta, err := e.directLocked(x, y, c, now)
-	if err != nil {
-		return 0, err
-	}
-	omega, err := e.reputationLocked(x, y, c, now)
-	if err != nil {
-		return 0, err
+	yi, oky := e.entIdx[y]
+	ci, okc := e.ctxIdx[c]
+	xi, okx := e.entIdx[x]
+	theta, omega := e.cfg.InitialScore, e.cfg.InitialScore
+	if oky && okc {
+		var err error
+		if okx {
+			theta, err = e.directIdx(xi, yi, ci, c, now)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if !okx {
+			xi = -1
+		}
+		omega, err = e.reputationIdx(xi, yi, ci, c, now)
+		if err != nil {
+			return 0, err
+		}
 	}
 	return clampScore(e.cfg.Alpha*theta + e.cfg.Beta*omega), nil
 }
@@ -347,10 +600,8 @@ func (e *Engine) Trust(x, y EntityID, c Context, now float64) (float64, error) {
 func (e *Engine) Entities() []EntityID {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	out := make([]EntityID, 0, len(e.peers))
-	for id := range e.peers {
-		out = append(out, id)
-	}
+	out := make([]EntityID, len(e.ents))
+	copy(out, e.ents)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -360,7 +611,7 @@ func (e *Engine) Entities() []EntityID {
 func (e *Engine) Relationships() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.rels)
+	return len(e.relFrom) - len(e.relFree)
 }
 
 // Prune removes relationships whose last transaction is older than
@@ -373,11 +624,11 @@ func (e *Engine) Prune(before float64) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	removed := 0
-	for k, rel := range e.rels {
-		if rel.pendingCount > 0 || rel.lastTx >= before {
+	for ri := range e.relLive {
+		if !e.relLive[ri] || e.relPendCnt[ri] > 0 || e.relLastTx[ri] >= before {
 			continue
 		}
-		delete(e.rels, k)
+		e.dropRel(int32(ri))
 		removed++
 	}
 	return removed

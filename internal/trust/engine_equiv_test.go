@@ -1,0 +1,304 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"gridtrust/internal/rng"
+)
+
+// This file proves the indexed engine bit-identical to the map-based
+// reference implementation (reference_test.go): the same program of
+// mutations and queries must return float-bit-equal scores and equal
+// snapshots on both.  FuzzEngineEquivalence feeds the same harness with
+// fuzzer-derived programs.
+
+var (
+	equivEntities = []EntityID{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "stranger"}
+	equivContexts = []Context{"compute", "storage", "transfer"}
+)
+
+// trustOp codes for engine equivalence programs.
+const (
+	topObserve = iota
+	topSetDirect
+	topAlliance
+	topRecFactor
+	topPrune
+	topQuery // Direct+Reputation+Recommendation+Trust+Allied on one tuple
+	topCount
+)
+
+// trustOp is one step of an engine equivalence program.  Fields are
+// indices into the shared entity/context pools; val carries the
+// outcome/score/factor/prune-horizon, dt the clock advance.
+type trustOp struct {
+	op      int
+	x, y, z int
+	c       int
+	val     float64
+	dt      float64
+}
+
+// equivConfigs are the engine configurations the property test cycles
+// through; the fuzz target picks one by index.
+func equivConfigs() []Config {
+	return []Config{
+		{Alpha: 0.5, Beta: 0.5},
+		{Alpha: 1, Beta: 0},
+		{Alpha: 0.3, Beta: 0.7, UpdateBatch: 3, Smoothing: 0.5},
+		{Alpha: 0.5, Beta: 0.5, Decay: ExponentialDecay(0.01)},
+		{Alpha: 0.7, Beta: 0.3, Decay: LinearDecay(100), PurgeBelow: 0.2},
+		{Alpha: 0.5, Beta: 0.5, Decay: StepDecay(30, 0.4), InitialScore: 3},
+		{Alpha: 0.6, Beta: 0.4, Decay: PerContextDecay(NoDecay(), map[Context]DecayFunc{
+			"compute": ExponentialDecay(0.05),
+		}), UpdateBatch: 2},
+	}
+}
+
+// runEngineEquivProgram drives both engines through ops and fails on any
+// observable divergence.
+func runEngineEquivProgram(t testing.TB, cfg Config, ops []trustOp) {
+	t.Helper()
+	fast, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	ref, err := newRefEngine(cfg)
+	if err != nil {
+		t.Fatalf("newRefEngine: %v", err)
+	}
+	bits := math.Float64bits
+	now := 0.0
+	for i, o := range ops {
+		now += o.dt
+		x := equivEntities[o.x%len(equivEntities)]
+		y := equivEntities[o.y%len(equivEntities)]
+		z := equivEntities[o.z%len(equivEntities)]
+		c := equivContexts[o.c%len(equivContexts)]
+		switch o.op % topCount {
+		case topObserve:
+			g1, e1 := fast.Observe(x, y, c, o.val, now)
+			g2, e2 := ref.Observe(x, y, c, o.val, now)
+			if g1 != g2 || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("op %d Observe(%s,%s,%s,%g): fast (%v,%v), ref (%v,%v)", i, x, y, c, o.val, g1, e1, g2, e2)
+			}
+		case topSetDirect:
+			e1 := fast.SetDirect(x, y, c, o.val, now)
+			e2 := ref.SetDirect(x, y, c, o.val, now)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("op %d SetDirect: fast %v, ref %v", i, e1, e2)
+			}
+		case topAlliance:
+			fast.DeclareAlliance(x, z)
+			ref.DeclareAlliance(x, z)
+		case topRecFactor:
+			e1 := fast.SetRecommenderFactor(z, y, o.val/MaxScore)
+			e2 := ref.SetRecommenderFactor(z, y, o.val/MaxScore)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("op %d SetRecommenderFactor: fast %v, ref %v", i, e1, e2)
+			}
+		case topPrune:
+			g1 := fast.Prune(now - o.val)
+			g2 := ref.Prune(now - o.val)
+			if g1 != g2 {
+				t.Fatalf("op %d Prune(%g): fast removed %d, ref %d", i, now-o.val, g1, g2)
+			}
+		case topQuery:
+			d1, e1 := fast.Direct(x, y, c, now)
+			d2, e2 := ref.Direct(x, y, c, now)
+			if bits(d1) != bits(d2) || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("op %d Direct(%s,%s,%s,%g): fast %v (%v), ref %v (%v)", i, x, y, c, now, d1, e1, d2, e2)
+			}
+			r1, e1 := fast.Reputation(x, y, c, now)
+			r2, e2 := ref.Reputation(x, y, c, now)
+			if bits(r1) != bits(r2) || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("op %d Reputation(%s,%s,%s,%g): fast %v (%v), ref %v (%v)", i, x, y, c, now, r1, e1, r2, e2)
+			}
+			v1, ok1, e1 := fast.Recommendation(z, y, c, now)
+			v2, ok2, e2 := ref.Recommendation(z, y, c, now)
+			if bits(v1) != bits(v2) || ok1 != ok2 || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("op %d Recommendation(%s,%s,%s,%g): fast (%v,%v,%v), ref (%v,%v,%v)", i, z, y, c, now, v1, ok1, e1, v2, ok2, e2)
+			}
+			g1, e1 := fast.Trust(x, y, c, now)
+			g2, e2 := ref.Trust(x, y, c, now)
+			if bits(g1) != bits(g2) || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("op %d Trust(%s,%s,%s,%g): fast %v (%v), ref %v (%v)", i, x, y, c, now, g1, e1, g2, e2)
+			}
+			if a1, a2 := fast.Allied(x, z), ref.Allied(x, z); a1 != a2 {
+				t.Fatalf("op %d Allied(%s,%s): fast %v, ref %v", i, x, z, a1, a2)
+			}
+		}
+		if n1, n2 := fast.Relationships(), ref.Relationships(); n1 != n2 {
+			t.Fatalf("op %d: fast holds %d relationships, ref %d", i, n1, n2)
+		}
+	}
+	if g1, g2 := fast.Entities(), ref.Entities(); !reflect.DeepEqual(g1, g2) {
+		t.Fatalf("Entities diverge: fast %v, ref %v", g1, g2)
+	}
+	if s1, s2 := fast.Export(), ref.Export(); !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots diverge:\nfast %+v\nref  %+v", s1, s2)
+	}
+}
+
+// randomTrustProgram draws a mutation-heavy program over the shared pools.
+func randomTrustProgram(src *rng.Source, n int) []trustOp {
+	ops := make([]trustOp, n)
+	for i := range ops {
+		op := trustOp{
+			op: src.Intn(topCount),
+			x:  src.Intn(len(equivEntities)),
+			y:  src.Intn(len(equivEntities)),
+			z:  src.Intn(len(equivEntities)),
+			c:  src.Intn(len(equivContexts)),
+			// Outcomes/scores on [1,6]; quarter-steps provoke EWMA tails.
+			val: 1 + float64(src.Intn(21))/4,
+		}
+		if src.Bool(0.6) {
+			op.dt = float64(src.Intn(40)) / 2
+		}
+		if op.op == topPrune {
+			op.val = float64(src.Intn(200))
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// TestEngineEquivalence property-checks the indexed engine against the
+// reference across every configuration class.
+func TestEngineEquivalence(t *testing.T) {
+	for ci, cfg := range equivConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("config=%d", ci), func(t *testing.T) {
+			src := rng.New(uint64(7700 + ci))
+			for trial := 0; trial < 40; trial++ {
+				runEngineEquivProgram(t, cfg, randomTrustProgram(src, 1+src.Intn(120)))
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceSnapshotRoundTrip checks Import/Export parity on
+// the rewritten persistence layer: a snapshot exported from a mutated
+// engine, imported into a fresh one, must export byte-identically again,
+// and overlapping imports must replace rather than duplicate.
+func TestEngineEquivalenceSnapshotRoundTrip(t *testing.T) {
+	src := rng.New(991)
+	cfg := Config{Alpha: 0.5, Beta: 0.5, UpdateBatch: 2}
+	fast, _ := NewEngine(cfg)
+	ref, _ := newRefEngine(cfg)
+	runEngineEquivProgram(t, cfg, randomTrustProgram(src, 200))
+	// Mutate an engine pair directly, export, round-trip.
+	for i := 0; i < 150; i++ {
+		x := equivEntities[src.Intn(len(equivEntities))]
+		y := equivEntities[src.Intn(len(equivEntities))]
+		c := equivContexts[src.Intn(len(equivContexts))]
+		out := 1 + float64(src.Intn(21))/4
+		if _, err := fast.Observe(x, y, c, out, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Observe(x, y, c, out, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fast.DeclareAlliance("alpha", "bravo")
+	ref.DeclareAlliance("alpha", "bravo")
+	if err := fast.SetRecommenderFactor("charlie", "delta", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetRecommenderFactor("charlie", "delta", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	snap := fast.Export()
+	if !reflect.DeepEqual(snap, ref.Export()) {
+		t.Fatal("export diverges from reference before round-trip")
+	}
+	fresh, _ := NewEngine(cfg)
+	if err := fresh.Import(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Export(), snap) {
+		t.Fatal("round-tripped snapshot diverges")
+	}
+	// Importing again must replace overlapping records, not duplicate.
+	if err := fresh.Import(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Export(), snap) {
+		t.Fatal("re-import duplicated records")
+	}
+	if fresh.Relationships() != len(snap.Relationships) {
+		t.Fatalf("re-import holds %d relationships, want %d", fresh.Relationships(), len(snap.Relationships))
+	}
+}
+
+// TestEngineZeroAllocHotPath pins the tentpole claim: once entities,
+// contexts and relationships exist, Observe and Trust allocate nothing.
+func TestEngineZeroAllocHotPath(t *testing.T) {
+	eng, err := NewEngine(Config{Alpha: 0.5, Beta: 0.5, UpdateBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := equivEntities[:6]
+	ctx := equivContexts[0]
+	for i, x := range ents {
+		for j, y := range ents {
+			if i == j {
+				continue
+			}
+			if _, err := eng.Observe(x, y, ctx, 4, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng.DeclareAlliance(ents[0], ents[1])
+	if err := eng.SetRecommenderFactor(ents[2], ents[3], 0.5); err != nil {
+		t.Fatal(err)
+	}
+	now := 2.0
+	allocs := testing.AllocsPerRun(200, func() {
+		for i, x := range ents {
+			y := ents[(i+1)%len(ents)]
+			if _, err := eng.Observe(x, y, ctx, 5, now); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Trust(x, y, ctx, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Observe+Trust allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzEngineEquivalence cross-checks the engines on fuzzer-derived
+// programs: each 8-byte chunk decodes to one operation.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 1, 2, 0, 12, 4, 5, 1, 0, 2, 1, 0, 8, 0})
+	f.Add(uint8(3), []byte{1, 0, 3, 1, 20, 2, 0, 1, 5, 4, 0, 2, 16, 6})
+	f.Fuzz(func(t *testing.T, cfgPick uint8, data []byte) {
+		cfgs := equivConfigs()
+		cfg := cfgs[int(cfgPick)%len(cfgs)]
+		var ops []trustOp
+		for i := 0; i+7 <= len(data) && len(ops) < 300; i += 7 {
+			ops = append(ops, trustOp{
+				op:  int(data[i]),
+				x:   int(data[i+1]),
+				y:   int(data[i+2]),
+				z:   int(data[i+3]),
+				c:   int(data[i+4]),
+				val: 1 + float64(data[i+5]%21)/4,
+				dt:  float64(data[i+6]%64) / 2,
+			})
+		}
+		if len(ops) == 0 {
+			t.Skip()
+		}
+		runEngineEquivProgram(t, cfg, ops)
+	})
+}

@@ -68,26 +68,28 @@ func (e *Engine) Export() *Snapshot {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	snap := &Snapshot{Version: snapshotVersion}
-	for k, rel := range e.rels {
-		snap.Relationships = append(snap.Relationships, RelationshipRecord{
-			From: k.from, To: k.to, Ctx: k.ctx,
-			Score: rel.score, LastTx: rel.lastTx,
-		})
-	}
-	for k, r := range e.rec {
-		snap.Recommenders = append(snap.Recommenders, RecommenderRecord{
-			From: k[0], About: k[1], Factor: r,
-		})
-	}
-	seen := map[[2]EntityID]bool{}
-	for k := range e.ally {
-		a, b := k[0], k[1]
-		if a > b {
-			a, b = b, a
+	for ri := range e.relLive {
+		if !e.relLive[ri] {
+			continue
 		}
-		if !seen[[2]EntityID{a, b}] {
-			seen[[2]EntityID{a, b}] = true
-			snap.Alliances = append(snap.Alliances, [2]EntityID{a, b})
+		snap.Relationships = append(snap.Relationships, RelationshipRecord{
+			From: e.ents[e.relFrom[ri]], To: e.ents[e.relTo[ri]], Ctx: e.ctxs[e.relCtx[ri]],
+			Score: e.relScore[ri], LastTx: e.relLastTx[ri],
+		})
+	}
+	for zi, l := range e.rec {
+		for _, re := range l {
+			snap.Recommenders = append(snap.Recommenders, RecommenderRecord{
+				From: e.ents[zi], About: e.ents[re.about], Factor: re.factor,
+			})
+		}
+	}
+	for ai, allies := range e.ally {
+		for _, bi := range allies {
+			a, b := e.ents[ai], e.ents[bi]
+			if a <= b {
+				snap.Alliances = append(snap.Alliances, [2]EntityID{a, b})
+			}
 		}
 	}
 	// Sort for deterministic output.
@@ -141,17 +143,31 @@ func (e *Engine) Import(snap *Snapshot) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, r := range snap.Relationships {
-		e.peers[r.From], e.peers[r.To] = true, true
-		e.rels[relKey{r.From, r.To, r.Ctx}] = &relationship{score: r.Score, lastTx: r.LastTx}
+		xi, yi, ci := e.intern(r.From), e.intern(r.To), e.internCtx(r.Ctx)
+		if ri, ok := e.findRel(xi, yi, ci); ok {
+			e.relScore[ri], e.relLastTx[ri] = r.Score, r.LastTx
+			e.relPendSum[ri], e.relPendCnt[ri] = 0, 0
+			continue
+		}
+		e.newRel(xi, yi, ci, r.Score, r.LastTx)
 	}
 	for _, r := range snap.Recommenders {
-		e.peers[r.From], e.peers[r.About] = true, true
-		e.rec[[2]EntityID{r.From, r.About}] = r.Factor
+		zi, yi := e.intern(r.From), e.intern(r.About)
+		l := e.rec[zi]
+		pos := sort.Search(len(l), func(i int) bool { return l[i].about >= yi })
+		if pos < len(l) && l[pos].about == yi {
+			l[pos].factor = r.Factor
+			continue
+		}
+		l = append(l, recEdge{})
+		copy(l[pos+1:], l[pos:])
+		l[pos] = recEdge{about: yi, factor: r.Factor}
+		e.rec[zi] = l
 	}
 	for _, a := range snap.Alliances {
-		e.peers[a[0]], e.peers[a[1]] = true, true
-		e.ally[[2]EntityID{a[0], a[1]}] = true
-		e.ally[[2]EntityID{a[1], a[0]}] = true
+		ai, bi := e.intern(a[0]), e.intern(a[1])
+		insertAlly(&e.ally[ai], bi)
+		insertAlly(&e.ally[bi], ai)
 	}
 	return nil
 }

@@ -45,6 +45,14 @@ func (m *Matrix) Row(task int) []float64 {
 	return out
 }
 
+// RowView returns the task's cost row without copying.  The slice aliases
+// the matrix storage: callers must treat it as read-only and must not
+// retain it across a Set.  The simulator's fused scans use it to walk a
+// row with one bounds check instead of a multiply per machine.
+func (m *Matrix) RowView(task int) []float64 {
+	return m.cells[task*m.Machines : (task+1)*m.Machines]
+}
+
 // Clone deep-copies the matrix.
 func (m *Matrix) Clone() *Matrix {
 	cp := &Matrix{Tasks: m.Tasks, Machines: m.Machines, cells: make([]float64, len(m.cells))}

@@ -31,6 +31,8 @@ for spec in \
     "./internal/wal FuzzWALRecover" \
     "./internal/wal FuzzWALRecoverSnapshot" \
     "./internal/sched FuzzKernelEquivalence" \
+    "./internal/des FuzzQueueEquivalence" \
+    "./internal/trust FuzzEngineEquivalence" \
     "./internal/grid FuzzParseLevel" \
     "./internal/grid FuzzETSWith" \
     "./internal/grid FuzzLevelFromScore" \
@@ -50,6 +52,18 @@ for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolvi
     /tmp/gridtrust-ci-sweep -mode "$mode" -reps 2 -tasks 20 -seed 1 > /dev/null
 done
 /tmp/gridtrust-ci-sweep -mode machines -reps 2 -tasks 20 -seed 1 -format json > /dev/null
+
+echo "==> DES kernel byte-identity smoke (fast vs reference sweep output)"
+kd=$(mktemp -d)
+for mode in heuristics fault; do
+    /tmp/gridtrust-ci-sweep -mode "$mode" -reps 2 -tasks 20 -seed 1 -des fast > "$kd/$mode-fast.txt"
+    /tmp/gridtrust-ci-sweep -mode "$mode" -reps 2 -tasks 20 -seed 1 -des reference > "$kd/$mode-ref.txt"
+    cmp "$kd/$mode-fast.txt" "$kd/$mode-ref.txt"
+done
+# Intra-replication sharding must not change a byte either.
+/tmp/gridtrust-ci-sweep -mode heuristics -reps 2 -tasks 20 -seed 1 -des fast -intra 4 > "$kd/heuristics-intra.txt"
+cmp "$kd/heuristics-fast.txt" "$kd/heuristics-intra.txt"
+rm -rf "$kd"
 
 echo "==> gridtrustd demo smoke (journalled)"
 go build -o /tmp/gridtrust-ci-daemon ./cmd/gridtrustd
