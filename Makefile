@@ -1,6 +1,6 @@
 # Convenience targets; scripts/ci.sh is the canonical verify flow.
 
-.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal bench-des bench-des-flagship
+.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal bench-des bench-des-flagship bench-trustzoo
 
 # verify runs the tier-1 flow: build, vet, full tests, race tests for
 # the concurrent packages (exp's experiment engine, sim's cell runners,
@@ -12,13 +12,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/wal/... ./internal/rmswire/...
+	go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/...
 
 # smoke runs every sweep mode once through the experiment engine on a
 # tiny grid (mirrors the smoke stage of scripts/ci.sh).
 smoke:
 	go build -o /tmp/gridtrust-smoke-sweep ./cmd/sweep
-	for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging fault; do \
+	for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging fault trustzoo; do \
 		/tmp/gridtrust-smoke-sweep -mode $$mode -reps 2 -tasks 20 -seed 1 > /dev/null || exit 1; \
 	done
 	rm -f /tmp/gridtrust-smoke-sweep
@@ -58,3 +58,10 @@ bench-des:
 # once (about half a minute; see BENCH_des.json).
 bench-des-flagship:
 	go test ./internal/sim -run '^$$' -bench 'SimFlagship' -benchtime 1x -benchmem -timeout 30m
+
+# bench-trustzoo measures every registered trust model: one reputation-
+# study replication per adversary scenario, plus the model-driven DES
+# overhead vs the static table path.  Recorded in BENCH_trustzoo.json.
+bench-trustzoo:
+	go test ./internal/fault -run '^$$' -bench 'TrustzooRunZoo' -benchmem
+	go test ./internal/sim -run '^$$' -bench 'TrustzooModelOverhead' -benchmem

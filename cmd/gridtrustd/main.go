@@ -61,6 +61,11 @@ type daemonMeta struct {
 	Domains      int     `json:"domains"`
 	Agents       int     `json:"agents"`
 	TCWeight     float64 `json:"tc_weight"`
+	// TrustModel and TrustParamHash pin the trust policy: replaying a
+	// journal recorded under one model into another would silently
+	// recompute every trust value, so a mismatch refuses startup.
+	TrustModel     string `json:"trust_model,omitempty"`
+	TrustParamHash string `json:"trust_param_hash,omitempty"`
 }
 
 // checkMeta verifies dir was written under the same meta, creating the
@@ -82,6 +87,14 @@ func checkMeta(dir string, meta daemonMeta) error {
 	if err := json.Unmarshal(data, &have); err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
+	// Directories from before the trust-model zoo carry no model stamp;
+	// they were necessarily written by the paper's engine.
+	if have.TrustModel == "" {
+		have.TrustModel = trust.DefaultModel
+		if meta.TrustModel == trust.DefaultModel {
+			have.TrustParamHash = meta.TrustParamHash
+		}
+	}
 	if have != meta {
 		return fmt.Errorf("%s was created with %+v, started with %+v", dir, have, meta)
 	}
@@ -95,6 +108,8 @@ func main() {
 		domains  = flag.Int("domains", 3, "grid domains to generate")
 		agents   = flag.Int("agents", 2, "monitoring agents")
 		tcWeight = flag.Float64("tcweight", 15, "trust-cost weight of the ESC formula")
+		model    = flag.String("trust-model", "", "trust model from the registry (default: paper); see -list-models")
+		listM    = flag.Bool("list-models", false, "list registered trust models and exit")
 		demo     = flag.Bool("demo", false, "drive a short demo client against the daemon and exit")
 		dot      = flag.Bool("dot", false, "print the topology as Graphviz DOT and exit")
 		dataDir  = flag.String("data", "", "durability directory (empty disables the write-ahead log)")
@@ -105,6 +120,16 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM/SIGINT or gridctl drain")
 	)
 	flag.Parse()
+
+	if *listM {
+		for _, info := range trust.Models() {
+			fmt.Printf("%-10s %s\n", info.Name, info.Description)
+		}
+		return
+	}
+	if !trust.KnownModel(*model) {
+		fatalf("unknown trust model %q (see -list-models)", *model)
+	}
 
 	top, err := gridgen.Generate(rng.New(*seed), gridgen.Spec{GridDomains: *domains})
 	if err != nil {
@@ -117,10 +142,11 @@ func main() {
 		return
 	}
 	trms, err := core.New(core.Config{
-		Topology: top,
-		Agents:   *agents,
-		TCWeight: *tcWeight,
-		Trust:    trust.Config{Alpha: 0.8, Beta: 0.2, Smoothing: 0.4},
+		Topology:   top,
+		Agents:     *agents,
+		TCWeight:   *tcWeight,
+		Trust:      trust.Config{Alpha: 0.8, Beta: 0.2, Smoothing: 0.4},
+		TrustModel: *model,
 	})
 	if err != nil {
 		fatalf("TRMS: %v", err)
@@ -140,8 +166,11 @@ func main() {
 			fatalf("wal: %v", err)
 		}
 		defer log.Close()
+		tm := trms.Model()
 		if err := checkMeta(*dataDir, daemonMeta{
 			TopologySeed: *seed, Domains: *domains, Agents: *agents, TCWeight: *tcWeight,
+			TrustModel:     tm.ModelName(),
+			TrustParamHash: trust.ParamHash(tm.ModelName(), tm.ModelParams()),
 		}); err != nil {
 			fatalf("data dir: %v", err)
 		}

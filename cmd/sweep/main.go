@@ -42,24 +42,27 @@ import (
 	"time"
 
 	"gridtrust/internal/exp"
+	"gridtrust/internal/fault"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/prof"
 	"gridtrust/internal/report"
 	"gridtrust/internal/sim"
 	"gridtrust/internal/stats"
+	"gridtrust/internal/trust"
 	"gridtrust/internal/workload"
 )
 
 type config struct {
-	mode    string
-	seed    uint64
-	reps    int
-	workers int
-	format  string
-	tasks   int
-	chart   bool
-	verbose bool
-	ck      *exp.Checkpoint
+	mode       string
+	seed       uint64
+	reps       int
+	workers    int
+	format     string
+	tasks      int
+	chart      bool
+	verbose    bool
+	trustModel string
+	ck         *exp.Checkpoint
 }
 
 // sweepMode registers one -mode: its name, a one-line description for
@@ -84,6 +87,7 @@ var modes = []sweepMode{
 	{"deadline", "QoS extension: deadline miss rates by slack", sweepDeadline},
 	{"staging", "data staging: rcp-when-trusted vs scp-always", sweepStaging},
 	{"fault", "machine churn × adversary injection, plus the collusion study", sweepFault},
+	{"trustzoo", "every registered trust model vs every adversary environment, head-to-head", sweepTrustzoo},
 }
 
 func main() {
@@ -97,6 +101,7 @@ func main() {
 		tasks   = flag.Int("tasks", 100, "tasks per run")
 		chart   = flag.Bool("chart", false, "also render an improvement bar chart for scalar sweeps")
 		verbose = flag.Bool("v", false, "print per-cell progress and timing to stderr")
+		trustM  = flag.String("trust-model", "", "trust model driving the scheduler's decision view in scenario sweeps (default: the paper's static table; see -list)")
 		ckDir   = flag.String("checkpoint", "", "checkpoint directory: journal completed cells and, on re-run, skip them (\"\" disables)")
 		kernel  = flag.String("des", "fast", "DES kernel: fast (flat typed queue) or reference (closure queue); outputs are byte-identical")
 		intra   = flag.Int("intra", 1, "intra-replication scan workers on the fast kernel (results identical for any value)")
@@ -120,10 +125,18 @@ func main() {
 		for _, m := range modes {
 			fmt.Printf("%-14s %s\n", m.name, m.description)
 		}
+		fmt.Println("\ntrust models (-trust-model):")
+		for _, m := range trust.Models() {
+			fmt.Printf("%-14s %s\n", m.Name, m.Description)
+		}
 		return
 	}
+	if !trust.KnownModel(*trustM) {
+		fmt.Fprintf(os.Stderr, "sweep: unknown trust model %q (see -list)\n", *trustM)
+		os.Exit(1)
+	}
 	cfg := config{mode: *mode, seed: *seed, reps: *reps, workers: *workers, format: *format,
-		tasks: *tasks, chart: *chart, verbose: *verbose}
+		tasks: *tasks, chart: *chart, verbose: *verbose, trustModel: *trustM}
 	if *ckDir != "" {
 		ck, err := exp.OpenCheckpoint(*ckDir)
 		if err != nil {
@@ -175,8 +188,12 @@ func (cfg config) gridOptions() sim.GridOptions {
 		opts.Checkpoint = cfg.ck
 		// Tasks change cell contents without changing cell names (and
 		// names collide across modes), so both go into the salt; seed and
-		// reps are part of the cell key itself.
+		// reps are part of the cell key itself.  The trust model joins
+		// only when set, keeping pre-zoo checkpoint directories readable.
 		opts.CheckpointSalt = fmt.Sprintf("%s|tasks=%d", cfg.mode, cfg.tasks)
+		if cfg.trustModel != "" {
+			opts.CheckpointSalt += "|model=" + cfg.trustModel
+		}
 	}
 	if cfg.verbose {
 		opts.OnCell = func(p exp.Progress) {
@@ -194,10 +211,21 @@ func (cfg config) gridOptions() sim.GridOptions {
 	return opts
 }
 
+// stampTrustModel applies the -trust-model selection to every scenario
+// cell.  The empty name and the paper's own model both keep the static
+// table-driven path (see sim.Scenario.TrustModel), so default invocations
+// stay byte-identical to pre-zoo binaries.
+func (cfg config) stampTrustModel(cells []sim.CompareCell) []sim.CompareCell {
+	for i := range cells {
+		cells[i].Scenario.TrustModel = cfg.trustModel
+	}
+	return cells
+}
+
 // compareSweep runs the cells as one grid and renders one standard metric
 // row per cell (plus an optional chart series point).
 func compareSweep(ctx context.Context, cfg config, tb *report.Table, series *report.Series, cells []sim.CompareCell) error {
-	cmps, err := sim.CompareGrid(ctx, cells, cfg.gridOptions())
+	cmps, err := sim.CompareGrid(ctx, cfg.stampTrustModel(cells), cfg.gridOptions())
 	if err != nil {
 		return err
 	}
@@ -423,7 +451,7 @@ func sweepDeadline(ctx context.Context, cfg config) error {
 		sc.DeadlineSlack = slack
 		cells[i] = sim.CompareCell{Name: fmt.Sprintf("%g", slack), Scenario: sc}
 	}
-	cmps, err := sim.CompareGrid(ctx, cells, cfg.gridOptions())
+	cmps, err := sim.CompareGrid(ctx, cfg.stampTrustModel(cells), cfg.gridOptions())
 	if err != nil {
 		return err
 	}
@@ -480,7 +508,7 @@ func sweepFault(ctx context.Context, cfg config) error {
 		"wasted work", "table error", "improvement")
 	base := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
 	cells := sim.ChurnCells(base, []float64{0, 2000, 1000}, []float64{0, 0.25, 0.5})
-	cmps, err := sim.CompareGrid(ctx, cells, cfg.gridOptions())
+	cmps, err := sim.CompareGrid(ctx, cfg.stampTrustModel(cells), cfg.gridOptions())
 	if err != nil {
 		return err
 	}
@@ -512,6 +540,71 @@ func sweepFault(ctx context.Context, cfg config) error {
 			fmt.Sprintf("%.1f%% ± %.1f%%", res.DegradationPct.Mean(), res.DegradationPct.CI95()),
 			sharePlusMinus(res.BadShare),
 			fmt.Sprintf("%.2f", res.MeanLiarR.Mean()),
+		)
+	}
+	return emit(cfg, tb2)
+}
+
+// sweepTrustzoo renders two tables.  The first is the head-to-head zoo:
+// every registered trust model against every adversary environment
+// (lying cliques, whitewashers, oscillators, Weibull churn) in the closed
+// recommender loop, with trust error and placement degradation as mean ±
+// CI95.  The second drops each model into the DES scheduler itself —
+// whitewashing adversaries plus churn over the paper's MCT workload —
+// and reports the makespan each model's decision view produces, relative
+// to the fault-free baseline.
+func sweepTrustzoo(ctx context.Context, cfg config) error {
+	models := trust.ModelNames()
+	tb := report.NewTable(
+		fmt.Sprintf("Trust-model zoo (mean ± CI95 over %d reps)", cfg.reps),
+		"scenario/model", "trust error", "degradation", "bad share")
+	cells := sim.ZooCells(models, fault.ZooScenarios())
+	results, err := sim.ZooGrid(ctx, cells, cfg.gridOptions())
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		tb.AddRow(cells[i].Name,
+			fmt.Sprintf("%.2f ± %.2f", res.TrustError.Mean(), res.TrustError.CI95()),
+			fmt.Sprintf("%.1f%% ± %.1f%%", res.DegradationPct.Mean(), res.DegradationPct.CI95()),
+			sharePlusMinus(res.BadShare),
+		)
+	}
+	if err := emit(cfg, tb); err != nil {
+		return err
+	}
+
+	tb2 := report.NewTable(
+		fmt.Sprintf("Model-driven scheduling under adversaries (MCT, %d tasks, whitewash + churn)", cfg.tasks),
+		"model", "makespan (aware)", "vs baseline", "table error", "improvement")
+	base := sim.PaperScenario("mct", cfg.tasks, workload.Inconsistent)
+	// Pin the domain count: the paper spec draws NumRDs from [1,4] per
+	// replication, under which a 0.5 adversary fraction often selects
+	// zero whitewashing domains.  Four RDs guarantee the adversary
+	// environment actually exists in (almost) every replication.
+	base.NumRDs = 4
+	clean := base
+	clean.Name = base.Name + "/clean"
+	mcells := []sim.CompareCell{{Name: "baseline (no faults)", Scenario: clean}}
+	for _, m := range models {
+		sc := base
+		sc.Fault = fault.Plan{AdversaryFraction: 0.5, MTBF: 2000, MTTR: 200}
+		sc.TrustModel = m
+		sc.Name = fmt.Sprintf("%s/model=%s", base.Name, m)
+		mcells = append(mcells, sim.CompareCell{Name: m, Scenario: sc})
+	}
+	mcmps, err := sim.CompareGrid(ctx, mcells, cfg.gridOptions())
+	if err != nil {
+		return err
+	}
+	baseMakespan := mcmps[0].Aware.Makespan.Mean()
+	for i, cmp := range mcmps {
+		m := cmp.Aware.Makespan
+		tb2.AddRow(mcells[i].Name,
+			fmt.Sprintf("%s ± %.0f", report.Seconds(m.Mean()), m.CI95()),
+			report.Percent((m.Mean()-baseMakespan)/baseMakespan*100, 2),
+			fmt.Sprintf("%.2f ± %.2f", cmp.Aware.TrustTableError.Mean(), cmp.Aware.TrustTableError.CI95()),
+			report.Percent(cmp.ImprovementPercent(), 2),
 		)
 	}
 	return emit(cfg, tb2)

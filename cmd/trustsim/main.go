@@ -32,6 +32,7 @@ import (
 	"gridtrust/internal/sched"
 	"gridtrust/internal/sim"
 	"gridtrust/internal/trace"
+	"gridtrust/internal/trust"
 	"gridtrust/internal/workload"
 )
 
@@ -47,10 +48,14 @@ func main() {
 		gantt   = flag.String("gantt", "", "render one run's execution timeline for a heuristic (mct, minmin or sufferage)")
 		verbose = flag.Bool("v", false, "print per-table timing and significance")
 		kernel  = flag.String("des", "fast", "DES kernel: fast (flat typed queue) or reference (closure queue); outputs are byte-identical")
+		trustM  = flag.String("trust-model", "", "trust policy for the aware runs: "+strings.Join(trust.ModelNames(), ", ")+" (default: the paper engine)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if !trust.KnownModel(*trustM) {
+		fatalf("unknown trust model %q (registered: %s)", *trustM, strings.Join(trust.ModelNames(), ", "))
+	}
 	k, err := sim.KernelByName(*kernel)
 	if err != nil {
 		fatalf("%v", err)
@@ -75,7 +80,7 @@ func main() {
 	}
 
 	if *config != "" {
-		if err := runConfig(ctx, *config, *seed, *reps, *workers, *format); err != nil {
+		if err := runConfig(ctx, *config, *seed, *reps, *workers, *format, *trustM); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -93,6 +98,7 @@ func main() {
 
 	opts := gridtrust.SimOptions{
 		Seed: *seed, Reps: *reps, Workers: *workers, TaskCounts: taskCounts,
+		TrustModel: *trustM,
 	}
 	if *verbose {
 		opts.OnCell = func(p exp.Progress) {
@@ -128,7 +134,7 @@ func main() {
 
 // runConfig runs every scenario of a JSON config file as one comparison
 // grid on a shared pool and prints one result table.
-func runConfig(ctx context.Context, path string, seed uint64, reps, workers int, format string) error {
+func runConfig(ctx context.Context, path string, seed uint64, reps, workers int, format, trustModel string) error {
 	scenarios, err := sim.LoadScenarios(path)
 	if err != nil {
 		return err
@@ -137,6 +143,9 @@ func runConfig(ctx context.Context, path string, seed uint64, reps, workers int,
 		"scenario", "util (unaware)", "avg completion (unaware)", "avg completion (aware)", "improvement", "significant")
 	cells := make([]sim.CompareCell, len(scenarios))
 	for i, sc := range scenarios {
+		if trustModel != "" {
+			sc.TrustModel = trustModel
+		}
 		cells[i] = sim.CompareCell{Name: sc.Name, Scenario: sc}
 	}
 	cmps, err := sim.CompareGrid(ctx, cells, sim.GridOptions{Seed: seed, Reps: reps, Workers: workers})

@@ -115,6 +115,10 @@ type SimOptions struct {
 	Workers int
 	// TaskCounts are the "# of tasks" rows (default 50 and 100).
 	TaskCounts []int
+	// TrustModel selects the trust policy driving the aware runs.  Empty
+	// (or "paper") keeps the static table-driven engine of the paper;
+	// any other registered model learns trust online during each run.
+	TrustModel string
 	// OnCell, when set, receives one progress event per completed
 	// (table, task count) cell.
 	OnCell func(exp.Progress)
@@ -187,6 +191,7 @@ func RunSimTables(ctx context.Context, ids []TableID, opts SimOptions) ([]*SimTa
 		for _, tasks := range opts.TaskCounts {
 			tasks := tasks
 			sc := sim.PaperScenario(heuristic, tasks, cons)
+			sc.TrustModel = opts.TrustModel
 			cells = append(cells, sim.CompareCell{
 				Name:     fmt.Sprintf("table%d/%d-tasks", int(id), tasks),
 				Scenario: sc,

@@ -46,6 +46,11 @@ type Config struct {
 	// sensible defaults (α=0.7, β=0.3, batch 1, smoothing 0.3).
 	Trust trust.Config
 
+	// TrustModel selects the trust policy from the model registry
+	// ("paper", "purge", "frtrust", "bawa", ...).  Empty selects the
+	// paper's engine, preserving pre-zoo behaviour exactly.
+	TrustModel string
+
 	// InitialTrust seeds the trust-level table for every
 	// (CD, RD, activity) triple where the RD supports the activity.
 	// Zero defaults to grid.LevelC.
@@ -90,8 +95,8 @@ type TRMS struct {
 	cfg    Config
 	policy sched.Policy
 
-	table  *grid.TrustTable
-	engine *trust.Engine
+	table *grid.TrustTable
+	model trust.Model
 
 	txCh   chan trust.Transaction
 	agents []*trust.Agent
@@ -148,7 +153,7 @@ func New(cfg Config) (*TRMS, error) {
 	if err != nil {
 		return nil, err
 	}
-	engine, err := trust.NewEngine(cfg.Trust)
+	model, err := trust.NewModel(cfg.TrustModel, cfg.Trust)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +162,7 @@ func New(cfg Config) (*TRMS, error) {
 		cfg:      cfg,
 		policy:   policy,
 		table:    grid.NewTrustTable(),
-		engine:   engine,
+		model:    model,
 		txCh:     make(chan trust.Transaction, 128),
 		freeTime: make([]float64, len(cfg.Topology.Machines())),
 		availBuf: make([]float64, len(cfg.Topology.Machines())),
@@ -179,7 +184,7 @@ func New(cfg Config) (*TRMS, error) {
 	// engine, and push committed trust revisions into the table.
 	update := t.applyTrustUpdate
 	for i := 0; i < cfg.Agents; i++ {
-		agent, err := trust.NewAgent(fmt.Sprintf("agent-%d", i), engine, t.txCh, update)
+		agent, err := trust.NewAgent(fmt.Sprintf("agent-%d", i), model, t.txCh, update)
 		if err != nil {
 			return nil, err
 		}
@@ -248,9 +253,15 @@ func activityByName(name string) (grid.Activity, bool) {
 // writes are legal and mirror out-of-band administrative overrides).
 func (t *TRMS) Table() *grid.TrustTable { return t.table }
 
-// Engine exposes the trust engine, e.g. to declare alliances or inject
+// Engine exposes the underlying trust engine (the shared relationship
+// store every model is backed by), e.g. to declare alliances or inject
 // recommender factors.
-func (t *TRMS) Engine() *trust.Engine { return t.engine }
+func (t *TRMS) Engine() *trust.Engine { return t.model.UnderlyingEngine() }
+
+// Model exposes the configured trust model.  Persistence must snapshot
+// through the model, not the raw engine, so model-specific state (and the
+// model stamp that guards replay) round-trips.
+func (t *TRMS) Model() trust.Model { return t.model }
 
 // Topology exposes the static grid structure the TRMS was built over.
 func (t *TRMS) Topology() *grid.Topology { return t.cfg.Topology }

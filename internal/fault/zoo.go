@@ -1,0 +1,426 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"gridtrust/internal/behavior"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/trust"
+)
+
+// The trust-model zoo: RunZoo pits any registered trust model against the
+// adversary strategies of the literature in the same closed Figure 1 loop
+// RunStudy uses for the paper's R factor.  Every model faces the same
+// four environments —
+//
+//	lying-clique: a collusive recommender clique boosts the bad
+//	    resources and badmouths the good ones;
+//	whitewash:    the bad resources periodically shed their identity
+//	    and re-register clean;
+//	oscillate:    the bad resources build trust, milk it, rebuild;
+//	churn:        resources crash and recover on Weibull timelines, and
+//	    a placement on a down resource fails outright —
+//
+// and the same metrics come out (trust error against ground truth,
+// placement-cost degradation against an omniscient oracle, bad-placement
+// share), so `sweep -mode trustzoo` can rank the models head-to-head.
+// Deterministic given (cfg, src): all entity iteration is index-ordered
+// and every model honors the trust.Model determinism contract.
+
+// ZooScenario names one adversary environment.
+type ZooScenario string
+
+// The four environments every model is scored under.
+const (
+	ZooClique    ZooScenario = "lying-clique"
+	ZooWhitewash ZooScenario = "whitewash"
+	ZooOscillate ZooScenario = "oscillate"
+	ZooChurn     ZooScenario = "churn"
+)
+
+// ZooScenarios returns the environments in canonical report order.
+func ZooScenarios() []ZooScenario {
+	return []ZooScenario{ZooClique, ZooWhitewash, ZooOscillate, ZooChurn}
+}
+
+// Zoo phase constants: the whitewashers shed identity every
+// zooWhitewashPeriod rounds; churn resources cycle on Weibull(shape
+// zooChurnShape) up/down phases, with the bad population crashing an
+// order of magnitude more often.
+const (
+	zooWhitewashPeriod = 25
+	zooChurnShape      = 1.5
+	zooBadMTBF         = 12.0
+	zooGoodMTBF        = 120.0
+	zooMTTR            = 8.0
+)
+
+// ZooConfig parameterises one model × scenario cell.  Zero-valued fields
+// take the StudyConfig defaults; LiarFraction additionally defaults to
+// 0.4 in the lying-clique scenario (a clique with no liars is no clique).
+type ZooConfig struct {
+	// Model is the trust-model registry name; empty selects the paper's
+	// default engine.
+	Model string
+	// Scenario selects the adversary environment.
+	Scenario ZooScenario
+
+	Resources      int
+	BadFraction    float64
+	GoodDefectProb float64
+	BadDefectProb  float64
+	Recommenders   int
+	LiarFraction   float64
+	Rounds         int
+	Alpha, Beta    float64
+}
+
+// withDefaults fills unset fields from the study defaults.
+func (c ZooConfig) withDefaults() ZooConfig {
+	s := StudyConfig{
+		Resources: c.Resources, BadFraction: c.BadFraction,
+		GoodDefectProb: c.GoodDefectProb, BadDefectProb: c.BadDefectProb,
+		Recommenders: c.Recommenders, Rounds: c.Rounds,
+		Alpha: c.Alpha, Beta: c.Beta,
+	}.withDefaults()
+	c.Resources, c.BadFraction = s.Resources, s.BadFraction
+	c.GoodDefectProb, c.BadDefectProb = s.GoodDefectProb, s.BadDefectProb
+	c.Recommenders, c.Rounds = s.Recommenders, s.Rounds
+	c.Alpha, c.Beta = s.Alpha, s.Beta
+	if c.Scenario == ZooClique && c.LiarFraction == 0 {
+		c.LiarFraction = 0.4
+	}
+	return c
+}
+
+// Validate rejects unrunnable configurations.
+func (c ZooConfig) Validate() error {
+	if !trust.KnownModel(c.Model) {
+		return fmt.Errorf("fault: zoo model %q not registered (have %v)", c.Model, trust.ModelNames())
+	}
+	switch c.Scenario {
+	case ZooClique, ZooWhitewash, ZooOscillate, ZooChurn:
+	default:
+		return fmt.Errorf("fault: unknown zoo scenario %q", c.Scenario)
+	}
+	return StudyConfig{
+		Resources: c.Resources, BadFraction: c.BadFraction,
+		GoodDefectProb: c.GoodDefectProb, BadDefectProb: c.BadDefectProb,
+		Recommenders: c.Recommenders, LiarFraction: c.LiarFraction,
+		Rounds: c.Rounds,
+	}.Validate()
+}
+
+// ZooResult reports one model's performance in one environment.
+type ZooResult struct {
+	// TrustError is the mean absolute error of the model's final Γ for
+	// each resource's current identity versus its true expected behavior.
+	TrustError float64
+	// DegradationPct is the mean per-round placement cost as a percentage
+	// above an oracle that always picks the best resource.
+	DegradationPct float64
+	// BadShare is the fraction of placements on misbehaving resources.
+	BadShare float64
+}
+
+// zooState bundles one run's derived state.
+type zooState struct {
+	cfg    ZooConfig
+	scorer *behavior.DefaultScorer
+	src    *rng.Source
+
+	trueScore []float64
+	bad       []bool
+	osc       Oscillator
+	txCount   []int
+
+	gen []int // whitewash: identity generation per resource
+
+	// churn: per-resource phase machine over round time.
+	chUp  []bool
+	chEnd []float64
+
+	failScore float64 // outcome of a transaction against a down resource
+}
+
+// resID names resource i's current identity; whitewashing bumps the
+// generation so the model sees a stranger.
+func (z *zooState) resID(i int) trust.EntityID {
+	if z.gen[i] == 0 {
+		return trust.EntityID(fmt.Sprintf("res:%d", i))
+	}
+	return trust.EntityID(fmt.Sprintf("res:%d#%d", i, z.gen[i]))
+}
+
+// churnAdvance rolls resource i's up/down phase machine forward to now,
+// drawing fresh Weibull phase lengths as needed.
+func (z *zooState) churnAdvance(i int, now float64) {
+	for now >= z.chEnd[i] {
+		mtbf := zooGoodMTBF
+		if z.bad[i] {
+			mtbf = zooBadMTBF
+		}
+		if z.chUp[i] {
+			z.chUp[i] = false
+			z.chEnd[i] += Weibull(z.src, zooMTTR, zooChurnShape)
+		} else {
+			z.chUp[i] = true
+			z.chEnd[i] += Weibull(z.src, mtbf, zooChurnShape)
+		}
+	}
+}
+
+// drawOutcome samples resource i's true transaction outcome at round now
+// under the configured scenario.
+func (z *zooState) drawOutcome(i int, now float64) (float64, error) {
+	z.txCount[i]++
+	if z.cfg.Scenario == ZooChurn {
+		z.churnAdvance(i, now)
+		if !z.chUp[i] {
+			return z.failScore, nil
+		}
+		if z.src.Float64() < z.cfg.GoodDefectProb {
+			return z.scorer.Score(defectRecord(z.src, 0.5))
+		}
+		return z.scorer.Score(cleanRecord())
+	}
+	defect := false
+	switch {
+	case !z.bad[i]:
+		defect = z.src.Float64() < z.cfg.GoodDefectProb
+	case z.cfg.Scenario == ZooOscillate:
+		defect = (z.txCount[i]-1)%(z.osc.GoodRun+z.osc.BadRun) >= z.osc.GoodRun
+	default: // clique and whitewash populations defect persistently
+		defect = z.src.Float64() < z.cfg.BadDefectProb
+	}
+	if defect {
+		return z.scorer.Score(defectRecord(z.src, 0.5))
+	}
+	return z.scorer.Score(cleanRecord())
+}
+
+// RunZoo runs one model × scenario cell of the trust zoo: the closed
+// observe → place → transact → audit loop of RunStudy, with the trust
+// policy behind the Model interface and the adversary population drawn
+// from the scenario.  The recommender audit (the R factor loop) is always
+// on: every model receives the same recommender-quality signal and spends
+// it according to its own aggregation rule.
+func RunZoo(cfg ZooConfig, src *rng.Source) (*ZooResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := trust.NewModel(cfg.Model, trust.Config{
+		Alpha: cfg.Alpha, Beta: cfg.Beta,
+		InitialScore: (trust.MinScore + trust.MaxScore) / 2,
+		PurgeBelow:   PurgeThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	z := &zooState{
+		cfg:       cfg,
+		scorer:    behavior.MustDefaultScorer(),
+		src:       src,
+		trueScore: make([]float64, cfg.Resources),
+		bad:       make([]bool, cfg.Resources),
+		osc:       Oscillator{GoodRun: 8, BadRun: 8, IncidentProb: 0.5},
+		txCount:   make([]int, cfg.Resources),
+		gen:       make([]int, cfg.Resources),
+		chUp:      make([]bool, cfg.Resources),
+		chEnd:     make([]float64, cfg.Resources),
+	}
+	// Expected outcome of one defection (as in RunStudy) and of a failed
+	// placement against a down machine.
+	incident := cleanRecord()
+	incident.SecurityIncident = true
+	si, err := z.scorer.Score(incident)
+	if err != nil {
+		return nil, err
+	}
+	late := cleanRecord()
+	late.ActualDuration = 250
+	late.ResultIntegrityOK = false
+	sl, err := z.scorer.Score(late)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := z.scorer.Score(cleanRecord())
+	if err != nil {
+		return nil, err
+	}
+	failed := cleanRecord()
+	failed.Completed = false
+	failed.ResultIntegrityOK = false
+	if z.failScore, err = z.scorer.Score(failed); err != nil {
+		return nil, err
+	}
+	expDefect := (si + sl) / 2
+
+	nBad := int(math.Round(cfg.BadFraction * float64(cfg.Resources)))
+	for i := range z.bad {
+		z.bad[i] = i < nBad
+		switch cfg.Scenario {
+		case ZooChurn:
+			// Every resource behaves honestly when up; the bad population
+			// is simply down far more often.
+			mtbf := zooGoodMTBF
+			if z.bad[i] {
+				mtbf = zooBadMTBF
+			}
+			avail := mtbf / (mtbf + zooMTTR)
+			up := (1-cfg.GoodDefectProb)*clean + cfg.GoodDefectProb*expDefect
+			z.trueScore[i] = avail*up + (1-avail)*z.failScore
+			z.chUp[i] = true
+			z.chEnd[i] = Weibull(src, mtbf, zooChurnShape)
+		case ZooOscillate:
+			p := cfg.GoodDefectProb
+			if z.bad[i] {
+				p = float64(z.osc.BadRun) / float64(z.osc.GoodRun+z.osc.BadRun)
+			}
+			z.trueScore[i] = (1-p)*clean + p*expDefect
+		default:
+			p := cfg.GoodDefectProb
+			if z.bad[i] {
+				p = cfg.BadDefectProb
+			}
+			z.trueScore[i] = (1-p)*clean + p*expDefect
+		}
+	}
+
+	obs := trust.EntityID("observer")
+	recID := func(j int) trust.EntityID { return trust.EntityID(fmt.Sprintf("rec:%d", j)) }
+	nLiars := int(math.Round(cfg.LiarFraction * float64(cfg.Recommenders)))
+	liar := func(j int) bool { return j < nLiars }
+
+	errEWMA := make([]float64, cfg.Recommenders)
+	seenErr := make([]bool, cfg.Recommenders)
+	directN := make([]int, cfg.Resources)
+	var costSum float64
+	badPlacements := 0
+	for t := 0; t < cfg.Rounds; t++ {
+		now := float64(t)
+		// Whitewash resets: the bad population sheds its identities on a
+		// fixed cadence, reappearing to the model as strangers carrying
+		// the uninformed prior.  Direct-evidence counters reset with the
+		// identity — the observer's history died with the old name.
+		if cfg.Scenario == ZooWhitewash && t > 0 && t%zooWhitewashPeriod == 0 {
+			for i := range z.bad {
+				if z.bad[i] {
+					z.gen[i]++
+					directN[i] = 0
+				}
+			}
+		}
+		// Recommender observations; in the clique scenario the liars
+		// report the inversion of reality.
+		for j := 0; j < cfg.Recommenders; j++ {
+			y := src.Intn(cfg.Resources)
+			var outcome float64
+			if liar(j) {
+				outcome = trust.MinScore
+				if z.bad[y] {
+					outcome = trust.MaxScore
+				}
+			} else {
+				if outcome, err = z.drawOutcome(y, now); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := model.Observe(recID(j), z.resID(y), StudyContext, outcome, now); err != nil {
+				return nil, err
+			}
+		}
+		// Placement: trust-greedy over current identities, ties toward
+		// the lower index.
+		best, bestG := -1, math.Inf(-1)
+		for i := 0; i < cfg.Resources; i++ {
+			g, err := model.Trust(obs, z.resID(i), StudyContext, now)
+			if err != nil {
+				return nil, err
+			}
+			if g > bestG {
+				bestG, best = g, i
+			}
+		}
+		outcome, err := z.drawOutcome(best, now)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := model.Observe(obs, z.resID(best), StudyContext, outcome, now); err != nil {
+			return nil, err
+		}
+		directN[best]++
+		costSum += roundCost(outcome)
+		if z.bad[best] {
+			badPlacements++
+		}
+		// Audit loop (RunStudy's R-weighted defense, always on): claims
+		// are compared against direct experience and each recommender's
+		// factor follows its error EWMA.
+		if t >= auditWarmup {
+			for j := 0; j < cfg.Recommenders; j++ {
+				var errSum float64
+				n := 0
+				for i := 0; i < cfg.Resources; i++ {
+					if directN[i] < directEvidenceMin {
+						continue
+					}
+					claim, ok, err := model.Recommendation(recID(j), z.resID(i), StudyContext, now)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+					direct, err := model.Direct(obs, z.resID(i), StudyContext, now)
+					if err != nil {
+						return nil, err
+					}
+					errSum += math.Abs(claim - direct)
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				e := errSum / float64(n)
+				if !seenErr[j] {
+					errEWMA[j], seenErr[j] = e, true
+				} else {
+					errEWMA[j] = 0.7*errEWMA[j] + 0.3*e
+				}
+				rel := errEWMA[j] / (trust.MaxScore - trust.MinScore)
+				r := 1 - 4*rel*rel
+				if r < 0 {
+					r = 0
+				}
+				for i := 0; i < cfg.Resources; i++ {
+					if err := model.SetRecommenderFactor(recID(j), z.resID(i), r); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	res := &ZooResult{}
+	now := float64(cfg.Rounds)
+	for i := 0; i < cfg.Resources; i++ {
+		g, err := model.Trust(obs, z.resID(i), StudyContext, now)
+		if err != nil {
+			return nil, err
+		}
+		res.TrustError += math.Abs(g - z.trueScore[i])
+	}
+	res.TrustError /= float64(cfg.Resources)
+	bestTrue := math.Inf(-1)
+	for _, s := range z.trueScore {
+		bestTrue = math.Max(bestTrue, s)
+	}
+	oracle := roundCost(bestTrue)
+	res.DegradationPct = (costSum/float64(cfg.Rounds) - oracle) / oracle * 100
+	res.BadShare = float64(badPlacements) / float64(cfg.Rounds)
+	return res, nil
+}

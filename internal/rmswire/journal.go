@@ -151,7 +151,7 @@ func (s *Server) replay(rec *wal.Recovered) error {
 			return err
 		}
 		if snap.Trust != nil {
-			if err := s.trms.Engine().Import(snap.Trust); err != nil {
+			if err := s.trms.Model().Import(snap.Trust); err != nil {
 				return err
 			}
 		}
@@ -350,7 +350,7 @@ func (s *Server) capture() *daemonSnapshot {
 		FreeTime:     freeTime,
 		TableVersion: table.Version(),
 		Table:        table.Entries(),
-		Trust:        s.trms.Engine().Export(),
+		Trust:        s.trms.Model().Export(),
 	}
 	snap.AgentsProcessed, snap.AgentsCommitted, snap.AgentsRejected = s.trms.AgentStats()
 	s.mu.Lock()

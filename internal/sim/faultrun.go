@@ -111,6 +111,7 @@ type faultState struct {
 	sc     Scenario
 	truth  *workloadCosts
 	dec    sched.Costs
+	view   *modelView // non-nil when Scenario.TrustModel drives decisions
 	policy sched.Policy
 	churn  *fault.Churn
 	trace  *trace.Trace
@@ -176,6 +177,12 @@ func runFaultTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *
 	}
 	if fc != nil {
 		st.dec = fc
+	}
+	if sc.dynamicTrust() {
+		if st.view, err = newModelView(sc, truth, st.dec); err != nil {
+			return nil, err
+		}
+		st.dec = st.view
 	}
 	for m := 0; m < nm; m++ {
 		st.up[m] = true
@@ -401,6 +408,12 @@ func (st *faultState) onFinish(s *des.Simulator, m int) {
 	if now > st.result.Makespan {
 		st.result.Makespan = now
 	}
+	if st.view != nil {
+		if err := st.view.noteFinish(t.req, m); err != nil {
+			st.fail(s, err)
+			return
+		}
+	}
 	st.running[m].req = -1
 	st.completed++
 	if st.completed == st.sc.Tasks {
@@ -502,5 +515,14 @@ func (st *faultState) finalize() (*RunResult, error) {
 	res.MeanUtilization = util / float64(len(st.busy))
 	res.MeanTrustCost = st.tcSum / float64(st.commits)
 	res.DeadlineMissRate = float64(res.DeadlineMisses) / float64(st.completed)
+	if st.view != nil {
+		// Under a live model the reported gap is what the scheduler was
+		// left believing after learning, not the static whitewash gap.
+		terr, err := st.view.tableError()
+		if err != nil {
+			return nil, err
+		}
+		res.TrustTableError = terr
+	}
 	return res, nil
 }

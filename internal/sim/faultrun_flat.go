@@ -73,6 +73,12 @@ func runFaultTracedFlat(sc Scenario, w *workload.Workload, policy sched.Policy, 
 	if fc != nil {
 		st.dec = fc
 	}
+	if sc.dynamicTrust() {
+		if st.view, err = newModelView(sc, truth, st.dec); err != nil {
+			return nil, err
+		}
+		st.dec = st.view
+	}
 	for m := 0; m < nm; m++ {
 		st.up[m] = true
 		st.running[m].req = -1
@@ -268,6 +274,12 @@ func (fs *flatFaultState) onFinish(m int) {
 	}
 	if now > fs.result.Makespan {
 		fs.result.Makespan = now
+	}
+	if fs.view != nil {
+		if err := fs.view.noteFinish(t.req, m); err != nil {
+			fs.fail(err)
+			return
+		}
 	}
 	fs.running[m].req = -1
 	fs.completed++

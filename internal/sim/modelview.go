@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gridtrust/internal/grid"
+	"gridtrust/internal/sched"
+	"gridtrust/internal/trust"
+)
+
+// modelView routes the scheduler's trust-cost decisions through a live
+// trust model (Scenario.TrustModel).  The static table-driven simulator
+// treats trust costs as fixed inputs; under a model the view starts from
+// the model's uninformed prior, observes every task completion (the CD of
+// the finished request judges the machine's RD by the true offered trust
+// level) and re-derives the decision-view TC from the model's evolving
+// score on every scheduler query.  Because all client domains feed the
+// same model, each CD's direct experience doubles as every other CD's
+// recommendation — the Figure 1 recommender network arises from the
+// workload itself.
+//
+// The fusion with the advertised table is conservative: the decision TC
+// is the maximum of the claimed cost (the whitewashed table when the
+// fault plan lies, the true table otherwise) and the model-derived cost.
+// A higher TC means less trust, so an adversary can lower its claimed
+// cost all it wants — once the model has seen it misbehave, the model's
+// estimate dominates.
+//
+// Determinism: the view is called from the fault kernels, which make
+// identical scheduling and completion calls in identical order on both
+// the reference and flat queues; the model contract (see trust.Model)
+// guarantees bit-identical floats for identical call sequences, so runs
+// remain bit-identical across kernels, workers and shard counts.  All
+// model calls pass now=0: the view installs no decay function, making
+// scores time-independent.
+type modelView struct {
+	truth   *workloadCosts
+	claimed sched.Costs // truth, or the whitewashed overlay when active
+	model   trust.Model
+
+	cds  []trust.EntityID // client-domain entity names, "cd:<i>"
+	rds  []trust.EntityID // resource-domain entity names, "rd:<i>"
+	ctxs []trust.Context  // per request: its composed ToA as context
+}
+
+// viewModelConfig is the trust configuration every scenario-level model
+// runs under: direct experience dominates (α=0.7), strangers start at the
+// scale midpoint, and observations commit immediately so the very next
+// scheduling decision sees them.
+func viewModelConfig() trust.Config {
+	return trust.Config{
+		Alpha:        0.7,
+		Beta:         0.3,
+		InitialScore: (trust.MinScore + trust.MaxScore) / 2,
+		UpdateBatch:  1,
+	}
+}
+
+// newModelView builds the view for the scenario's trust model over the
+// true costs and the (possibly whitewashed) claimed costs.
+func newModelView(sc Scenario, truth *workloadCosts, claimed sched.Costs) (*modelView, error) {
+	model, err := trust.NewModel(sc.TrustModel, viewModelConfig())
+	if err != nil {
+		return nil, err
+	}
+	w := truth.w
+	v := &modelView{
+		truth:   truth,
+		claimed: claimed,
+		model:   model,
+		cds:     make([]trust.EntityID, w.NumCDs),
+		rds:     make([]trust.EntityID, w.NumRDs),
+		ctxs:    make([]trust.Context, len(w.Requests)),
+	}
+	for i := range v.cds {
+		v.cds[i] = trust.EntityID(fmt.Sprintf("cd:%d", i))
+	}
+	for i := range v.rds {
+		v.rds[i] = trust.EntityID(fmt.Sprintf("rd:%d", i))
+	}
+	for i := range w.Requests {
+		v.ctxs[i] = trust.Context(w.Requests[i].ToA.String())
+	}
+	return v, nil
+}
+
+// NumRequests returns the instance's request count.
+func (v *modelView) NumRequests() int { return v.truth.NumRequests() }
+
+// NumMachines returns the instance's machine count.
+func (v *modelView) NumMachines() int { return v.truth.NumMachines() }
+
+// EEC delegates to the true execution costs: the model shapes trust, not
+// machine speed.
+func (v *modelView) EEC(r, m int) float64 { return v.truth.EEC(r, m) }
+
+// modelTC derives the trust cost the model currently implies for request
+// r on machine m: the model's score for (CD, RD) in the request's ToA
+// context is quantised to a trust level (non-offerable levels cap at the
+// maximum offerable, mirroring core's table updates) and priced through
+// the scenario's ETS rule.
+func (v *modelView) modelTC(r, m int) (int, error) {
+	w := v.truth.w
+	req := w.Requests[r]
+	rd := w.MachineRD[m]
+	score, err := v.model.Trust(v.cds[req.CD], v.rds[rd], v.ctxs[r], 0)
+	if err != nil {
+		return 0, err
+	}
+	lvl := grid.LevelFromScore(score)
+	if !lvl.Offerable() {
+		lvl = grid.MaxOfferable
+	}
+	return grid.TrustCostWith(w.Spec.ETSRule, req.ClientRTL, w.ResourceRTL[rd], lvl)
+}
+
+// TrustCost returns the decision-view trust cost: the conservative
+// maximum of the claimed table cost and the model-derived cost.
+func (v *modelView) TrustCost(r, m int) (int, error) {
+	ctc, err := v.claimed.TrustCost(r, m)
+	if err != nil {
+		return 0, err
+	}
+	mtc, err := v.modelTC(r, m)
+	if err != nil {
+		return 0, err
+	}
+	if mtc > ctc {
+		return mtc, nil
+	}
+	return ctc, nil
+}
+
+// noteFinish feeds one completed task back into the model: the request's
+// CD observes the machine's RD with the RD's true offered trust level as
+// the outcome, so over the run the model's scores converge on the truth
+// the adversarial table misreports.
+func (v *modelView) noteFinish(r, m int) error {
+	w := v.truth.w
+	req := w.Requests[r]
+	rd := w.MachineRD[m]
+	otl, err := w.Table.OTL(req.CD, rd, req.ToA)
+	if err != nil {
+		return err
+	}
+	_, err = v.model.Observe(v.cds[req.CD], v.rds[rd], v.ctxs[r], float64(otl), 0)
+	return err
+}
+
+// tableError measures the final decision-view gap: the mean absolute
+// difference between the decision TC (post-learning) and the true TC over
+// every (request, machine) pair — the RunResult.TrustTableError a
+// model-driven run reports.
+func (v *modelView) tableError() (float64, error) {
+	var sum float64
+	n := 0
+	for r := 0; r < v.NumRequests(); r++ {
+		tcs := v.truth.tcRow(r)
+		for m := range tcs {
+			dtc, err := v.TrustCost(r, m)
+			if err != nil {
+				return 0, err
+			}
+			sum += math.Abs(float64(dtc - tcs[m]))
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}
+
+var _ sched.Costs = (*modelView)(nil)

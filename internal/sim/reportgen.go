@@ -4,13 +4,16 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"gridtrust/internal/exp"
+	"gridtrust/internal/fault"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/report"
 	"gridtrust/internal/rng"
 	"gridtrust/internal/secover"
+	"gridtrust/internal/trust"
 	"gridtrust/internal/workload"
 )
 
@@ -266,6 +269,31 @@ func WriteFullReport(ctx context.Context, w io.Writer, opts ReportOptions) error
 			fmt.Sprintf("%.2f", res.MeanHonestR.Mean()))
 	}
 	if err := at.WriteMarkdown(w); err != nil {
+		return err
+	}
+
+	// ── Trust-model zoo ──────────────────────────────────────────────
+	if err := pr("\n## Trust-model zoo: rival policies head-to-head under adversaries\n\n"); err != nil {
+		return err
+	}
+	if err := pr("Every registered trust model (`%s`) faces the same four adversary\nenvironments — lying recommender cliques, whitewashing identities,\noscillating resources, and Weibull crash/repair churn — on identical\nrandom streams.  Trust error is the mean |score − ground truth| over the\nlive population after the final round; degradation is the cost of the\nmodel's placements relative to an omniscient oracle.  Mean ± CI95 over\n%d replications.\n\n", strings.Join(trust.ModelNames(), "`, `"), opts.Reps); err != nil {
+		return err
+	}
+	zcells := ZooCells(trust.ModelNames(), fault.ZooScenarios())
+	zres, err := ZooGrid(ctx, zcells, GridOptions{
+		Seed: opts.Seed, Reps: opts.Reps, Workers: opts.Workers, OnCell: opts.OnCell,
+	})
+	if err != nil {
+		return err
+	}
+	zt := report.NewTable("", "scenario/model", "trust error", "degradation", "bad placements")
+	for i, res := range zres {
+		zt.AddRow(zcells[i].Name,
+			fmt.Sprintf("%.2f ± %.2f", res.TrustError.Mean(), res.TrustError.CI95()),
+			fmt.Sprintf("%.1f%% ± %.1f%%", res.DegradationPct.Mean(), res.DegradationPct.CI95()),
+			fmt.Sprintf("%.1f%% ± %.1f%%", res.BadShare.Mean()*100, res.BadShare.CI95()*100))
+	}
+	if err := zt.WriteMarkdown(w); err != nil {
 		return err
 	}
 

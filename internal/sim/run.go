@@ -116,7 +116,7 @@ func runTraced(sc Scenario, w *workload.Workload, policy sched.Policy, tr *trace
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	if sc.Fault.Active() {
+	if sc.Fault.Active() || sc.dynamicTrust() {
 		if ActiveKernel() == KernelFast {
 			return runFaultTracedFlat(sc, w, policy, tr)
 		}

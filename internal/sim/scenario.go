@@ -6,6 +6,7 @@ import (
 	"gridtrust/internal/fault"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/sched"
+	"gridtrust/internal/trust"
 	"gridtrust/internal/workload"
 )
 
@@ -83,6 +84,23 @@ type Scenario struct {
 	// replication stream so both policies of a pair replay the identical
 	// fault timeline; standalone Run callers set it themselves.
 	Fault fault.Plan
+
+	// TrustModel selects a trust model from the registry to drive the
+	// scheduler's trust-cost decision view dynamically: every completion
+	// is observed and trust costs are re-derived from the model's evolving
+	// scores (see modelview.go).  Empty — or the paper's own model, whose
+	// steady state is the workload's static trust table — keeps the
+	// pre-zoo table-driven path, byte-identical to earlier binaries.
+	// A rival model forces the event-per-task fault kernel: the fast
+	// path's fused scans precompute trust costs, which a live model
+	// invalidates at every completion.
+	TrustModel string
+}
+
+// dynamicTrust reports whether the scenario routes trust costs through a
+// live model rather than the precomputed table.
+func (s Scenario) dynamicTrust() bool {
+	return s.TrustModel != "" && s.TrustModel != trust.DefaultModel
 }
 
 // PaperScenario returns the Section 5.3 configuration for one of the
@@ -142,6 +160,10 @@ func (s Scenario) Validate() error {
 	}
 	if err := s.Fault.Validate(); err != nil {
 		return fmt.Errorf("sim: scenario %q: %w", s.Name, err)
+	}
+	if !trust.KnownModel(s.TrustModel) {
+		return fmt.Errorf("sim: scenario %q: unknown trust model %q (registered: %v)",
+			s.Name, s.TrustModel, trust.ModelNames())
 	}
 	if s.Fault.Churn() && s.Mode == Batch {
 		// The metaheuristics only soft-avoid masked machines (see

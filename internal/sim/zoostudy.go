@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"gridtrust/internal/exp"
+	"gridtrust/internal/fault"
+	"gridtrust/internal/rng"
+	"gridtrust/internal/stats"
+)
+
+// ZooCell names one configuration of the trust-model zoo: a registered
+// trust model facing one adversary environment.
+type ZooCell struct {
+	Name   string
+	Config fault.ZooConfig
+}
+
+// ZooCellResult aggregates fault.RunZoo over replications.
+type ZooCellResult struct {
+	TrustError     stats.Running
+	DegradationPct stats.Running
+	BadShare       stats.Running
+}
+
+// ZooGrid runs every model × scenario cell × Reps replications of the
+// trust zoo on one worker pool and aggregates per cell.  Replication r of
+// every cell draws from rng stream r of the master seed, so results are
+// bit-identical under any worker count.
+func ZooGrid(ctx context.Context, cells []ZooCell, opts GridOptions) ([]*ZooCellResult, error) {
+	if opts.Reps <= 0 {
+		return nil, fmt.Errorf("sim: reps must be positive, got %d", opts.Reps)
+	}
+	ecells := make([]exp.Cell, len(cells))
+	for i := range cells {
+		cfg := cells[i].Config
+		ecells[i] = exp.Cell{Name: cells[i].Name, Run: func(ctx context.Context, rep int, src *rng.Source, scratch any) (any, error) {
+			return fault.RunZoo(cfg, src)
+		}}
+	}
+	res, err := exp.Run(ctx, ecells, opts.engineOptions(repsCodec[fault.ZooResult]()))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ZooCellResult, len(cells))
+	for i := range res {
+		agg := &ZooCellResult{}
+		for _, v := range res[i].Reps {
+			r := v.(*fault.ZooResult)
+			agg.TrustError.Add(r.TrustError)
+			agg.DegradationPct.Add(r.DegradationPct)
+			agg.BadShare.Add(r.BadShare)
+		}
+		out[i] = agg
+	}
+	return out, nil
+}
+
+// ZooCells builds the head-to-head grid: every scenario × every model, in
+// scenario-major order so each environment's rows sit together in the
+// report.
+func ZooCells(models []string, scenarios []fault.ZooScenario) []ZooCell {
+	cells := make([]ZooCell, 0, len(models)*len(scenarios))
+	for _, sc := range scenarios {
+		for _, m := range models {
+			cells = append(cells, ZooCell{
+				Name:   fmt.Sprintf("%s/%s", sc, m),
+				Config: fault.ZooConfig{Model: m, Scenario: sc},
+			})
+		}
+	}
+	return cells
+}

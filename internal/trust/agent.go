@@ -30,7 +30,7 @@ type UpdateFunc func(x, y EntityID, c Context, score float64)
 // agent with go a.Run(); stop it by closing the input channel.
 type Agent struct {
 	Name     string
-	Engine   *Engine
+	Engine   Model // any registered trust model; the default is *Engine
 	In       <-chan Transaction
 	OnUpdate UpdateFunc // optional
 
@@ -40,8 +40,8 @@ type Agent struct {
 	errs      []error
 }
 
-// NewAgent wires an agent to an engine and input channel.
-func NewAgent(name string, e *Engine, in <-chan Transaction, onUpdate UpdateFunc) (*Agent, error) {
+// NewAgent wires an agent to a trust model and input channel.
+func NewAgent(name string, e Model, in <-chan Transaction, onUpdate UpdateFunc) (*Agent, error) {
 	if e == nil {
 		return nil, fmt.Errorf("trust: agent %q requires an engine", name)
 	}

@@ -20,6 +20,31 @@ type Snapshot struct {
 	Relationships []RelationshipRecord `json:"relationships"`
 	Recommenders  []RecommenderRecord  `json:"recommenders,omitempty"`
 	Alliances     [][2]EntityID        `json:"alliances,omitempty"`
+
+	// Model and ParamHash pin the trust model that produced the snapshot
+	// (see model.go).  Importing under a different model returns
+	// ErrModelMismatch: a purge-model snapshot replayed into a fuzzy
+	// engine would silently compute different trust, so the mismatch is
+	// typed and refused.  Empty Model (snapshots predating the zoo) is
+	// accepted by every model.
+	Model     string `json:"model,omitempty"`
+	ParamHash string `json:"param_hash,omitempty"`
+
+	// Counts carries the per-relationship observation tallies the rival
+	// models keep beside the engine's scores (history/load/reliability
+	// inputs).  The default engine neither produces nor consumes them.
+	Counts []ObservationCount `json:"counts,omitempty"`
+}
+
+// ObservationCount is one (observer, subject, context) tally: how many
+// outcomes were observed and how many were positive (≥ the scale
+// midpoint).
+type ObservationCount struct {
+	From EntityID `json:"from"`
+	To   EntityID `json:"to"`
+	Ctx  Context  `json:"ctx"`
+	N    int32    `json:"n"`
+	Pos  int32    `json:"pos"`
 }
 
 // RelationshipRecord is one (truster, trustee, context) trust entry.
@@ -62,12 +87,47 @@ func (e *SnapshotVersionError) Is(target error) bool {
 	return target == ErrSnapshotVersion
 }
 
+// ErrModelMismatch is the sentinel for snapshots produced by a different
+// trust model than the importer.  Match with errors.Is; unwrap with
+// errors.As into a *ModelMismatchError for the names involved.
+var ErrModelMismatch = errors.New("trust: snapshot model mismatch")
+
+// ModelMismatchError reports which model the snapshot was taken under and
+// which model refused it.  It matches ErrModelMismatch under errors.Is.
+type ModelMismatchError struct {
+	Want string // the importing model
+	Got  string // the model recorded in the snapshot
+}
+
+func (e *ModelMismatchError) Error() string {
+	return fmt.Sprintf("trust: snapshot taken under model %q, importing model is %q", e.Got, e.Want)
+}
+
+// Is lets errors.Is(err, ErrModelMismatch) succeed on the typed error.
+func (e *ModelMismatchError) Is(target error) bool {
+	return target == ErrModelMismatch
+}
+
+// checkSnapshotModel validates a snapshot's model stamp against the
+// importing model's name.  The empty stamp (pre-zoo snapshots) always
+// passes.
+func checkSnapshotModel(want string, snap *Snapshot) error {
+	if snap.Model != "" && snap.Model != want {
+		return &ModelMismatchError{Want: want, Got: snap.Model}
+	}
+	return nil
+}
+
 // Export captures the engine state.  Pending (uncommitted) observation
 // batches are not exported: they are transient evidence, not trust.
 func (e *Engine) Export() *Snapshot {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	snap := &Snapshot{Version: snapshotVersion}
+	snap := &Snapshot{
+		Version:   snapshotVersion,
+		Model:     DefaultModel,
+		ParamHash: ParamHash(DefaultModel, e.ModelParams()),
+	}
 	for ri := range e.relLive {
 		if !e.relLive[ri] {
 			continue
@@ -129,6 +189,9 @@ func (e *Engine) Import(snap *Snapshot) error {
 	}
 	if snap.Version != snapshotVersion {
 		return &SnapshotVersionError{Version: snap.Version}
+	}
+	if err := checkSnapshotModel(DefaultModel, snap); err != nil {
+		return err
 	}
 	for _, r := range snap.Relationships {
 		if r.Score < MinScore || r.Score > MaxScore {

@@ -26,7 +26,8 @@ type refRelKey struct {
 }
 
 type refEngine struct {
-	cfg Config
+	cfg     Config
+	noDecay bool
 
 	rels  map[refRelKey]*refRelationship
 	rec   map[[2]EntityID]float64
@@ -35,12 +36,14 @@ type refEngine struct {
 }
 
 func newRefEngine(cfg Config) (*refEngine, error) {
+	noDecay := cfg.Decay == nil
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	return &refEngine{
-		cfg:   cfg,
+		cfg:     cfg,
+		noDecay: noDecay,
 		rels:  make(map[refRelKey]*refRelationship),
 		rec:   make(map[[2]EntityID]float64),
 		ally:  make(map[[2]EntityID]bool),
@@ -202,7 +205,11 @@ func (e *refEngine) Prune(before float64) int {
 
 // Export mirrors Engine.Export for snapshot-level equivalence checks.
 func (e *refEngine) Export() *Snapshot {
-	snap := &Snapshot{Version: snapshotVersion}
+	snap := &Snapshot{
+		Version:   snapshotVersion,
+		Model:     DefaultModel,
+		ParamHash: ParamHash(DefaultModel, e.cfg.paramString(e.noDecay)),
+	}
 	for k, rel := range e.rels {
 		snap.Relationships = append(snap.Relationships, RelationshipRecord{
 			From: k.from, To: k.to, Ctx: k.ctx,

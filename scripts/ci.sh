@@ -23,8 +23,8 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/wal/... ./internal/rmswire/..."
-go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/wal/... ./internal/rmswire/...
+echo "==> go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/..."
+go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/...
 
 echo "==> fuzz smoke (every fuzz target, 5s each)"
 for spec in \
@@ -33,6 +33,7 @@ for spec in \
     "./internal/sched FuzzKernelEquivalence" \
     "./internal/des FuzzQueueEquivalence" \
     "./internal/trust FuzzEngineEquivalence" \
+    "./internal/trust FuzzModelEquivalence" \
     "./internal/grid FuzzParseLevel" \
     "./internal/grid FuzzETSWith" \
     "./internal/grid FuzzLevelFromScore" \
@@ -47,7 +48,7 @@ done
 echo "==> sweep smoke (every mode, tiny grid)"
 go build -o /tmp/gridtrust-ci-sweep ./cmd/sweep
 /tmp/gridtrust-ci-sweep -list > /dev/null
-for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging fault; do
+for mode in heuristics tcweight heterogeneity batch machines etsrule rate evolving deadline staging fault trustzoo; do
     echo "    sweep -mode $mode"
     /tmp/gridtrust-ci-sweep -mode "$mode" -reps 2 -tasks 20 -seed 1 > /dev/null
 done
@@ -63,6 +64,16 @@ done
 # Intra-replication sharding must not change a byte either.
 /tmp/gridtrust-ci-sweep -mode heuristics -reps 2 -tasks 20 -seed 1 -des fast -intra 4 > "$kd/heuristics-intra.txt"
 cmp "$kd/heuristics-fast.txt" "$kd/heuristics-intra.txt"
+# The default trust model is the paper engine: selecting it explicitly
+# must not change a byte of any sweep output.
+for mode in heuristics fault; do
+    /tmp/gridtrust-ci-sweep -mode "$mode" -reps 2 -tasks 20 -seed 1 -trust-model paper > "$kd/$mode-model.txt"
+    cmp "$kd/$mode-fast.txt" "$kd/$mode-model.txt"
+done
+# Rival models are bit-deterministic under any worker/shard count.
+/tmp/gridtrust-ci-sweep -mode fault -reps 2 -tasks 20 -seed 1 -trust-model purge -workers 1 > "$kd/fault-purge-w1.txt"
+/tmp/gridtrust-ci-sweep -mode fault -reps 2 -tasks 20 -seed 1 -trust-model purge -workers 4 -intra 4 > "$kd/fault-purge-w4.txt"
+cmp "$kd/fault-purge-w1.txt" "$kd/fault-purge-w4.txt"
 rm -rf "$kd"
 
 echo "==> gridtrustd demo smoke (journalled)"
