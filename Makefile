@@ -1,6 +1,6 @@
 # Convenience targets; scripts/ci.sh is the canonical verify flow.
 
-.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal bench-des bench-des-flagship bench-trustzoo
+.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal bench-des bench-des-flagship bench-trustzoo bench-serve
 
 # verify runs the tier-1 flow: build, vet, full tests, race tests for
 # the concurrent packages (exp's experiment engine, sim's cell runners,
@@ -12,7 +12,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/...
+	go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/...
 
 # smoke runs every sweep mode once through the experiment engine on a
 # tiny grid (mirrors the smoke stage of scripts/ci.sh).
@@ -58,6 +58,13 @@ bench-des:
 # once (about half a minute; see BENCH_des.json).
 bench-des-flagship:
 	go test ./internal/sim -run '^$$' -bench 'SimFlagship' -benchtime 1x -benchmem -timeout 30m
+
+# bench-serve measures the daemon end to end with gridload: sustained
+# closed-loop RPS per core and open-loop latency percentiles at two
+# concurrency levels, reconciled against the daemon's own metrics and
+# recorded in BENCH_serve.json (see EXPERIMENTS.md for methodology).
+bench-serve:
+	./scripts/bench_serve.sh
 
 # bench-trustzoo measures every registered trust model: one reputation-
 # study replication per adversary scenario, plus the model-driven DES

@@ -7,6 +7,8 @@
 //	gridctl -addr 127.0.0.1:7431 submit -client 0 -activities 0,1 -rtl E -eec 100,110,95
 //	gridctl -addr 127.0.0.1:7431 report -placement 3 -outcome 5.5
 //	gridctl -addr 127.0.0.1:7431 stats
+//	gridctl -addr 127.0.0.1:7431 metrics        # counters, gauges, latency histograms
+//	gridctl -addr 127.0.0.1:7431 metrics -format json
 //	gridctl -addr 127.0.0.1:7431 health         # readiness: conns, in-flight, journal, drain state
 //	gridctl -addr 127.0.0.1:7431 drain          # graceful shutdown: finish in-flight, checkpoint, exit
 //	gridctl -addr 127.0.0.1:7431 checkpoint     # snapshot + compact the daemon's WAL
@@ -18,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -66,6 +69,8 @@ func main() {
 		err = cmdReport(client, args[1:])
 	case "stats":
 		err = cmdStats(client)
+	case "metrics":
+		err = cmdMetrics(client, args[1:])
 	case "checkpoint":
 		err = cmdCheckpoint(client)
 	case "health":
@@ -161,6 +166,12 @@ func cmdHealth(client *rmswire.Client) error {
 		return strconv.Itoa(n)
 	}
 	fmt.Printf("status:            %s\n", h.Status)
+	// Monotonic uptime plus the instance stamp: a poller that sees uptime
+	// decrease or the instance change knows the daemon restarted, even if
+	// the restart happened between polls.
+	fmt.Printf("uptime:            %.3fs (instance %d, metrics seq %d)\n",
+		float64(h.UptimeMS)/1000, h.StartUnixNanos, h.MetricsSeq)
+	fmt.Printf("topology:          %d machines, %d clients\n", h.TopologyMachines, h.TopologyClients)
 	fmt.Printf("connections:       %d (limit %s)\n", h.Conns, limit(h.MaxConns))
 	fmt.Printf("in-flight:         %d (limit %s)\n", h.InFlight, limit(h.MaxInFlight))
 	fmt.Printf("placed:            %d (%d open)\n", h.Placed, h.OpenPlacements)
@@ -169,6 +180,60 @@ func cmdHealth(client *rmswire.Client) error {
 			h.JournalNextSeq, h.JournalSegments, h.IdemEntries)
 	} else {
 		fmt.Printf("journal:           disabled\n")
+	}
+	return nil
+}
+
+// cmdMetrics scrapes the daemon's metrics registry.  Text output is for
+// eyeballs; -format json emits the full snapshot (including histogram
+// buckets) for scripts.
+func cmdMetrics(client *rmswire.Client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := client.Metrics()
+	if err != nil {
+		return err
+	}
+	if *format == "json" {
+		blob, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
+	if *format != "text" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	fmt.Printf("uptime:  %.3fs (instance %d, scrape seq %d)\n",
+		float64(m.UptimeMS)/1000, m.StartUnixNanos, m.Seq)
+	fmt.Println("counters:")
+	for _, name := range m.CounterNames() {
+		fmt.Printf("  %-28s %d\n", name, m.Counters[name])
+	}
+	if len(m.Gauges) > 0 {
+		fmt.Println("gauges:")
+		for _, name := range m.GaugeNames() {
+			fmt.Printf("  %-28s %d\n", name, m.Gauges[name])
+		}
+	}
+	for _, name := range m.HistogramNames() {
+		h := m.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		if strings.HasSuffix(name, "_ns") {
+			const ms = 1e6
+			fmt.Printf("%s: n=%d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms p99.9=%.3fms\n",
+				name, h.Count, h.Mean()/ms,
+				h.Quantile(0.5)/ms, h.Quantile(0.95)/ms, h.Quantile(0.99)/ms, h.Quantile(0.999)/ms)
+		} else {
+			fmt.Printf("%s: n=%d mean=%.2f p50=%.0f p95=%.0f p99=%.0f\n",
+				name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
+		}
 	}
 	return nil
 }
@@ -277,7 +342,7 @@ func parseFloats(s string) ([]float64, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats|health|drain|checkpoint|wal-info|wal-dump} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats|metrics|health|drain|checkpoint|wal-info|wal-dump} [flags]")
 	os.Exit(2)
 }
 

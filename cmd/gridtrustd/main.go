@@ -161,7 +161,13 @@ func main() {
 	srv.MaxInFlight = *maxInflight
 	journalled := *dataDir != ""
 	if *dataDir != "" {
-		log, rec, err := wal.Create(*dataDir, wal.Options{})
+		// Feed group-commit batch sizes into the metrics registry: the
+		// observer runs on the WAL's sync path, and a histogram observe is
+		// three atomic adds, well within its no-blocking contract.
+		batchHist := srv.Metrics().Histogram(rmswire.MetricWALBatchRecords)
+		log, rec, err := wal.Create(*dataDir, wal.Options{
+			SyncObserver: func(records uint64) { batchHist.Observe(records) },
+		})
 		if err != nil {
 			fatalf("wal: %v", err)
 		}

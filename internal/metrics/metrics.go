@@ -1,0 +1,199 @@
+// Package metrics is the daemon observability substrate: a registry of
+// named counters, gauges and latency histograms designed so that the hot
+// path — a request handler bumping a counter or recording one latency —
+// costs a handful of atomic operations and zero allocations.
+//
+// The paper evaluates the trust-aware RMS only in simulation; a daemon
+// serving real traffic needs the operational view the simulator never
+// did: admission sheds, retries observed, WAL sync batching, per-op
+// latency percentiles.  Both the load driver (internal/load) and ops
+// tooling (gridctl metrics) read the same registry through the daemon's
+// {"op":"metrics"} wire op, so a load test's client-side totals can be
+// reconciled against exactly the numbers an operator would see.
+//
+// Concurrency model: registration (Counter/Gauge/Histogram lookup by
+// name) takes a lock and may allocate — do it once at startup and keep
+// the pointer.  The returned handles are lock-free: Counter.Add,
+// Gauge.Set and Histogram.Observe are single atomic operations (Observe
+// is three) safe from any goroutine.  Snapshot reads the registry
+// without stopping writers; under concurrent writes a snapshot is
+// per-word atomic but not globally consistent (a histogram's count may
+// transiently disagree with the sum of its buckets by in-flight
+// observations).  Scrape a quiescent daemon when exact reconciliation
+// matters.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (queue depth, in-flight count).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry holds named metrics.  Lookups are get-or-create and
+// idempotent: the same name always returns the same handle, so
+// independent subsystems can share a metric by naming convention.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	seq atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Seq returns the number of snapshots taken so far without taking one.
+// A poller that sees the sequence (or the owning process's uptime) go
+// backwards between scrapes knows the process restarted.
+func (r *Registry) Seq() uint64 { return r.seq.Load() }
+
+// Snapshot captures every registered metric and increments the scrape
+// sequence number.  The returned structure is detached: mutating it does
+// not touch the registry, and it marshals directly to JSON for the wire.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Seq:      r.seq.Add(1),
+		Counters: make(map[string]uint64),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Load()
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Load()
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]*HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			snap.Histograms[name] = h.Snapshot()
+		}
+	}
+	return snap
+}
+
+// Snapshot is a point-in-time copy of a registry, the payload of the
+// daemon's metrics wire op.
+type Snapshot struct {
+	// Seq is the 1-based scrape sequence number; it resets to 1 when the
+	// owning process restarts.
+	Seq        uint64                   `json:"seq"`
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Histograms map[string]*HistSnapshot `json:"histograms,omitempty"`
+}
+
+// CounterNames returns the counter names in sorted order, for stable
+// text rendering.
+func (s *Snapshot) CounterNames() []string { return sortedKeys(s.Counters) }
+
+// GaugeNames returns the gauge names in sorted order.
+func (s *Snapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// HistogramNames returns the histogram names in sorted order.
+func (s *Snapshot) HistogramNames() []string { return sortedKeys(s.Histograms) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -34,10 +34,11 @@ type Client struct {
 	// omits the field, keeping frames byte-identical to older clients.
 	Budget time.Duration
 
-	mu     sync.Mutex
-	conn   net.Conn
-	r      *bufio.Reader
-	broken bool
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	broken  bool
+	closing bool
 }
 
 // Dial connects to a gridtrustd server within DefaultDialTimeout.
@@ -88,6 +89,13 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		c.broken = true
 		return Response{}, err
 	}
+	if resp.ConnClosing {
+		// The server announced it will close this connection after the
+		// frame (drain, accept-time shed).  The response itself is valid,
+		// but any further op on this client would fail with a transport
+		// error — record that so callers redial instead.
+		c.closing = true
+	}
 	switch resp.Status {
 	case StatusError:
 		return resp, fmt.Errorf("rmswire: server: %s", resp.Error)
@@ -106,6 +114,16 @@ func (c *Client) Broken() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.broken
+}
+
+// Closing reports whether the server announced it will close this
+// connection (ConnClosing on a response).  The last response was still
+// valid; the next op would hit a dead connection, so callers should
+// replace the client first.
+func (c *Client) Closing() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closing
 }
 
 // Submit schedules a task and returns its placement.
@@ -184,6 +202,19 @@ func (c *Client) Health() (*HealthInfo, error) {
 		return nil, fmt.Errorf("rmswire: health response missing info")
 	}
 	return resp.Health, nil
+}
+
+// Metrics scrapes the daemon's metrics registry.  Like Health it is
+// served outside admission control.
+func (c *Client) Metrics() (*MetricsInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Metrics == nil {
+		return nil, fmt.Errorf("rmswire: metrics response missing info")
+	}
+	return resp.Metrics, nil
 }
 
 // Drain asks the daemon to shut down gracefully: stop accepting, finish

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gridtrust/internal/grid"
+	"gridtrust/internal/metrics"
 )
 
 // MaxFrameBytes bounds one JSON frame.
@@ -39,6 +40,81 @@ const (
 	OpCheckpoint = "checkpoint"
 	OpHealth     = "health"
 	OpDrain      = "drain"
+	OpMetrics    = "metrics"
+)
+
+// Metric names served by the metrics op.  Exported so the load driver
+// and tests reconcile against the same strings the server maintains.
+//
+// Counters (monotonic since process start; they do NOT survive restart —
+// reconciliation across a restart must use the durable gauges below):
+const (
+	// MetricConnsAccepted counts connections admitted into serving.
+	MetricConnsAccepted = "conns_accepted_total"
+	// MetricShedConnLimit counts connections rejected at accept time by
+	// MaxConns.  These rejections race the peer's first write, so a
+	// client may observe them as either an overloaded reply or a broken
+	// connection — reconcile with an interval, not equality.
+	MetricShedConnLimit = "shed_conn_limit_total"
+	// MetricShedDraining counts requests and connections shed because
+	// the server is draining.
+	MetricShedDraining = "shed_draining_total"
+	// MetricShedInflight counts requests shed by the MaxInFlight
+	// admission semaphore after their budget expired.
+	MetricShedInflight = "shed_inflight_total"
+	// MetricShedIdemPending counts submits shed because their
+	// idempotency key's first attempt was still executing.
+	MetricShedIdemPending = "shed_idem_pending_total"
+	// MetricOverloadReplies counts every overloaded frame written,
+	// whatever the shed reason; it equals the sum of the shed_* counters.
+	MetricOverloadReplies = "overload_replies_total"
+	// MetricRequests counts admitted, executed requests (submit, report,
+	// stats).  Health, drain, checkpoint and metrics bypass admission
+	// and are not counted.
+	MetricRequests = "requests_total"
+	// MetricSubmitOK / MetricSubmitErr count submit responses; OK
+	// includes idempotent replays of an already-placed key.
+	MetricSubmitOK  = "submit_ok_total"
+	MetricSubmitErr = "submit_err_total"
+	// MetricReportOK / MetricReportErr count report responses.
+	MetricReportOK  = "report_ok_total"
+	MetricReportErr = "report_err_total"
+	// MetricPlacements counts fresh placements (excludes idempotent
+	// replays).
+	MetricPlacements = "placements_total"
+	// MetricIdemHits counts submits answered from the idempotency table.
+	MetricIdemHits = "idem_hits_total"
+	// MetricWALAppends / MetricWALSyncs / MetricWALRotations mirror the
+	// attached journal's wal.Stats at scrape time.
+	MetricWALAppends   = "wal_appends_total"
+	MetricWALSyncs     = "wal_syncs_total"
+	MetricWALRotations = "wal_rotations_total"
+)
+
+// Gauges (instantaneous, refreshed at scrape time).  MetricPlaced and
+// MetricIdemEntries are rebuilt from the WAL on restart, so they are the
+// reconciliation anchors that survive a SIGKILL.
+const (
+	MetricConns          = "conns"
+	MetricInFlight       = "in_flight"
+	MetricOpenPlacements = "open_placements"
+	MetricIdemEntries    = "idem_entries"
+	MetricPlaced         = "placed"
+	MetricDraining       = "draining"
+	MetricWALSegments    = "wal_segments"
+	MetricJournalNextSeq = "journal_next_seq"
+)
+
+// Histograms.
+const (
+	// MetricOpSubmitNS / MetricOpReportNS / MetricOpStatsNS record
+	// server-side execution latency per op in nanoseconds.
+	MetricOpSubmitNS = "op_submit_ns"
+	MetricOpReportNS = "op_report_ns"
+	MetricOpStatsNS  = "op_stats_ns"
+	// MetricWALBatchRecords records records-per-fsync group-commit batch
+	// sizes (attached by the daemon via wal.Options.SyncObserver).
+	MetricWALBatchRecords = "wal_batch_records"
 )
 
 // Request is one client request frame.
@@ -116,6 +192,31 @@ type HealthInfo struct {
 	JournalNextSeq  uint64 `json:"journal_next_seq,omitempty"`
 	JournalSegments int    `json:"journal_segments,omitempty"`
 	IdemEntries     int    `json:"idem_entries,omitempty"`
+
+	// UptimeMS is milliseconds since the server started, measured on the
+	// monotonic clock; StartUnixNanos identifies the process instance.
+	// A scripted poller that sees uptime decrease (or the start stamp
+	// change) between scrapes knows the daemon restarted, even if the
+	// restart was faster than its polling interval.
+	UptimeMS       int64 `json:"uptime_ms"`
+	StartUnixNanos int64 `json:"start_unix_nanos"`
+	// MetricsSeq is the metrics-snapshot sequence number of the last
+	// metrics scrape (0 if none yet); like uptime, it resets on restart.
+	MetricsSeq uint64 `json:"metrics_seq"`
+
+	// Topology sizes, so load drivers can build EEC vectors and spread
+	// client ids without probing.
+	TopologyMachines int `json:"topology_machines"`
+	TopologyClients  int `json:"topology_clients"`
+}
+
+// MetricsInfo is the payload of the metrics op: a point-in-time registry
+// snapshot plus the instance identity needed to detect restarts between
+// scrapes.
+type MetricsInfo struct {
+	metrics.Snapshot
+	UptimeMS       int64 `json:"uptime_ms"`
+	StartUnixNanos int64 `json:"start_unix_nanos"`
 }
 
 // Response is one server response frame.
@@ -126,10 +227,18 @@ type Response struct {
 	Stats      *StatsInfo      `json:"stats,omitempty"`
 	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
 	Health     *HealthInfo     `json:"health,omitempty"`
+	Metrics    *MetricsInfo    `json:"metrics,omitempty"`
 
 	// RetryAfterMS accompanies StatusOverloaded: the server's hint for how
 	// long a well-behaved client should back off before retrying.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+
+	// ConnClosing tells the client the server will close this connection
+	// after the frame (accept-time shed, drain).  A retrier that sees it
+	// redials immediately instead of burning its next attempt discovering
+	// a dead connection — without it, every conn-level shed cost two
+	// attempts (one overloaded reply + one transport error on the reuse).
+	ConnClosing bool `json:"conn_closing,omitempty"`
 }
 
 // Response statuses.

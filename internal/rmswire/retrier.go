@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridtrust/internal/grid"
@@ -28,6 +29,12 @@ const (
 	DefaultBaseBackoff = 10 * time.Millisecond
 	DefaultMaxBackoff  = time.Second
 )
+
+// ErrExhausted marks a Retrier op that burned every attempt without a
+// definitive answer.  For a keyed submit this outcome is AMBIGUOUS: an
+// earlier attempt may have placed the task with its acknowledgement
+// lost.  Resubmitting the same key resolves it either way.
+var ErrExhausted = errors.New("attempts exhausted")
 
 // RetrierConfig parameterises a Retrier.  Zero values select defaults.
 type RetrierConfig struct {
@@ -69,6 +76,64 @@ type Retrier struct {
 	client *Client
 	jitter *rng.Source
 	keys   *rng.Source
+
+	// Attempt accounting, readable while ops run (Counters).
+	attempts        atomic.Uint64
+	dials           atomic.Uint64
+	dialErrors      atomic.Uint64
+	overloads       atomic.Uint64
+	transportErrors atomic.Uint64
+	appErrors       atomic.Uint64
+	exhausted       atomic.Uint64
+	ok              atomic.Uint64
+}
+
+// RetrierCounters is a point-in-time view of a Retrier's attempt
+// accounting.  Attempts counts every wire attempt (including redials
+// that failed before a frame was sent); Overloads counts overloaded
+// replies received; TransportErrors counts attempts lost to a broken
+// connection.  OK + AppErrors + Exhausted equals the number of logical
+// ops completed.  These are the client-side half of the reconciliation
+// story: Overloads here must match the daemon's overload_replies_total
+// (within one daemon instance, and when shed_conn_limit is zero — an
+// accept-time shed races the peer's first write, so its overloaded
+// frame may surface as a transport error instead).
+type RetrierCounters struct {
+	Attempts        uint64 `json:"attempts"`
+	Dials           uint64 `json:"dials"`
+	DialErrors      uint64 `json:"dial_errors"`
+	Overloads       uint64 `json:"overloads"`
+	TransportErrors uint64 `json:"transport_errors"`
+	AppErrors       uint64 `json:"app_errors"`
+	Exhausted       uint64 `json:"exhausted"`
+	OK              uint64 `json:"ok"`
+}
+
+// Counters snapshots the Retrier's attempt accounting.
+func (r *Retrier) Counters() RetrierCounters {
+	return RetrierCounters{
+		Attempts:        r.attempts.Load(),
+		Dials:           r.dials.Load(),
+		DialErrors:      r.dialErrors.Load(),
+		Overloads:       r.overloads.Load(),
+		TransportErrors: r.transportErrors.Load(),
+		AppErrors:       r.appErrors.Load(),
+		Exhausted:       r.exhausted.Load(),
+		OK:              r.ok.Load(),
+	}
+}
+
+// Add accumulates other into c, so per-worker counters fold into a
+// fleet-wide total.
+func (c *RetrierCounters) Add(other RetrierCounters) {
+	c.Attempts += other.Attempts
+	c.Dials += other.Dials
+	c.DialErrors += other.DialErrors
+	c.Overloads += other.Overloads
+	c.TransportErrors += other.TransportErrors
+	c.AppErrors += other.AppErrors
+	c.Exhausted += other.Exhausted
+	c.OK += other.OK
 }
 
 // NewRetrier builds a Retrier for addr-style config.  Connections are
@@ -104,19 +169,26 @@ func (r *Retrier) Close() error {
 }
 
 // connect returns a healthy client, dialing a fresh connection if the
-// cached one is missing or broken.
+// cached one is missing, broken, or announced closing by the server.
+// Treating closing like broken is the fix for a subtle double-spend:
+// before it, a server that shed at accept time (one overloaded frame,
+// then close) left the retrier holding a dead connection, so the shed
+// cost TWO attempts — the overload itself, plus a transport error
+// discovering the corpse on the next attempt.
 func (r *Retrier) connect() (*Client, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.client != nil && !r.client.Broken() {
+	if r.client != nil && !r.client.Broken() && !r.client.Closing() {
 		return r.client, nil
 	}
 	if r.client != nil {
 		_ = r.client.Close()
 		r.client = nil
 	}
+	r.dials.Add(1)
 	c, err := DialTimeout(r.cfg.Addr, r.cfg.DialTimeout)
 	if err != nil {
+		r.dialErrors.Add(1)
 		return nil, err
 	}
 	c.Timeout = r.cfg.OpTimeout
@@ -165,6 +237,7 @@ func (r *Retrier) do(op func(*Client) error) error {
 		if attempt > 0 {
 			time.Sleep(r.backoff(attempt-1, lastErr))
 		}
+		r.attempts.Add(1)
 		c, err := r.connect()
 		if err != nil {
 			lastErr = err
@@ -173,17 +246,29 @@ func (r *Retrier) do(op func(*Client) error) error {
 		if err := op(c); err != nil {
 			lastErr = err
 			if errors.Is(err, ErrOverloaded) {
-				continue // shed before execution; the connection is fine
+				r.overloads.Add(1)
+				// Shed before execution.  Usually the connection is fine
+				// and is reused; if the server said it is closing it (an
+				// accept-time or drain shed), drop it now so the next
+				// attempt redials instead of dying on a dead conn.
+				if c.Closing() {
+					r.drop(c)
+				}
+				continue
 			}
 			if c.Broken() || errors.Is(err, ErrClientBroken) {
+				r.transportErrors.Add(1)
 				r.drop(c)
 				continue
 			}
+			r.appErrors.Add(1)
 			return err // application error: retrying cannot help
 		}
+		r.ok.Add(1)
 		return nil
 	}
-	return fmt.Errorf("rmswire: %d attempts exhausted: %w", r.cfg.MaxAttempts, lastErr)
+	r.exhausted.Add(1)
+	return fmt.Errorf("rmswire: %d %w: %w", r.cfg.MaxAttempts, ErrExhausted, lastErr)
 }
 
 // Submit schedules a task under a fresh idempotency key, retrying until
@@ -233,6 +318,17 @@ func (r *Retrier) Stats() (*StatsInfo, error) {
 		return e
 	})
 	return st, err
+}
+
+// Metrics scrapes the daemon's metrics registry with retries.
+func (r *Retrier) Metrics() (*MetricsInfo, error) {
+	var m *MetricsInfo
+	err := r.do(func(c *Client) error {
+		var e error
+		m, e = c.Metrics()
+		return e
+	})
+	return m, err
 }
 
 // Health fetches the daemon readiness view with retries.

@@ -12,6 +12,7 @@ import (
 
 	"gridtrust/internal/core"
 	"gridtrust/internal/grid"
+	"gridtrust/internal/metrics"
 	"gridtrust/internal/wal"
 )
 
@@ -86,6 +87,36 @@ type Server struct {
 	journal      *wal.Log
 	compactEvery int
 	lastBoundary uint64
+
+	// start anchors uptime on the monotonic clock; startUnixNanos is the
+	// wall-clock instance stamp reported alongside it.
+	start          time.Time
+	startUnixNanos int64
+
+	// reg is the metrics registry; sm caches the hot-path handles so
+	// request handling never takes the registry lock.
+	reg *metrics.Registry
+	sm  serverMetrics
+}
+
+// serverMetrics caches registry handles used on the request path.
+type serverMetrics struct {
+	connsAccepted   *metrics.Counter
+	shedConnLimit   *metrics.Counter
+	shedDraining    *metrics.Counter
+	shedInflight    *metrics.Counter
+	shedIdemPending *metrics.Counter
+	overloadReplies *metrics.Counter
+	requests        *metrics.Counter
+	submitOK        *metrics.Counter
+	submitErr       *metrics.Counter
+	reportOK        *metrics.Counter
+	reportErr       *metrics.Counter
+	placements      *metrics.Counter
+	idemHits        *metrics.Counter
+	opSubmit        *metrics.Histogram
+	opReport        *metrics.Histogram
+	opStats         *metrics.Histogram
 }
 
 // openPlacement pairs a placement with the ToA it was submitted under so
@@ -101,15 +132,42 @@ func NewServer(trms *core.TRMS) (*Server, error) {
 	if trms == nil {
 		return nil, fmt.Errorf("rmswire: nil TRMS")
 	}
-	return &Server{
-		trms:        trms,
-		placements:  make(map[uint64]openPlacement),
-		conns:       make(map[net.Conn]struct{}),
-		idem:        make(map[string]journalRecord),
-		idemPending: make(map[string]struct{}),
-		drainReq:    make(chan struct{}, 1),
-	}, nil
+	now := time.Now()
+	s := &Server{
+		trms:           trms,
+		placements:     make(map[uint64]openPlacement),
+		conns:          make(map[net.Conn]struct{}),
+		idem:           make(map[string]journalRecord),
+		idemPending:    make(map[string]struct{}),
+		drainReq:       make(chan struct{}, 1),
+		start:          now,
+		startUnixNanos: now.UnixNano(),
+		reg:            metrics.NewRegistry(),
+	}
+	s.sm = serverMetrics{
+		connsAccepted:   s.reg.Counter(MetricConnsAccepted),
+		shedConnLimit:   s.reg.Counter(MetricShedConnLimit),
+		shedDraining:    s.reg.Counter(MetricShedDraining),
+		shedInflight:    s.reg.Counter(MetricShedInflight),
+		shedIdemPending: s.reg.Counter(MetricShedIdemPending),
+		overloadReplies: s.reg.Counter(MetricOverloadReplies),
+		requests:        s.reg.Counter(MetricRequests),
+		submitOK:        s.reg.Counter(MetricSubmitOK),
+		submitErr:       s.reg.Counter(MetricSubmitErr),
+		reportOK:        s.reg.Counter(MetricReportOK),
+		reportErr:       s.reg.Counter(MetricReportErr),
+		placements:      s.reg.Counter(MetricPlacements),
+		idemHits:        s.reg.Counter(MetricIdemHits),
+		opSubmit:        s.reg.Histogram(MetricOpSubmitNS),
+		opReport:        s.reg.Histogram(MetricOpReportNS),
+		opStats:         s.reg.Histogram(MetricOpStatsNS),
+	}
+	return s, nil
 }
+
+// Metrics exposes the server's registry so the owning process can hang
+// its own instruments (e.g. WAL batch sizes) off the same scrape.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // ListenAndServe binds addr and serves in the background, returning the
 // bound address.
@@ -133,7 +191,9 @@ func (s *Server) rejectConn(conn net.Conn, reason string) {
 	if t := s.idleTimeout(); t > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(t))
 	}
-	_ = writeFrame(conn, s.overloaded(reason))
+	resp := s.overloaded(reason)
+	resp.ConnClosing = true
+	_ = writeFrame(conn, resp)
 	_ = conn.Close()
 }
 
@@ -144,6 +204,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		if s.draining.Load() {
+			s.sm.shedDraining.Inc()
 			s.rejectConn(conn, "draining")
 			continue
 		}
@@ -155,11 +216,13 @@ func (s *Server) acceptLoop() {
 		}
 		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
 			s.connMu.Unlock()
+			s.sm.shedConnLimit.Inc()
 			s.rejectConn(conn, fmt.Sprintf("connection limit %d reached", s.MaxConns))
 			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
+		s.sm.connsAccepted.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -226,8 +289,12 @@ func (s *Server) retryAfter() time.Duration {
 	return DefaultRetryAfter
 }
 
-// overloaded builds the typed retryable rejection frame.
+// overloaded builds the typed retryable rejection frame.  Every
+// overloaded reply the server produces goes through here, so the
+// counter is the exact number of overloaded frames written (modulo
+// frames lost to a peer that hung up first — see MetricShedConnLimit).
 func (s *Server) overloaded(reason string) Response {
+	s.sm.overloadReplies.Inc()
 	return Response{
 		Status:       StatusOverloaded,
 		Error:        reason,
@@ -304,13 +371,19 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		resp := s.respond(req)
+		// A draining server finishes the request it already answered and
+		// then closes the stream so the client reconnects elsewhere; say
+		// so in the frame so the client redials instead of discovering a
+		// dead connection on its next request.
+		closing := s.draining.Load()
+		if closing {
+			resp.ConnClosing = true
+		}
 		deadline(conn.SetWriteDeadline)
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
-		// A draining server finishes the request it already answered and
-		// then closes the stream so the client reconnects elsewhere.
-		if s.draining.Load() {
+		if closing {
 			return
 		}
 	}
@@ -324,27 +397,36 @@ func (s *Server) respond(req Request) Response {
 	switch req.Op {
 	case OpHealth:
 		return s.handleHealth()
+	case OpMetrics:
+		return s.handleMetrics()
 	case OpDrain:
 		return s.handleDrain()
 	case OpCheckpoint:
 		return s.handleCheckpoint()
 	}
+	s.sm.requests.Inc()
 	if s.draining.Load() {
+		s.sm.shedDraining.Inc()
 		return s.overloaded("draining")
 	}
 	if !s.acquire(time.Duration(req.BudgetMS) * time.Millisecond) {
+		s.sm.shedInflight.Inc()
 		return s.overloaded(fmt.Sprintf("in-flight limit %d reached", s.MaxInFlight))
 	}
 	defer s.release()
+	began := time.Now()
 	s.jmu.RLock()
 	var resp Response
 	switch req.Op {
 	case OpSubmit:
 		resp = s.handleSubmit(req)
+		s.sm.opSubmit.Observe(uint64(time.Since(began)))
 	case OpReport:
 		resp = s.handleReport(req)
+		s.sm.opReport.Observe(uint64(time.Since(began)))
 	case OpStats:
 		resp = s.handleStats()
+		s.sm.opStats.Observe(uint64(time.Since(began)))
 	default:
 		resp = Response{Status: StatusError, Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -363,16 +445,22 @@ func (s *Server) handleHealth() Response {
 	open := len(s.placements)
 	idem := len(s.idem)
 	s.mu.Unlock()
+	topo := s.trms.Topology()
 	h := &HealthInfo{
-		Status:         "ok",
-		Draining:       s.draining.Load(),
-		Conns:          conns,
-		MaxConns:       s.MaxConns,
-		InFlight:       int(s.inflight.Load()),
-		MaxInFlight:    s.MaxInFlight,
-		OpenPlacements: open,
-		Placed:         s.trms.Placed(),
-		IdemEntries:    idem,
+		Status:           "ok",
+		Draining:         s.draining.Load(),
+		Conns:            conns,
+		MaxConns:         s.MaxConns,
+		InFlight:         int(s.inflight.Load()),
+		MaxInFlight:      s.MaxInFlight,
+		OpenPlacements:   open,
+		Placed:           s.trms.Placed(),
+		IdemEntries:      idem,
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		StartUnixNanos:   s.startUnixNanos,
+		MetricsSeq:       s.reg.Seq(),
+		TopologyMachines: len(topo.Machines()),
+		TopologyClients:  len(topo.Clients()),
 	}
 	if h.Draining {
 		h.Status = "draining"
@@ -385,6 +473,51 @@ func (s *Server) handleHealth() Response {
 	}
 	s.jmu.RUnlock()
 	return Response{Status: StatusOK, Health: h}
+}
+
+// handleMetrics scrapes the registry.  Like health it bypasses admission
+// — an overloaded daemon must still be observable.  Counters and
+// histograms come from the registry; point-in-time gauges (connection
+// and queue depths, durable placement/idempotency anchors, WAL totals)
+// are read at scrape time and injected into the snapshot, keeping the
+// request hot path free of gauge bookkeeping.
+func (s *Server) handleMetrics() Response {
+	snap := s.reg.Snapshot()
+	if snap.Gauges == nil {
+		snap.Gauges = make(map[string]int64)
+	}
+	if snap.Counters == nil {
+		snap.Counters = make(map[string]uint64)
+	}
+	s.connMu.Lock()
+	snap.Gauges[MetricConns] = int64(len(s.conns))
+	s.connMu.Unlock()
+	s.mu.Lock()
+	snap.Gauges[MetricOpenPlacements] = int64(len(s.placements))
+	snap.Gauges[MetricIdemEntries] = int64(len(s.idem))
+	s.mu.Unlock()
+	snap.Gauges[MetricInFlight] = s.inflight.Load()
+	snap.Gauges[MetricPlaced] = int64(s.trms.Placed())
+	if s.draining.Load() {
+		snap.Gauges[MetricDraining] = 1
+	} else {
+		snap.Gauges[MetricDraining] = 0
+	}
+	s.jmu.RLock()
+	if s.journal != nil {
+		js := s.journal.Stats()
+		snap.Counters[MetricWALAppends] = js.Appends
+		snap.Counters[MetricWALSyncs] = js.Syncs
+		snap.Counters[MetricWALRotations] = js.Rotations
+		snap.Gauges[MetricWALSegments] = int64(js.Segments)
+		snap.Gauges[MetricJournalNextSeq] = int64(s.journal.NextSeq())
+	}
+	s.jmu.RUnlock()
+	return Response{Status: StatusOK, Metrics: &MetricsInfo{
+		Snapshot:       *snap,
+		UptimeMS:       time.Since(s.start).Milliseconds(),
+		StartUnixNanos: s.startUnixNanos,
+	}}
 }
 
 // handleDrain acknowledges the request and signals the process owner; the
@@ -414,10 +547,13 @@ func (s *Server) handleSubmit(req Request) Response {
 		s.mu.Lock()
 		if rec, ok := s.idem[req.IdemKey]; ok {
 			s.mu.Unlock()
+			s.sm.idemHits.Inc()
+			s.sm.submitOK.Inc()
 			return Response{Status: StatusOK, Placement: rec.placementInfo()}
 		}
 		if _, busy := s.idemPending[req.IdemKey]; busy {
 			s.mu.Unlock()
+			s.sm.shedIdemPending.Inc()
 			return s.overloaded(fmt.Sprintf("submit with idempotency key %q in flight", req.IdemKey))
 		}
 		s.idemPending[req.IdemKey] = struct{}{}
@@ -430,10 +566,12 @@ func (s *Server) handleSubmit(req Request) Response {
 	}
 	toa, err := activitiesToToA(req.Activities)
 	if err != nil {
+		s.sm.submitErr.Inc()
 		return Response{Status: StatusError, Error: err.Error()}
 	}
 	rtl, err := grid.ParseLevel(req.RTL)
 	if err != nil {
+		s.sm.submitErr.Inc()
 		return Response{Status: StatusError, Error: err.Error()}
 	}
 	p, err := s.trms.Submit(core.Task{
@@ -443,6 +581,7 @@ func (s *Server) handleSubmit(req Request) Response {
 		EEC:    req.EEC,
 	}, req.Now)
 	if err != nil {
+		s.sm.submitErr.Inc()
 		return Response{Status: StatusError, Error: err.Error()}
 	}
 	s.mu.Lock()
@@ -450,9 +589,11 @@ func (s *Server) handleSubmit(req Request) Response {
 	id := s.nextID
 	s.placements[id] = openPlacement{p: p, toa: toa}
 	s.mu.Unlock()
+	s.sm.placements.Inc()
 	rec := placeRecord(id, p, toa, req.Now)
 	rec.IdemKey = req.IdemKey
 	if err := s.journalAppend(rec); err != nil {
+		s.sm.submitErr.Inc()
 		// The placement is applied but not durable: surface that instead
 		// of pretending either way.  The key is deliberately not recorded
 		// — the client saw an error, and a dedup hit must never vouch for
@@ -465,6 +606,7 @@ func (s *Server) handleSubmit(req Request) Response {
 		s.idem[req.IdemKey] = rec
 		s.mu.Unlock()
 	}
+	s.sm.submitOK.Inc()
 	return Response{Status: StatusOK, Placement: &PlacementInfo{
 		ID:      id,
 		Machine: int(p.Machine.ID),
@@ -488,6 +630,7 @@ func (s *Server) handleReport(req Request) Response {
 	}
 	s.mu.Unlock()
 	if !ok {
+		s.sm.reportErr.Inc()
 		return Response{Status: StatusError,
 			Error: fmt.Sprintf("unknown or already-reported placement %d", req.PlacementID)}
 	}
@@ -497,14 +640,17 @@ func (s *Server) handleReport(req Request) Response {
 		s.mu.Lock()
 		s.placements[req.PlacementID] = op
 		s.mu.Unlock()
+		s.sm.reportErr.Inc()
 		return Response{Status: StatusError, Error: err.Error()}
 	}
 	if err := s.journalAppend(journalRecord{
 		Kind: recReport, ID: req.PlacementID, Outcome: req.Outcome, Now: req.Now,
 	}); err != nil {
+		s.sm.reportErr.Inc()
 		return Response{Status: StatusError,
 			Error: fmt.Sprintf("report for %d applied but not journalled: %v", req.PlacementID, err)}
 	}
+	s.sm.reportOK.Inc()
 	return Response{Status: StatusOK}
 }
 

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"gridtrust/internal/rng"
 )
 
 // Running accumulates count, mean, variance (Welford's online algorithm),
@@ -161,32 +163,143 @@ func tCritical95(df int64) float64 {
 }
 
 // Sample stores raw observations for quantile queries.  Unlike Running it
-// holds all data; use it for per-request completion times where percentiles
-// matter, not for unbounded streams.
+// holds all data by default; use it for per-request completion times where
+// percentiles matter.  For unbounded streams — a load driver recording
+// millions of latencies — call Bound first: the sample then keeps a
+// fixed-size uniform reservoir (deterministically seeded via internal/rng)
+// while count and sum stay exact, so Mean and N are always precise and
+// quantiles are estimated from the reservoir.
 type Sample struct {
 	xs     []float64
 	sorted bool
+
+	// seen and sum track every observation exactly, including those the
+	// reservoir dropped.
+	seen int64
+	sum  float64
+
+	// cap > 0 bounds len(xs); src drives the reservoir decisions.
+	cap int
+	src *rng.Source
 }
 
-// Add appends an observation.
+// Bound switches the sample to bounded-reservoir mode holding at most
+// capacity observations, using a deterministic rng stream from seed.  If
+// the sample already holds more than capacity observations they are
+// downsampled uniformly.  capacity <= 0 is a no-op.
+func (s *Sample) Bound(capacity int, seed uint64) {
+	if capacity <= 0 {
+		return
+	}
+	s.cap = capacity
+	s.src = rng.New(seed)
+	if len(s.xs) > capacity {
+		// Partial Fisher-Yates: uniformly select capacity survivors.
+		for i := 0; i < capacity; i++ {
+			j := i + s.src.Intn(len(s.xs)-i)
+			s.xs[i], s.xs[j] = s.xs[j], s.xs[i]
+		}
+		s.xs = s.xs[:capacity]
+		s.sorted = false
+	}
+}
+
+// Bounded reports whether the sample runs in reservoir mode.
+func (s *Sample) Bounded() bool { return s.cap > 0 }
+
+// Add appends an observation.  In bounded mode it runs Vitter's
+// algorithm R: once the reservoir is full, the new observation replaces
+// a uniformly random slot with probability cap/seen.
 func (s *Sample) Add(x float64) {
+	s.seen++
+	s.sum += x
+	if s.cap > 0 && len(s.xs) >= s.cap {
+		if j := int(s.src.Uint64() % uint64(s.seen)); j < s.cap {
+			s.xs[j] = x
+			s.sorted = false
+		}
+		return
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
 }
 
-// N returns the number of observations.
-func (s *Sample) N() int { return len(s.xs) }
+// N returns the number of observations, including any the reservoir
+// dropped.
+func (s *Sample) N() int { return int(s.seen) }
 
-// Mean returns the sample mean, or NaN if empty.
+// Retained returns how many observations are held for quantile queries
+// (== N() for an unbounded sample).
+func (s *Sample) Retained() int { return len(s.xs) }
+
+// Mean returns the sample mean over every observation, or NaN if empty.
 func (s *Sample) Mean() float64 {
-	if len(s.xs) == 0 {
+	if s.seen == 0 {
 		return math.NaN()
 	}
+	if s.cap > 0 {
+		return s.sum / float64(s.seen)
+	}
+	// Unbounded: sum the retained values in their current order, which
+	// preserves the historical bit-exact behaviour downstream outputs
+	// are byte-compared against.
 	sum := 0.0
 	for _, x := range s.xs {
 		sum += x
 	}
 	return sum / float64(len(s.xs))
+}
+
+// Merge folds other into s: counts and sums combine exactly; retained
+// values combine exactly when both samples are unbounded, and by
+// weighted reservoir sampling (Efraimidis–Spirakis A-Res, where each
+// retained value represents seen/retained observations of its source)
+// when s is bounded — quantiles of the merge then match the pooled
+// stream within reservoir error.  other is not modified.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || other.seen == 0 {
+		return
+	}
+	if s.cap == 0 {
+		// Unbounded target: keep everything other retained.
+		s.xs = append(s.xs, other.xs...)
+		s.sorted = false
+		s.seen += other.seen
+		s.sum += other.sum
+		return
+	}
+	type weighted struct {
+		x   float64
+		key float64
+	}
+	keyed := make([]weighted, 0, len(s.xs)+len(other.xs))
+	draw := func(xs []float64, seen int64) {
+		if len(xs) == 0 {
+			return
+		}
+		w := float64(seen) / float64(len(xs))
+		for _, x := range xs {
+			u := s.src.Float64()
+			for u == 0 {
+				u = s.src.Float64()
+			}
+			keyed = append(keyed, weighted{x: x, key: math.Pow(u, 1/w)})
+		}
+	}
+	draw(s.xs, s.seen)
+	draw(other.xs, other.seen)
+	sort.Slice(keyed, func(i, j int) bool { return keyed[i].key > keyed[j].key })
+	n := len(keyed)
+	if n > s.cap {
+		n = s.cap
+	}
+	s.xs = s.xs[:0]
+	for _, kv := range keyed[:n] {
+		s.xs = append(s.xs, kv.x)
+	}
+	s.sorted = false
+	s.seen += other.seen
+	s.sum += other.sum
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation

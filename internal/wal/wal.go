@@ -97,6 +97,13 @@ type Options struct {
 	// NoSync skips the fsync on commit (tests and benchmarks that
 	// measure framing cost, not disk cost).  Durability is forfeited.
 	NoSync bool
+	// SyncObserver, when set, is called after each commit batch with the
+	// number of records the batch made durable — the group-commit batch
+	// size (Appends/Syncs gives only the lifetime mean; the observer sees
+	// the distribution).  It runs on the committing goroutine's path with
+	// internal locks held: it must be fast, must not block, and must not
+	// call back into the Log.  An atomic histogram qualifies.
+	SyncObserver func(records uint64)
 }
 
 func (o Options) withDefaults() Options {
@@ -305,6 +312,7 @@ func (l *Log) rotateLocked() error {
 	// Everything written so far is durable in the sealed segment.
 	l.syncMu.Lock()
 	if l.written > l.synced {
+		l.observeBatch(l.written - l.synced)
 		l.synced = l.written
 	}
 	l.syncCond.Broadcast()
@@ -369,6 +377,7 @@ func (l *Log) waitSync(seq uint64) error {
 		if err != nil {
 			l.syncErr = err
 		} else if hw > l.synced {
+			l.observeBatch(hw - l.synced)
 			l.synced = hw
 		}
 		l.syncCond.Broadcast()
@@ -558,6 +567,7 @@ func (l *Log) Close() error {
 
 	l.syncMu.Lock()
 	if err == nil && hw > l.synced {
+		l.observeBatch(hw - l.synced)
 		l.synced = hw
 	}
 	if err != nil && l.syncErr == nil {
@@ -566,6 +576,15 @@ func (l *Log) Close() error {
 	l.syncCond.Broadcast()
 	l.syncMu.Unlock()
 	return err
+}
+
+// observeBatch reports one commit batch to the observer, if any.
+// Callers hold syncMu and have just advanced (or are about to advance)
+// synced by records.
+func (l *Log) observeBatch(records uint64) {
+	if l.opts.SyncObserver != nil {
+		l.opts.SyncObserver(records)
+	}
 }
 
 // syncDir fsyncs a directory so renames and creates within it are

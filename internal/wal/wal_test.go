@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -502,5 +503,49 @@ func TestDurableAppendSurvivesCopy(t *testing.T) {
 	}
 	if len(rec.Records) != 10 {
 		t.Fatalf("crash copy recovered %d records, want 10", len(rec.Records))
+	}
+}
+
+// TestSyncObserverLossless asserts every appended record is reported to
+// the SyncObserver exactly once across commit batches, rotations and
+// Close, and that concurrent appends produce multi-record batches whose
+// sizes still sum to the append count.
+func TestSyncObserverLossless(t *testing.T) {
+	var observed atomic.Uint64
+	var batches atomic.Uint64
+	opts := testOptions()
+	opts.SegmentBytes = 256 // force rotations mid-stream
+	opts.SyncObserver = func(records uint64) {
+		observed.Add(records)
+		batches.Add(1)
+	}
+	l, _, err := Create(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const appenders = 4
+	const perAppender = 50
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAppender; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("rec-%d-%d", a, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := observed.Load(); got != appenders*perAppender {
+		t.Fatalf("observer saw %d records, want %d", got, appenders*perAppender)
+	}
+	if b := batches.Load(); b == 0 || b > appenders*perAppender {
+		t.Fatalf("implausible batch count %d", b)
 	}
 }

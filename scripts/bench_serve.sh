@@ -1,0 +1,81 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_serve.json: the serving benchmark measured by
+# gridload against a journalled gridtrustd.
+#
+# Four runs against one daemon instance, each under a fresh idempotency
+# namespace so durable keys never collide:
+#   closed loop at 2 and 8 clients  -> sustained capacity (RPS per core)
+#   open loop (Poisson) at a low and a high arrival rate -> latency
+#     percentiles with coordinated-omission correction
+#
+# Every run reconciles its client totals against the daemon's
+# {"op":"metrics"} counters; gridload exits 3 on any imbalance, which
+# aborts this script.  The daemon keeps its WAL attached throughout, so
+# the numbers include the group-commit fsync path, not an in-memory toy.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DUR=${DUR:-5s}
+OPEN_LOW=${OPEN_LOW:-150}
+OPEN_HIGH=${OPEN_HIGH:-400}
+
+go build -o /tmp/gridtrust-bench-daemon ./cmd/gridtrustd
+go build -o /tmp/gridtrust-bench-gridload ./cmd/gridload
+
+bd=$(mktemp -d)
+trap 'kill "$dpid" 2> /dev/null || true; rm -rf "$bd"; rm -f /tmp/gridtrust-bench-daemon /tmp/gridtrust-bench-gridload' EXIT
+
+mkdir "$bd/data"
+/tmp/gridtrust-bench-daemon -addr 127.0.0.1:0 -data "$bd/data" > "$bd/log" 2>&1 &
+dpid=$!
+addr=""
+i=0
+while [ -z "$addr" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    addr=$(sed -n 's/^gridtrustd listening on //p' "$bd/log")
+    i=$((i + 1))
+done
+test -n "$addr"
+
+run() { # run <outfile> <key-prefix> <gridload args...>
+    out=$1
+    prefix=$2
+    shift 2
+    echo "bench-serve: gridload $*" >&2
+    /tmp/gridtrust-bench-gridload -addr "$addr" -duration "$DUR" \
+        -key-prefix "$prefix" -format json "$@" > "$bd/$out"
+}
+
+run closed-2.json bs-c2 -clients 2 -seed 101
+run closed-8.json bs-c8 -clients 8 -seed 102
+run open-low.json bs-ol -mode open -arrival poisson -rps "$OPEN_LOW" -clients 4 -seed 103
+run open-high.json bs-oh -mode open -arrival poisson -rps "$OPEN_HIGH" -clients 8 -seed 104
+
+jq -n \
+    --arg go "$(go version | awk '{print $3}')" \
+    --arg dur "$DUR" \
+    --argjson cpus "$(nproc)" \
+    --slurpfile c2 "$bd/closed-2.json" \
+    --slurpfile c8 "$bd/closed-8.json" \
+    --slurpfile ol "$bd/open-low.json" \
+    --slurpfile oh "$bd/open-high.json" \
+    '{
+      benchmark: "gridload vs journalled gridtrustd (WAL group commit on)",
+      go: $go, cpus: $cpus, duration_per_run: $dur,
+      note: "client-side measurements; every run reconciled exactly against daemon metrics (gridload exits nonzero otherwise); open-loop latency is coordinated-omission corrected (charged from scheduled arrival)",
+      headline: {
+        closed_loop_rps_per_core: ($c8[0].per_core_rps),
+        closed_loop_submit_p99_ms: ($c8[0].submit_latency.p99_ms),
+        open_loop_submit_p99_ms: ($ol[0].submit_latency.p99_ms)
+      },
+      runs: {
+        closed_2_clients: $c2[0],
+        closed_8_clients: $c8[0],
+        open_poisson_low: $ol[0],
+        open_poisson_high: $oh[0]
+      }
+    }' > BENCH_serve.json
+
+echo "bench-serve: wrote BENCH_serve.json"
+jq '.headline' BENCH_serve.json

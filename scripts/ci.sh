@@ -9,7 +9,9 @@
 # resumed against its checkpoint directory prints byte-identical output.
 # The overload+drain stage runs a journalled daemon with admission limits,
 # drives load through gridctl, SIGTERMs it, and requires a clean exit plus
-# byte-identical stats from the replayed daemon.
+# byte-identical stats from the replayed daemon.  The gridload stage
+# SIGKILLs a journalled daemon mid-load and requires the driver's client
+# totals to reconcile exactly with the replayed daemon's metrics.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,8 +25,8 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/..."
-go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/...
+echo "==> go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/..."
+go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/...
 
 echo "==> fuzz smoke (every fuzz target, 5s each)"
 for spec in \
@@ -155,7 +157,48 @@ cmp "$dd/stats-before.txt" "$dd/stats-after.txt"
 wait "$dpid"
 grep -q "draining: requested over the wire" "$dd/log2"
 rm -rf "$dd"
-rm -f /tmp/gridtrust-ci-daemon /tmp/gridtrust-ci-gridctl
+
+echo "==> gridload smoke (limits on, mid-run SIGKILL+restart, books must balance)"
+go build -o /tmp/gridtrust-ci-gridload ./cmd/gridload
+ld=$(mktemp -d)
+mkdir "$ld/data"
+/tmp/gridtrust-ci-daemon -addr 127.0.0.1:0 -data "$ld/data" \
+    -max-inflight 2 > "$ld/log" 2>&1 &
+dpid=$!
+addr=""
+i=0
+while [ -z "$addr" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    addr=$(sed -n 's/^gridtrustd listening on //p' "$ld/log")
+    i=$((i + 1))
+done
+test -n "$addr"
+# gridload exits 3 if its client totals do not reconcile with the
+# daemon's {"op":"metrics"} counters, so the smoke is the exit code;
+# the SIGKILL below lands mid-run and WAL replay must restore the
+# durable anchors (placed, idem entries, open placements) exactly.
+/tmp/gridtrust-ci-gridload -addr "$addr" -clients 4 -duration 2s \
+    -seed 41 -max-attempts 80 -op-timeout 2s -format json > "$ld/run.json" &
+lpid=$!
+sleep 1
+kill -KILL "$dpid"
+wait "$dpid" 2> /dev/null || true
+/tmp/gridtrust-ci-daemon -addr "$addr" -data "$ld/data" \
+    -max-inflight 2 > "$ld/log2" 2>&1 &
+dpid=$!
+wait "$lpid"
+grep -q '"daemon_restarted": true' "$ld/run.json"
+grep -q '"unresolved": 0' "$ld/run.json"
+# The metrics op and its CLI surface answer on the replayed daemon.
+/tmp/gridtrust-ci-gridctl -addr "$addr" metrics | grep -q "placed"
+/tmp/gridtrust-ci-gridctl -addr "$addr" metrics -format json \
+    | grep -q '"start_unix_nanos"'
+# Clean wire-drain exit closes the smoke.
+/tmp/gridtrust-ci-gridctl -addr "$addr" drain > /dev/null
+wait "$dpid"
+grep -q "drained; exiting" "$ld/log2"
+rm -rf "$ld"
+rm -f /tmp/gridtrust-ci-daemon /tmp/gridtrust-ci-gridctl /tmp/gridtrust-ci-gridload
 
 echo "==> sweep checkpoint-resume smoke (SIGINT, resume, diff)"
 ckd=$(mktemp -d)
