@@ -1,6 +1,6 @@
 # Convenience targets; scripts/ci.sh is the canonical verify flow.
 
-.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal bench-des bench-des-flagship bench-trustzoo bench-serve
+.PHONY: verify test race smoke bench bench-kernels bench-sweep bench-fault bench-wal bench-des bench-des-flagship bench-trustzoo bench-serve bench-fleet
 
 # verify runs the tier-1 flow: build, vet, full tests, race tests for
 # the concurrent packages (exp's experiment engine, sim's cell runners,
@@ -12,7 +12,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/...
+	go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/... ./internal/trustwire/... ./internal/fleet/...
 
 # smoke runs every sweep mode once through the experiment engine on a
 # tiny grid (mirrors the smoke stage of scripts/ci.sh).
@@ -65,6 +65,13 @@ bench-des-flagship:
 # recorded in BENCH_serve.json (see EXPERIMENTS.md for methodology).
 bench-serve:
 	./scripts/bench_serve.sh
+
+# bench-fleet measures a 3-shard fleet against a single journalled
+# daemon at the same total client count: aggregate closed-loop RPS with
+# consistent-hash forwarding and trust gossip on, reconciled fleet-wide
+# and recorded in BENCH_fleet.json.  Fails unless the fleet wins.
+bench-fleet:
+	./scripts/bench_fleet.sh
 
 # bench-trustzoo measures every registered trust model: one reputation-
 # study replication per adversary scenario, plus the model-driven DES

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gridtrust/internal/fleet"
+	"gridtrust/internal/grid"
+	"gridtrust/internal/metrics"
+	"gridtrust/internal/rmswire"
+)
+
+// cmdFleet is the fleet-wide ops surface: every subcommand reads the
+// static fleet config and fans out over the shards, so one invocation
+// answers for the whole ring.
+//
+//	gridctl fleet status  -config configs/fleet.json   # per-shard gossip view
+//	gridctl fleet health  -config configs/fleet.json   # one line per shard
+//	gridctl fleet metrics -config configs/fleet.json   # aggregated fleet section
+//	gridctl fleet ring    -config configs/fleet.json   # CD → owner dump
+//	gridctl fleet gossip  -config configs/fleet.json -wait 5s  # convergence check
+//	gridctl fleet drain   -config configs/fleet.json   # drain every shard
+func cmdFleet(args []string, timeout time.Duration) error {
+	sub := "status"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("fleet "+sub, flag.ExitOnError)
+	cfgPath := fs.String("config", "configs/fleet.json", "fleet config (JSON)")
+	wait := fs.Duration("wait", 0, "gossip: poll until converged or this deadline elapses (0 = single check)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := fleet.LoadConfig(*cfgPath)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "status":
+		return fleetStatus(cfg, timeout)
+	case "health":
+		return fleetHealth(cfg, timeout)
+	case "metrics":
+		return fleetMetrics(cfg, timeout)
+	case "ring":
+		return fleetRing(cfg, timeout)
+	case "gossip":
+		return fleetGossip(cfg, timeout, *wait)
+	case "drain":
+		return fleetDrain(cfg, timeout)
+	}
+	return fmt.Errorf("unknown fleet subcommand %q (status|health|metrics|ring|gossip|drain)", sub)
+}
+
+// eachShard dials every shard and calls fn; unreachable shards are
+// reported, not fatal — a fleet command must answer while a shard is down.
+func eachShard(cfg fleet.Config, timeout time.Duration, fn func(s fleet.ShardConfig, c *rmswire.Client) error) error {
+	var firstErr error
+	for _, s := range cfg.Shards {
+		c, err := rmswire.DialTimeout(s.Addr, timeout)
+		if err != nil {
+			fmt.Printf("%-12s unreachable: %v\n", s.Name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		c.Timeout = timeout
+		if err := fn(s, c); err != nil {
+			fmt.Printf("%-12s error: %v\n", s.Name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		_ = c.Close()
+	}
+	return firstErr
+}
+
+func fleetStatus(cfg fleet.Config, timeout time.Duration) error {
+	return eachShard(cfg, timeout, func(s fleet.ShardConfig, c *rmswire.Client) error {
+		info, err := c.Fleet()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s table v%d (%d entries), %d member(s), %d vnodes, gossip every %dms (staleness bound %dms)\n",
+			info.Shard, info.TableVersion, info.TableEntries, len(info.Members), info.VNodes,
+			info.GossipIntervalMS, info.StalenessBoundMS)
+		for _, p := range info.Peers {
+			age := "never"
+			if p.AgeMS >= 0 {
+				age = fmt.Sprintf("%dms ago", p.AgeMS)
+			}
+			state := "fresh"
+			if p.Stale {
+				state = "STALE"
+			}
+			fmt.Printf("  peer %-10s synced v%d (%d entries) %s [%s]  syncs=%d errors=%d\n",
+				p.Name, p.Version, p.Entries, age, state, p.Syncs, p.SyncErrors)
+		}
+		return nil
+	})
+}
+
+func fleetHealth(cfg fleet.Config, timeout time.Duration) error {
+	return eachShard(cfg, timeout, func(s fleet.ShardConfig, c *rmswire.Client) error {
+		h, err := c.Health()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-8s placed=%d open=%d conns=%d inflight=%d uptime=%.1fs\n",
+			s.Name, h.Status, h.Placed, h.OpenPlacements, h.Conns, h.InFlight,
+			float64(h.UptimeMS)/1000)
+		return nil
+	})
+}
+
+// fleetMetrics prints each shard's fleet section plus a fleet-wide
+// aggregate: summed forward/gossip counters and the merged forward
+// latency histogram.
+func fleetMetrics(cfg fleet.Config, timeout time.Duration) error {
+	total := make(map[string]uint64)
+	merged := &metrics.HistSnapshot{}
+	err := eachShard(cfg, timeout, func(s fleet.ShardConfig, c *rmswire.Client) error {
+		m, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", s.Name)
+		for _, name := range m.CounterNames() {
+			if !strings.HasPrefix(name, "fleet_") {
+				continue
+			}
+			fmt.Printf("  %-36s %d\n", name, m.Counters[name])
+			total[name] += m.Counters[name]
+		}
+		if h := m.Histograms[fleet.MetricForwardNS]; h != nil && h.Count > 0 {
+			printLatency("  "+fleet.MetricForwardNS, h)
+			merged.Merge(h)
+		}
+		return nil
+	})
+	fmt.Println("fleet total:")
+	names := make([]string, 0, len(total))
+	for name := range total {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-36s %d\n", name, total[name])
+	}
+	if merged.Count > 0 {
+		printLatency("  "+fleet.MetricForwardNS, merged)
+	}
+	return err
+}
+
+func printLatency(label string, h *metrics.HistSnapshot) {
+	const ms = 1e6
+	fmt.Printf("%s: n=%d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms\n",
+		label, h.Count, h.Mean()/ms, h.Quantile(0.5)/ms, h.Quantile(0.95)/ms, h.Quantile(0.99)/ms)
+}
+
+// fleetRing rebuilds the ring locally from the config (ownership is
+// deterministic) and dumps CD → owner, cross-checked against one
+// reachable shard's view of the member list.
+func fleetRing(cfg fleet.Config, timeout time.Duration) error {
+	ring, err := fleet.NewRing(cfg.Names(), cfg.VNodes)
+	if err != nil {
+		return err
+	}
+	cds := 0
+	for _, s := range cfg.Shards {
+		c, err := rmswire.DialTimeout(s.Addr, timeout)
+		if err != nil {
+			continue
+		}
+		c.Timeout = timeout
+		info, ferr := c.Fleet()
+		_ = c.Close()
+		if ferr != nil {
+			continue
+		}
+		if strings.Join(info.Members, ",") != strings.Join(ring.Members(), ",") || info.VNodes != ring.VNodes() {
+			return fmt.Errorf("shard %s runs ring {%v, %d vnodes}, config says {%v, %d vnodes}",
+				info.Shard, info.Members, info.VNodes, ring.Members(), ring.VNodes())
+		}
+		cds = info.CDs
+		break
+	}
+	fmt.Printf("ring: %d member(s), %d vnodes each\n", len(ring.Members()), ring.VNodes())
+	if cds == 0 {
+		fmt.Println("no shard reachable; dumping membership only")
+		return nil
+	}
+	share := make(map[string]int)
+	for cd := 0; cd < cds; cd++ {
+		owner := ring.Owner(fleet.CDKey(grid.DomainID(cd)))
+		share[owner]++
+		fmt.Printf("  cd %-4d → %s\n", cd, owner)
+	}
+	for _, m := range ring.Members() {
+		fmt.Printf("share: %-12s %d/%d CDs\n", m, share[m], cds)
+	}
+	return nil
+}
+
+// fleetGossip checks convergence: every shard's synced version for each
+// peer has reached that peer's own current table version, and no claim
+// set is stale.  With wait > 0 it polls until converged or the deadline.
+func fleetGossip(cfg fleet.Config, timeout, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		lag, err := gossipLag(cfg, timeout)
+		if err == nil && len(lag) == 0 {
+			fmt.Println("gossip converged: every shard holds every peer's current table")
+			return nil
+		}
+		if wait <= 0 || time.Now().After(deadline) {
+			for _, l := range lag {
+				fmt.Println(l)
+			}
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("gossip not converged (%d lagging view(s))", len(lag))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// gossipLag returns one line per lagging or stale peer view.
+func gossipLag(cfg fleet.Config, timeout time.Duration) ([]string, error) {
+	infos := make(map[string]*rmswire.FleetInfo)
+	for _, s := range cfg.Shards {
+		c, err := rmswire.DialTimeout(s.Addr, timeout)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s unreachable: %w", s.Name, err)
+		}
+		c.Timeout = timeout
+		info, ferr := c.Fleet()
+		_ = c.Close()
+		if ferr != nil {
+			return nil, fmt.Errorf("shard %s: %w", s.Name, ferr)
+		}
+		infos[s.Name] = info
+	}
+	var lag []string
+	for name, info := range infos {
+		for _, p := range info.Peers {
+			truth, ok := infos[p.Name]
+			if !ok {
+				continue
+			}
+			switch {
+			case p.Stale:
+				lag = append(lag, fmt.Sprintf("%s view of %s: stale (last sync %dms ago)", name, p.Name, p.AgeMS))
+			case p.Version < truth.TableVersion:
+				lag = append(lag, fmt.Sprintf("%s view of %s: synced v%d, peer is at v%d", name, p.Name, p.Version, truth.TableVersion))
+			}
+		}
+	}
+	sort.Strings(lag)
+	return lag, nil
+}
+
+func fleetDrain(cfg fleet.Config, timeout time.Duration) error {
+	return eachShard(cfg, timeout, func(s fleet.ShardConfig, c *rmswire.Client) error {
+		if err := c.Drain(); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s drain requested\n", s.Name)
+		return nil
+	})
+}

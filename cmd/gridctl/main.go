@@ -53,6 +53,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	case "fleet":
+		// Fleet commands dial every shard from the config themselves.
+		if err := cmdFleet(args[1:], *timeout); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	client, err := rmswire.DialTimeout(*addr, *timeout)
@@ -210,14 +216,35 @@ func cmdMetrics(client *rmswire.Client, args []string) error {
 	}
 	fmt.Printf("uptime:  %.3fs (instance %d, scrape seq %d)\n",
 		float64(m.UptimeMS)/1000, m.StartUnixNanos, m.Seq)
+	isFleet := func(name string) bool { return strings.HasPrefix(name, "fleet_") }
 	fmt.Println("counters:")
 	for _, name := range m.CounterNames() {
+		if isFleet(name) {
+			continue
+		}
 		fmt.Printf("  %-28s %d\n", name, m.Counters[name])
 	}
 	if len(m.Gauges) > 0 {
 		fmt.Println("gauges:")
 		for _, name := range m.GaugeNames() {
+			if isFleet(name) {
+				continue
+			}
 			fmt.Printf("  %-28s %d\n", name, m.Gauges[name])
+		}
+	}
+	// Fleet metrics (per-peer forward/gossip counters, forward latency)
+	// group under their own section so the core daemon view stays tidy.
+	var fleetNames []string
+	for _, name := range m.CounterNames() {
+		if isFleet(name) {
+			fleetNames = append(fleetNames, name)
+		}
+	}
+	if len(fleetNames) > 0 {
+		fmt.Println("fleet:")
+		for _, name := range fleetNames {
+			fmt.Printf("  %-36s %d\n", name, m.Counters[name])
 		}
 	}
 	for _, name := range m.HistogramNames() {
@@ -342,7 +369,8 @@ func parseFloats(s string) ([]float64, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats|metrics|health|drain|checkpoint|wal-info|wal-dump} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gridctl [-addr host:port] {submit|report|stats|metrics|health|drain|checkpoint|wal-info|wal-dump|fleet} [flags]")
+	fmt.Fprintln(os.Stderr, "       gridctl fleet {status|health|metrics|ring|gossip|drain} -config configs/fleet.json [-wait 5s]")
 	os.Exit(2)
 }
 

@@ -23,12 +23,14 @@ import (
 	"os"
 	"time"
 
+	"gridtrust/internal/fleet"
 	"gridtrust/internal/load"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7431", "daemon address")
+		fleetCfg = flag.String("fleet", "", "fleet config (JSON): drive every shard, reconcile fleet-wide; overrides -addr")
 		clients  = flag.Int("clients", 4, "concurrent load clients")
 		mode     = flag.String("mode", load.ModeClosed, "closed (capacity) or open (fixed arrival rate)")
 		rate     = flag.Float64("rps", 0, "open-loop target requests per second")
@@ -52,8 +54,20 @@ func main() {
 	if *prefix == "" {
 		*prefix = fmt.Sprintf("load-%d", *seed)
 	}
+	var fleetAddrs []string
+	if *fleetCfg != "" {
+		cfg, err := fleet.LoadConfig(*fleetCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridload: %v\n", err)
+			os.Exit(1)
+		}
+		for _, s := range cfg.Shards {
+			fleetAddrs = append(fleetAddrs, s.Addr)
+		}
+	}
 	rep, err := load.Run(load.Config{
 		Addr:           *addr,
+		FleetAddrs:     fleetAddrs,
 		Clients:        *clients,
 		Mode:           *mode,
 		Rate:           *rate,

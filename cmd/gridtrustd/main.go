@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"gridtrust/internal/core"
+	"gridtrust/internal/fleet"
 	"gridtrust/internal/grid"
 	"gridtrust/internal/gridgen"
 	"gridtrust/internal/rmswire"
@@ -115,6 +116,9 @@ func main() {
 		dataDir  = flag.String("data", "", "durability directory (empty disables the write-ahead log)")
 		compact  = flag.Int("compact-every", 1024, "auto-checkpoint after this many journal records (0 disables; manual checkpoints always work)")
 
+		fleetPath = flag.String("fleet", "", "fleet config (JSON, see configs/fleet.json); requires -shard and overrides -addr with the shard's configured address")
+		shardName = flag.String("shard", "", "this daemon's shard name in the -fleet config")
+
 		maxConns    = flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited); excess connections are answered with one overloaded frame and closed")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = unlimited); excess requests are shed with a retryable overloaded response")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM/SIGINT or gridctl drain")
@@ -129,6 +133,24 @@ func main() {
 	}
 	if !trust.KnownModel(*model) {
 		fatalf("unknown trust model %q (see -list-models)", *model)
+	}
+	var fleetCfg fleet.Config
+	if *fleetPath != "" {
+		if *shardName == "" {
+			fatalf("-fleet requires -shard")
+		}
+		var err error
+		fleetCfg, err = fleet.LoadConfig(*fleetPath)
+		if err != nil {
+			fatalf("fleet: %v", err)
+		}
+		i := fleetCfg.Index(*shardName)
+		if i < 0 {
+			fatalf("fleet: shard %q not in %s (members: %v)", *shardName, *fleetPath, fleetCfg.Names())
+		}
+		// The fleet config is the single source of addresses: peers dial
+		// this shard at its configured address, so listen exactly there.
+		*addr = fleetCfg.Shards[i].Addr
 	}
 
 	top, err := gridgen.Generate(rng.New(*seed), gridgen.Spec{GridDomains: *domains})
@@ -190,12 +212,34 @@ func main() {
 		fmt.Printf("wal: recovered snapshot@%d + %d records from %s\n",
 			rec.SnapshotSeq, len(rec.Records), *dataDir)
 	}
+	// Join the fleet after the journal is attached (the placement-ID
+	// namespace must be raised above what replay restored) and before
+	// serving (router and status hooks are read without locks once
+	// traffic starts).  All fleet chatter goes to stderr: a single-shard
+	// fleet daemon must be byte-identical on stdout to a plain one.
+	var fl *fleet.Fleet
+	if *fleetPath != "" {
+		var err error
+		fl, err = fleet.Start(fleetCfg, *shardName, srv, trms)
+		if err != nil {
+			fatalf("fleet: %v", err)
+		}
+		defer fl.Close()
+	}
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
 
 	fmt.Printf("gridtrustd listening on %s\n", bound)
+	if fl != nil {
+		gossip := fl.TrustAddr()
+		if gossip == "" {
+			gossip = "none (single shard)"
+		}
+		fmt.Fprintf(os.Stderr, "fleet: shard %s, %d member(s), trust gossip on %s\n",
+			*shardName, len(fleetCfg.Shards), gossip)
+	}
 	fmt.Printf("topology: %s, %d trust entries\n", grid.Summary(top), trms.Table().Len())
 
 	if *demo {

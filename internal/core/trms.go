@@ -89,6 +89,17 @@ type Placement struct {
 	Finish     float64
 }
 
+// OTLFuser folds externally learned trust into the offered trust level
+// the scheduler prices a machine at.  FuseOTL receives the local
+// table's OTL for (cd, rd, toa) and returns the level to use; a fleet
+// claims overlay returns min(local, freshest peer claims) — the
+// conservative max-trust-cost fusion — and implementations must never
+// return a level above local (remote optimism cannot outvote direct
+// experience).  FuseOTL is called concurrently and must be lock-cheap.
+type OTLFuser interface {
+	FuseOTL(cd, rd grid.DomainID, toa grid.ToA, local grid.TrustLevel) grid.TrustLevel
+}
+
 // TRMS is the trust-aware resource management system.  Its methods are
 // safe for concurrent use.
 type TRMS struct {
@@ -97,6 +108,11 @@ type TRMS struct {
 
 	table *grid.TrustTable
 	model trust.Model
+
+	// fuser, when non-nil, adjusts per-machine OTLs on the submit path.
+	// Installed once before the TRMS takes traffic (SetOTLFuser); nil
+	// keeps the submit path byte-for-byte identical to a fuser-free TRMS.
+	fuser OTLFuser
 
 	txCh   chan trust.Transaction
 	agents []*trust.Agent
@@ -249,6 +265,12 @@ func activityByName(name string) (grid.Activity, bool) {
 	return 0, false
 }
 
+// SetOTLFuser installs an OTL fusion hook (e.g. a fleet claims overlay).
+// Call it once, before the TRMS takes traffic: Submit reads the hook
+// without synchronisation, relying on the happens-before edge of
+// starting the serving goroutines afterwards.
+func (t *TRMS) SetOTLFuser(f OTLFuser) { t.fuser = f }
+
 // Table exposes the live trust-level table (read it, snapshot it; direct
 // writes are legal and mirror out-of-band administrative overrides).
 func (t *TRMS) Table() *grid.TrustTable { return t.table }
@@ -355,6 +377,9 @@ func (t *TRMS) Submit(task Task, now float64) (*Placement, error) {
 		otl, err := snap.OTL(cd.ID, rd.ID, task.ToA)
 		if err != nil {
 			return nil, err
+		}
+		if t.fuser != nil {
+			otl = t.fuser.FuseOTL(cd.ID, rd.ID, task.ToA, otl)
 		}
 		tc, err := grid.TrustCostWith(t.cfg.ETSRule, task.RTL, rd.RTL, otl)
 		if err != nil {

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Defaults for the gossip cadence.  The staleness bound is deliberately
+// an order of magnitude above the interval: a peer has to miss many
+// consecutive gossip rounds before its claims stop influencing local
+// scheduling decisions.
+const (
+	DefaultGossipInterval = 100 * time.Millisecond
+	DefaultStalenessBound = 3 * time.Second
+	DefaultForwardAttempts = 4
+)
+
+// ShardConfig names one fleet member and its two listen addresses: Addr
+// serves rmswire (clients and peer forwarding), TrustAddr serves the
+// trustwire replica protocol (peer gossip).
+type ShardConfig struct {
+	Name      string `json:"name"`
+	Addr      string `json:"addr"`
+	TrustAddr string `json:"trust_addr"`
+}
+
+// Config is the static fleet description every shard, gridctl and
+// gridload load from the same file (configs/fleet.json).  The member
+// list is the ring: changing it is a topology change and requires a
+// rolling restart.
+type Config struct {
+	// Shards lists the fleet members.  Order fixes each shard's index,
+	// which namespaces its placement ids (id >> rmswire.ShardIDShift),
+	// so reordering a live fleet's config is a breaking change; adding
+	// or removing members at the end is not.
+	Shards []ShardConfig `json:"shards"`
+
+	// VNodes is the virtual-node count per shard (0 = DefaultVNodes).
+	VNodes int `json:"vnodes,omitempty"`
+
+	// GossipIntervalMS is the per-peer trust gossip poll interval.
+	GossipIntervalMS int64 `json:"gossip_interval_ms,omitempty"`
+
+	// StalenessBoundMS bounds how old a peer's last successful gossip
+	// sync may be before its claims are ignored by the scheduler.
+	StalenessBoundMS int64 `json:"staleness_bound_ms,omitempty"`
+
+	// ForwardAttempts bounds transport-level retries when forwarding a
+	// mis-routed request to its owning shard (0 = DefaultForwardAttempts).
+	ForwardAttempts int `json:"forward_attempts,omitempty"`
+}
+
+// GossipInterval resolves the poll interval.
+func (c Config) GossipInterval() time.Duration {
+	if c.GossipIntervalMS <= 0 {
+		return DefaultGossipInterval
+	}
+	return time.Duration(c.GossipIntervalMS) * time.Millisecond
+}
+
+// StalenessBound resolves the claim staleness bound.
+func (c Config) StalenessBound() time.Duration {
+	if c.StalenessBoundMS <= 0 {
+		return DefaultStalenessBound
+	}
+	return time.Duration(c.StalenessBoundMS) * time.Millisecond
+}
+
+// Names returns the shard names in config order (the ring members).
+func (c Config) Names() []string {
+	out := make([]string, len(c.Shards))
+	for i, s := range c.Shards {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Index returns the config-order index of the named shard, or -1.
+func (c Config) Index(name string) int {
+	for i, s := range c.Shards {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the member list for structural problems.
+func (c Config) Validate() error {
+	if len(c.Shards) == 0 {
+		return fmt.Errorf("fleet: config has no shards")
+	}
+	names := make(map[string]struct{}, len(c.Shards))
+	addrs := make(map[string]struct{}, 2*len(c.Shards))
+	for i, s := range c.Shards {
+		if s.Name == "" {
+			return fmt.Errorf("fleet: shard %d has no name", i)
+		}
+		if s.Addr == "" {
+			return fmt.Errorf("fleet: shard %q has no addr", s.Name)
+		}
+		if _, dup := names[s.Name]; dup {
+			return fmt.Errorf("fleet: duplicate shard name %q", s.Name)
+		}
+		names[s.Name] = struct{}{}
+		for _, a := range []string{s.Addr, s.TrustAddr} {
+			if a == "" {
+				continue
+			}
+			if _, dup := addrs[a]; dup {
+				return fmt.Errorf("fleet: address %s used twice", a)
+			}
+			addrs[a] = struct{}{}
+		}
+		// Gossip needs a trust address on every member of a multi-shard
+		// fleet; a single-shard "fleet" has no peers to gossip with.
+		if len(c.Shards) > 1 && s.TrustAddr == "" {
+			return fmt.Errorf("fleet: shard %q has no trust_addr (required with peers)", s.Name)
+		}
+	}
+	return nil
+}
+
+// LoadConfig reads and validates a fleet config file.
+func LoadConfig(path string) (Config, error) {
+	var c Config
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, fmt.Errorf("fleet: %w", err)
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("fleet: parse %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return c, fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,135 @@
+// Package fleet shards the trust-aware RMS across N cooperating
+// gridtrustd daemons: a deterministic consistent-hash ring partitions
+// client domains across shards, mis-routed submits and reports are
+// forwarded to the owning shard over rmswire (exactly-once, anchored on
+// the same idempotency machinery client retries use), and every shard
+// gossips its trust-table deltas to its peers over the trustwire replica
+// protocol.  Remotely learned trust enters scheduling decisions only as
+// bounded-staleness *claims*, fused conservatively with the local table
+// (max trust cost wins, the modelView rule), so a peer's optimism can
+// never raise trust above what local direct experience holds.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gridtrust/internal/grid"
+)
+
+// DefaultVNodes is the virtual-node count per shard when the fleet
+// config leaves it zero.  128 points per member keeps the largest/
+// smallest ownership share within a few percent of fair for small
+// fleets (see TestRingBalance).
+const DefaultVNodes = 128
+
+// Ring is a deterministic consistent-hash ring with virtual nodes.
+// Ownership depends only on the member names and the vnode count —
+// never on member order or process state — so every shard, the load
+// driver and gridctl independently compute identical routing tables.
+type Ring struct {
+	vnodes  int
+	members []string // config order, for index-based lookups
+	points  []ringPoint
+}
+
+// ringPoint is one virtual node: a hash position owned by a member.
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// NewRing builds a ring over the given member names.  Names must be
+// unique and non-empty; vnodes <= 0 selects DefaultVNodes.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("fleet: empty member name")
+		}
+		if _, dup := seen[m]; dup {
+			return nil, fmt.Errorf("fleet: duplicate member %q", m)
+		}
+		seen[m] = struct{}{}
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		members: append([]string(nil), members...),
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+	}
+	for i, m := range members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashString(fmt.Sprintf("%s#%d", m, v)),
+				member: i,
+			})
+		}
+	}
+	// Tie-break equal hashes on member name so ownership is independent
+	// of config order (hash collisions are astronomically unlikely for
+	// realistic fleets, but determinism must not hinge on luck).
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		return r.members[pa.member] < r.members[pb.member]
+	})
+	return r, nil
+}
+
+// Members returns the member names in config order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// OwnerIndex returns the config-order index of the member owning key.
+func (r *Ring) OwnerIndex(key string) int {
+	h := hashString(key)
+	// First point clockwise from h, wrapping to points[0].
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Owner returns the name of the member owning key.
+func (r *Ring) Owner(key string) string { return r.members[r.OwnerIndex(key)] }
+
+// CDKey is the ring key for a client domain: the partition unit of the
+// fleet.  Every client in a CD routes to the CD's owner, so the owning
+// shard both places that domain's tasks and accumulates its direct
+// trust experience.
+func CDKey(cd grid.DomainID) string { return fmt.Sprintf("cd:%d", cd) }
+
+// hashString is 64-bit FNV-1a pushed through a splitmix64 finalizer.
+// FNV alone clusters badly on the short, near-identical strings vnode
+// labels are ("s0#0", "s0#1", ...): neighbouring inputs land on
+// neighbouring ring positions and ownership shares drift far from
+// fair.  The finalizer's avalanche restores uniformity while staying
+// deterministic across processes and platforms.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Vigna): full-avalanche bijection
+// on uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

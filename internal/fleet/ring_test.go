@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("cd:%d", i)
+	}
+	return out
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(1000) {
+		if got := r.Owner(k); got != "solo" {
+			t.Fatalf("Owner(%q) = %q, want solo", k, got)
+		}
+	}
+}
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"s0", "s1", "s2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"s2", "s0", "s1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(5000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("ownership of %q depends on member order: %q vs %q",
+				k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance is the balance property: with enough virtual nodes,
+// every member owns a share of a large keyspace within a loose band of
+// fair.  The band is deliberately wide (half to 1.6x fair) — consistent
+// hashing trades perfect balance for minimal movement.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("shard-%d", i)
+		}
+		r, err := NewRing(members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const total = 20000
+		counts := make(map[string]int)
+		for _, k := range keys(total) {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(total) / float64(n)
+		for _, m := range members {
+			share := float64(counts[m])
+			if share < 0.5*fair || share > 1.6*fair {
+				t.Errorf("%d members: %s owns %d keys, fair %.0f (outside [0.5, 1.6]x)",
+					n, m, counts[m], fair)
+			}
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyToNewMember is the minimal-movement property for
+// joins: adding a member may move a key only *to* the new member; no
+// key migrates between surviving members.
+func TestRingJoinMovesOnlyToNewMember(t *testing.T) {
+	before, err := NewRing([]string{"s0", "s1", "s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	ks := keys(20000)
+	for _, k := range ks {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob != oa {
+			moved++
+			if oa != "s3" {
+				t.Fatalf("join moved %q from %q to surviving member %q", k, ob, oa)
+			}
+		}
+	}
+	// The new member must take roughly its fair share (1/4), not nothing
+	// and not everything.
+	if moved == 0 || moved > len(ks)/2 {
+		t.Fatalf("join moved %d of %d keys; want a fair fraction", moved, len(ks))
+	}
+}
+
+// TestRingLeaveMovesOnlyDepartedKeys is minimal movement for leaves:
+// removing a member moves only the keys it owned; every key owned by a
+// survivor stays put.
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	before, err := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"s0", "s1", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(20000) {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob != "s2" && ob != oa {
+			t.Fatalf("leave moved %q owned by survivor %q to %q", k, ob, oa)
+		}
+		if ob == "s2" && oa == "s2" {
+			t.Fatalf("departed member still owns %q", k)
+		}
+	}
+}
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}

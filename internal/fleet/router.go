@@ -1,0 +1,308 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridtrust/internal/grid"
+	"gridtrust/internal/metrics"
+	"gridtrust/internal/rmswire"
+)
+
+const (
+	// forwardDialTimeout bounds connecting to a peer shard.  A crashed
+	// peer refuses instantly; a blackholed one must not hold an
+	// admission slot on the entry shard for long.
+	forwardDialTimeout = 1 * time.Second
+
+	// forwardOpTimeout bounds one forwarded request end to end.
+	forwardOpTimeout = 5 * time.Second
+
+	// forwardRetryAfter is the backoff hint on a synthesized
+	// StatusOverloaded when forwarding is exhausted: the client's
+	// retrier waits this long, then retries the same idempotency key
+	// through the same entry shard.
+	forwardRetryAfter = 50 * time.Millisecond
+)
+
+// routerPeerMetrics are the per-peer forward counters (nil handles for
+// the self slot, which is never forwarded to).
+type routerPeerMetrics struct {
+	ok       *metrics.Counter // relayed StatusOK responses
+	relayErr *metrics.Counter // relayed error/overloaded responses
+	fail     *metrics.Counter // forwarding exhausted, retryable synthesized
+	failover *metrics.Counter // served locally after proven-unreachable owner
+}
+
+// router implements rmswire.Router: it decides, per request, whether
+// this shard owns the key and — when it does not — relays the request
+// to the owning shard over a cached rmswire connection.
+//
+// Ownership:
+//
+//   - submits hash the client's CD onto the ring (all of a client
+//     domain's direct experience accumulates on one shard, so the
+//     per-CD trust trajectory is exactly the single-daemon one);
+//   - reports are routed by the placement ID's embedded shard index
+//     (rmswire.ShardIDShift), statelessly — whichever shard minted the
+//     placement owns its outcome.
+//
+// Exactly-once across forwarding: the original idempotency key rides
+// the forwarded frame, so forward-level retries dedupe at the owner
+// exactly like client-level retries dedupe at a single daemon.  The
+// one genuinely dangerous transition is failover — serving a key
+// locally because the owner is down.  That is allowed only when this
+// router can prove the owner never saw the key: every attempt this op
+// failed at dial time (or on a connection already broken before
+// anything was written), and no earlier op ever put the key on the
+// wire toward a peer (the forwarded set below).  Anything else is
+// ambiguous, and ambiguity surfaces to the client as a retryable
+// overload so the retry funnels back through this same entry shard —
+// where either the local idempotency table (if we failed over) or the
+// owner's (if the forward landed) resolves it to the original
+// placement.  The guarantee is therefore per entry shard: a client
+// must retry a key through the shard it first submitted it to, which
+// is what the load driver's pinned workers do.
+type router struct {
+	self     string
+	selfIdx  int
+	ring     *Ring
+	shards   []ShardConfig
+	attempts int
+
+	// clientCD resolves a wire client ID to its owning CD; built once
+	// from the topology so routing never takes the scheduler lock.
+	clientCD map[int]grid.DomainID
+
+	forwardNS *metrics.Histogram
+	peerM     []routerPeerMetrics
+
+	// instance+fwdSeq generate idempotency keys for keyless forwarded
+	// submits, unique per entry-shard process lifetime.
+	instance int64
+	fwdSeq   atomic.Uint64
+
+	mu        sync.Mutex
+	conns     map[int]*rmswire.Client
+	forwarded map[string]struct{} // keys that may have reached a peer
+}
+
+func newRouter(cfg Config, selfIdx int, ring *Ring, topo *grid.Topology, reg *metrics.Registry) *router {
+	r := &router{
+		self:      cfg.Shards[selfIdx].Name,
+		selfIdx:   selfIdx,
+		ring:      ring,
+		shards:    cfg.Shards,
+		attempts:  cfg.ForwardAttempts,
+		clientCD:  make(map[int]grid.DomainID, len(topo.Clients())),
+		forwardNS: reg.Histogram(MetricForwardNS),
+		peerM:     make([]routerPeerMetrics, len(cfg.Shards)),
+		instance:  time.Now().UnixNano(),
+		conns:     make(map[int]*rmswire.Client),
+		forwarded: make(map[string]struct{}),
+	}
+	for _, c := range topo.Clients() {
+		r.clientCD[int(c.ID)] = c.CD
+	}
+	for i, s := range cfg.Shards {
+		if i == selfIdx {
+			continue
+		}
+		r.peerM[i] = routerPeerMetrics{
+			ok:       reg.Counter(metricForwardOK(s.Name)),
+			relayErr: reg.Counter(metricForwardErr(s.Name)),
+			fail:     reg.Counter(metricForwardFail(s.Name)),
+			failover: reg.Counter(metricFailover(s.Name)),
+		}
+	}
+	return r
+}
+
+// Route implements rmswire.Router.
+func (r *router) Route(req rmswire.Request) (rmswire.Response, bool) {
+	switch req.Op {
+	case rmswire.OpSubmit:
+		cd, ok := r.clientCD[req.Client]
+		if !ok {
+			// Unknown client: let the local submit path produce the
+			// canonical error.
+			return rmswire.Response{}, false
+		}
+		idx := r.ring.OwnerIndex(CDKey(cd))
+		if idx == r.selfIdx {
+			return rmswire.Response{}, false
+		}
+		if req.IdemKey == "" {
+			// Give keyless submits a forward-scoped key so transport
+			// retries inside forward() stay exactly-once at the owner.
+			// Client-level retries of keyless submits mint fresh keys
+			// and accept double-place risk, exactly as on one daemon.
+			req.IdemKey = fmt.Sprintf("fwd-%s-%d-%d", r.self, r.instance, r.fwdSeq.Add(1))
+		}
+		return r.forward(idx, req, true)
+	case rmswire.OpReport:
+		idx := int(req.PlacementID >> rmswire.ShardIDShift)
+		if idx == r.selfIdx {
+			return rmswire.Response{}, false
+		}
+		if idx >= len(r.shards) {
+			return rmswire.Response{
+				Status: rmswire.StatusError,
+				Error:  fmt.Sprintf("placement %d names shard index %d outside the %d-shard ring", req.PlacementID, idx, len(r.shards)),
+			}, true
+		}
+		return r.forward(idx, req, false)
+	}
+	return rmswire.Response{}, false
+}
+
+// forward relays req to the shard at idx.  submit enables failover
+// bookkeeping (reports are never failed over: only the minting shard
+// can apply an outcome).
+func (r *router) forward(idx int, req rmswire.Request, submit bool) (rmswire.Response, bool) {
+	peer := r.shards[idx]
+	pm := r.peerM[idx]
+	req.Forwarded = true
+
+	var prior bool
+	if submit {
+		// Record the key as possibly-delivered *before* the first
+		// attempt, and learn whether any earlier op already did.  The
+		// set is append-only: once a key may have reached a peer,
+		// failover for it is forbidden forever (the peer may hold its
+		// placement durably even across its own restarts).
+		r.mu.Lock()
+		_, prior = r.forwarded[req.IdemKey]
+		if !prior {
+			r.forwarded[req.IdemKey] = struct{}{}
+		}
+		r.mu.Unlock()
+	}
+
+	began := time.Now()
+	reached := false // any attempt this op may have touched the owner
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(forwardBackoff(attempt))
+		}
+		c, err := r.conn(idx)
+		if err != nil {
+			lastErr = err // dial failure: the owner saw nothing
+			continue
+		}
+		resp, err := c.RoundTrip(req)
+		if resp.Status != "" {
+			// A server frame came back — relay it verbatim.  Errors and
+			// overloads are the owner's to report; the client's retrier
+			// already understands all three statuses.
+			r.forwardNS.Observe(uint64(time.Since(began)))
+			if resp.Status == rmswire.StatusOK {
+				pm.ok.Inc()
+			} else {
+				pm.relayErr.Inc()
+			}
+			if resp.ConnClosing {
+				// The owner is closing the forward connection (drain,
+				// shed) — drop it so the next forward redials rather
+				// than relaying that onto the client's connection.
+				r.dropConn(idx, c)
+				resp.ConnClosing = false
+			}
+			return resp, true
+		}
+		if errors.Is(err, rmswire.ErrClientBroken) {
+			// The cached connection died under a previous op; nothing
+			// of this request was written.  Redial and retry.
+			r.dropConn(idx, c)
+			lastErr = err
+			continue
+		}
+		// Transport error mid-op: the owner may have executed the
+		// request and only the response was lost.  Ambiguous.
+		reached = true
+		lastErr = err
+		r.dropConn(idx, c)
+	}
+
+	if submit && !reached && !prior {
+		// Proven unreachable: every attempt ever made for this key
+		// failed before a byte reached the owner.  Serve locally — the
+		// placement journals here under the client's idempotency key,
+		// and the server consults its local table before routing, so
+		// retries replay from here instead of re-forwarding.
+		pm.failover.Inc()
+		return rmswire.Response{}, false
+	}
+	pm.fail.Inc()
+	return rmswire.Response{
+		Status:       rmswire.StatusOverloaded,
+		Error:        fmt.Sprintf("forward to shard %s (%s) failed: %v", peer.Name, peer.Addr, lastErr),
+		RetryAfterMS: forwardRetryAfter.Milliseconds(),
+	}, true
+}
+
+// forwardBackoff spaces forward retries: 5ms, 10ms, 20ms, ... capped at
+// 50ms.  Dial-refused failures burn through the schedule in tens of
+// milliseconds, so failover after a shard crash is near-immediate.
+func forwardBackoff(attempt int) time.Duration {
+	d := 5 * time.Millisecond << (attempt - 1)
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// conn returns a healthy cached client for the shard at idx, dialing a
+// fresh one when the cache is empty, broken, or server-closed.
+func (r *router) conn(idx int) (*rmswire.Client, error) {
+	r.mu.Lock()
+	if c, ok := r.conns[idx]; ok {
+		if !c.Broken() && !c.Closing() {
+			r.mu.Unlock()
+			return c, nil
+		}
+		delete(r.conns, idx)
+		defer c.Close()
+	}
+	r.mu.Unlock()
+
+	nc, err := rmswire.DialTimeout(r.shards[idx].Addr, forwardDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	nc.Timeout = forwardOpTimeout
+	r.mu.Lock()
+	if cur, ok := r.conns[idx]; ok && !cur.Broken() && !cur.Closing() {
+		// Lost a dial race; use the connection that won.
+		r.mu.Unlock()
+		_ = nc.Close()
+		return cur, nil
+	}
+	r.conns[idx] = nc
+	r.mu.Unlock()
+	return nc, nil
+}
+
+// dropConn evicts c from the cache (if still cached) and closes it.
+func (r *router) dropConn(idx int, c *rmswire.Client) {
+	r.mu.Lock()
+	if r.conns[idx] == c {
+		delete(r.conns, idx)
+	}
+	r.mu.Unlock()
+	_ = c.Close()
+}
+
+// close releases every cached peer connection.
+func (r *router) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for idx, c := range r.conns {
+		_ = c.Close()
+		delete(r.conns, idx)
+	}
+}

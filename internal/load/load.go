@@ -58,7 +58,16 @@ const burstSize = 8
 
 // Config parameterises one load run.  Zero values select defaults.
 type Config struct {
-	Addr    string
+	Addr string
+
+	// FleetAddrs, when non-empty, runs the driver against a sharded
+	// fleet: workers pin themselves round-robin to the listed shard
+	// addresses (the fleet's exactly-once guarantee is per entry shard,
+	// so a worker never migrates mid-run), health is probed from the
+	// first shard, and reconciliation sums the durable anchors across
+	// every shard instead of reading one daemon.  Addr is ignored.
+	FleetAddrs []string
+
 	Clients int           // concurrent workers (default 4)
 	Mode    string        // ModeClosed (default) or ModeOpen
 	Rate    float64       // open-loop target RPS (required for ModeOpen)
@@ -96,6 +105,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() (Config, error) {
+	if len(c.FleetAddrs) > 0 {
+		c.Addr = c.FleetAddrs[0]
+	}
 	if c.Addr == "" {
 		return c, fmt.Errorf("load: Addr required")
 	}
@@ -234,6 +246,12 @@ type Report struct {
 	DaemonBefore *rmswire.MetricsInfo `json:"daemon_before,omitempty"`
 	DaemonAfter  *rmswire.MetricsInfo `json:"daemon_after,omitempty"`
 
+	// Fleet runs carry the shard addresses and per-shard snapshots
+	// instead of the single-daemon pair above.
+	FleetAddrs   []string               `json:"fleet_addrs,omitempty"`
+	ShardsBefore []*rmswire.MetricsInfo `json:"shards_before,omitempty"`
+	ShardsAfter  []*rmswire.MetricsInfo `json:"shards_after,omitempty"`
+
 	Reconcile Reconcile `json:"reconcile"`
 }
 
@@ -294,9 +312,22 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	probe := rmswire.NewRetrier(cfg.retrierConfig(cfg.Seed ^ 0x9e3779b97f4a7c15))
-	defer probe.Close()
-	health, err := probe.Health()
+	// One probe per shard (one total outside fleet mode): the probes
+	// scrape the before/after metric snapshots reconciliation compares.
+	shardAddrs := cfg.FleetAddrs
+	if len(shardAddrs) == 0 {
+		shardAddrs = []string{cfg.Addr}
+	}
+	probes := make([]*rmswire.Retrier, len(shardAddrs))
+	for i, a := range shardAddrs {
+		probes[i] = rmswire.NewRetrier(cfg.retrierConfigAddr(a, cfg.Seed^(0x9e3779b97f4a7c15+uint64(i))))
+	}
+	defer func() {
+		for _, p := range probes {
+			p.Close()
+		}
+	}()
+	health, err := probes[0].Health()
 	if err != nil {
 		return nil, fmt.Errorf("load: health probe: %w", err)
 	}
@@ -304,18 +335,23 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("load: daemon reports empty topology (%d machines, %d clients)",
 			health.TopologyMachines, health.TopologyClients)
 	}
-	before, err := probe.Metrics()
-	if err != nil {
-		return nil, fmt.Errorf("load: metrics scrape: %w", err)
+	before := make([]*rmswire.MetricsInfo, len(probes))
+	for i, p := range probes {
+		if before[i], err = p.Metrics(); err != nil {
+			return nil, fmt.Errorf("load: metrics scrape (%s): %w", shardAddrs[i], err)
+		}
 	}
 
 	streams := rng.Streams(cfg.Seed, cfg.Clients+1)
 	workers := make([]*worker, cfg.Clients)
 	for i := range workers {
 		w := &worker{
-			id:        i,
-			clientID:  grid.ClientID(i % health.TopologyClients),
-			retrier:   rmswire.NewRetrier(cfg.retrierConfig(cfg.Seed + uint64(i)*0x1000)),
+			id:       i,
+			clientID: grid.ClientID(i % health.TopologyClients),
+			// Workers pin one entry shard for their whole run: the
+			// fleet's exactly-once story (forwarded keys, failover keys)
+			// is anchored on retries re-entering through the same shard.
+			retrier:   rmswire.NewRetrier(cfg.retrierConfigAddr(shardAddrs[i%len(shardAddrs)], cfg.Seed+uint64(i)*0x1000)),
 			src:       streams[i],
 			submitLat: &stats.Sample{},
 			reportLat: &stats.Sample{},
@@ -399,9 +435,11 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	after, err := probe.Metrics()
-	if err != nil {
-		return nil, fmt.Errorf("load: final metrics scrape: %w", err)
+	after := make([]*rmswire.MetricsInfo, len(probes))
+	for i, p := range probes {
+		if after[i], err = p.Metrics(); err != nil {
+			return nil, fmt.Errorf("load: final metrics scrape (%s): %w", shardAddrs[i], err)
+		}
 	}
 
 	rep := &Report{
@@ -446,15 +484,22 @@ func Run(cfg Config) (*Report, error) {
 	if n := submitAll.N(); n > 0 {
 		rep.SLOAttained = float64(sloAttained) / float64(n)
 	}
-	rep.DaemonBefore = before
-	rep.DaemonAfter = after
-	rep.Reconcile = reconcile(before, after, rep)
+	if len(cfg.FleetAddrs) > 0 {
+		rep.FleetAddrs = cfg.FleetAddrs
+		rep.ShardsBefore = before
+		rep.ShardsAfter = after
+		rep.Reconcile = reconcileFleet(before, after, rep)
+	} else {
+		rep.DaemonBefore = before[0]
+		rep.DaemonAfter = after[0]
+		rep.Reconcile = reconcile(before[0], after[0], rep)
+	}
 	return rep, nil
 }
 
-func (c Config) retrierConfig(seed uint64) rmswire.RetrierConfig {
+func (c Config) retrierConfigAddr(addr string, seed uint64) rmswire.RetrierConfig {
 	return rmswire.RetrierConfig{
-		Addr:        c.Addr,
+		Addr:        addr,
 		MaxAttempts: c.MaxAttempts,
 		BaseBackoff: c.BaseBackoff,
 		MaxBackoff:  c.MaxBackoff,
@@ -649,9 +694,86 @@ func reconcile(before, after *rmswire.MetricsInfo, rep *Report) Reconcile {
 	return rec
 }
 
+// reconcileFleet cross-checks client totals against the whole fleet.
+// Every logical placement lives on exactly one shard — the ring owner,
+// or the entry shard after a proven-safe failover — so the durable
+// anchors must balance when *summed* across shards, and that holds even
+// through a mid-run SIGKILL + restart of any shard (each shard's gauges
+// are restored from its own WAL).  Volatile counter checks additionally
+// require that no shard restarted.  The overload-equality check is
+// skipped outright: the forwarding layer both relays owners' overload
+// frames and synthesizes its own retryable overloads when a peer is
+// unreachable, so per-shard overload counters and the client's view
+// legitimately disagree.
+func reconcileFleet(before, after []*rmswire.MetricsInfo, rep *Report) Reconcile {
+	rec := Reconcile{OK: true}
+	for i := range before {
+		if after[i].StartUnixNanos != before[i].StartUnixNanos {
+			rec.DaemonRestarted = true
+		}
+	}
+	sumGaugeDelta := func(name string) int64 {
+		var d int64
+		for i := range before {
+			d += after[i].Gauges[name] - before[i].Gauges[name]
+		}
+		return d
+	}
+	sumCounterDelta := func(name string) int64 {
+		var d int64
+		for i := range before {
+			d += int64(after[i].Counters[name]) - int64(before[i].Counters[name])
+		}
+		return d
+	}
+	add := func(name string, got, want int64, skipped bool, note string) {
+		ok := skipped || got == want
+		if !ok {
+			rec.OK = false
+		}
+		rec.Checks = append(rec.Checks, Check{
+			Name: name, Got: got, Want: want, OK: got == want, Skipped: skipped, Note: note,
+		})
+	}
+	if rep.Unresolved > 0 {
+		rec.OK = false
+		rec.Checks = append(rec.Checks, Check{
+			Name: "settle", Got: rep.Unresolved, Want: 0, OK: false,
+			Note: "keys still ambiguous after the settle pass; placement accounting is not exact",
+		})
+	}
+
+	add("fleet placed_delta == submits_ok",
+		sumGaugeDelta(rmswire.MetricPlaced), rep.SubmitsOK, false,
+		"durable, summed across shards: each key placed on exactly one shard")
+	add("fleet idem_entries_delta == submits_ok",
+		sumGaugeDelta(rmswire.MetricIdemEntries), rep.SubmitsOK, false,
+		"durable, summed across shards: every key recorded exactly once fleet-wide")
+	add("fleet open_placements_delta == submits_ok - reports_ok",
+		sumGaugeDelta(rmswire.MetricOpenPlacements), rep.SubmitsOK-rep.ReportsOK, false,
+		"durable, summed across shards: reports route to whichever shard placed")
+
+	restarted := rec.DaemonRestarted
+	note := ""
+	if restarted {
+		note = "skipped: a shard restarted between scrapes, counters reset"
+	}
+	add("fleet placements_total_delta == submits_ok",
+		sumCounterDelta(rmswire.MetricPlacements), rep.SubmitsOK, restarted, note)
+	add("fleet report_ok_delta == reports_ok",
+		sumCounterDelta(rmswire.MetricReportOK), rep.ReportsOK, restarted, note)
+	add("overload_replies_delta == client_overloads",
+		sumCounterDelta(rmswire.MetricOverloadReplies), int64(rep.Retrier.Overloads), true,
+		"skipped: forwarding relays and synthesizes overloads, so shard and client counts differ by design")
+	return rec
+}
+
 // Text renders the report for humans.
 func (r *Report) Text() string {
 	var b strings.Builder
+	if len(r.FleetAddrs) > 0 {
+		fmt.Fprintf(&b, "fleet: %d shard(s), workers pinned round-robin\n", len(r.FleetAddrs))
+	}
 	fmt.Fprintf(&b, "mode %s, %d clients", r.Mode, r.Clients)
 	if r.Mode == ModeOpen {
 		fmt.Fprintf(&b, ", %s arrivals @ %.0f rps target", r.Arrival, r.TargetRPS)

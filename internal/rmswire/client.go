@@ -108,6 +108,13 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	return resp, nil
 }
 
+// RoundTrip sends one raw request frame and returns the decoded
+// response.  Fleet forwarders use it to relay a client's request to the
+// owning shard verbatim (Forwarded flag and all) and pass the owner's
+// response back unchanged: for application errors and overload the
+// returned Response is still populated alongside the non-nil error.
+func (c *Client) RoundTrip(req Request) (Response, error) { return c.roundTrip(req) }
+
 // Broken reports whether the connection desynchronized and the client
 // must be replaced.
 func (c *Client) Broken() bool {
@@ -223,4 +230,17 @@ func (c *Client) Metrics() (*MetricsInfo, error) {
 func (c *Client) Drain() error {
 	_, err := c.roundTrip(Request{Op: OpDrain})
 	return err
+}
+
+// Fleet fetches the shard's fleet view (ring membership, per-peer gossip
+// state).  It fails with a server error on a daemon not run with -fleet.
+func (c *Client) Fleet() (*FleetInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpFleet})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Fleet == nil {
+		return nil, fmt.Errorf("rmswire: fleet response missing info")
+	}
+	return resp.Fleet, nil
 }

@@ -41,7 +41,19 @@ const (
 	OpHealth     = "health"
 	OpDrain      = "drain"
 	OpMetrics    = "metrics"
+	// OpFleet reports the shard's fleet view (ring membership, per-peer
+	// gossip state).  Like health it bypasses admission; it answers
+	// StatusError on a daemon running without -fleet.
+	OpFleet = "fleet"
 )
+
+// ShardIDShift namespaces placement ids in a fleet: shard k issues ids
+// with k in the bits at and above the shift, so any shard can route an
+// outcome report to the owner with id >> ShardIDShift — statelessly,
+// even for placements created before a restart.  A non-fleet daemon
+// issues ids from 0 and is shard 0 by construction.  48 low bits leave
+// room for ~2.8e14 placements per shard before namespaces could touch.
+const ShardIDShift = 48
 
 // Metric names served by the metrics op.  Exported so the load driver
 // and tests reconcile against the same strings the server maintains.
@@ -146,6 +158,12 @@ type Request struct {
 
 	// Shared simulated-time stamp.
 	Now float64 `json:"now,omitempty"`
+
+	// Forwarded marks a shard-to-shard forward in a fleet: the receiving
+	// shard executes it locally even if its ring view disagrees, which
+	// terminates any possible forwarding loop at one hop.  Clients never
+	// set it; non-fleet daemons ignore it.
+	Forwarded bool `json:"fwd,omitempty"`
 }
 
 // PlacementInfo is the wire form of a core.Placement.
@@ -219,6 +237,51 @@ type MetricsInfo struct {
 	StartUnixNanos int64 `json:"start_unix_nanos"`
 }
 
+// FleetInfo is the payload of the fleet op: this shard's identity, its
+// ring view, and the gossip state it holds about every peer.  gridctl
+// aggregates it across shards for fleet-wide health and convergence
+// checks (shard i's view of peer j has converged when its synced
+// version equals j's own TableVersion).
+type FleetInfo struct {
+	Shard      string   `json:"shard"`
+	ShardIndex int      `json:"shard_index"`
+	Members    []string `json:"members"`
+	VNodes     int      `json:"vnodes"`
+
+	// CDs is the number of client domains in the topology — the ring's
+	// key space (tooling dumps ownership for cd 0..CDs-1).
+	CDs int `json:"cds"`
+
+	// TableVersion/TableEntries describe the local authoritative table —
+	// the state peers replicate.
+	TableVersion uint64 `json:"table_version"`
+	TableEntries int    `json:"table_entries"`
+
+	GossipIntervalMS int64 `json:"gossip_interval_ms"`
+	StalenessBoundMS int64 `json:"staleness_bound_ms"`
+
+	Peers []FleetPeerInfo `json:"peers,omitempty"`
+}
+
+// FleetPeerInfo is one peer's gossip state as seen from this shard.
+type FleetPeerInfo struct {
+	Name      string `json:"name"`
+	Addr      string `json:"addr"`
+	TrustAddr string `json:"trust_addr,omitempty"`
+
+	// Version/Entries describe the last claim set applied from this
+	// peer; AgeMS is how long ago that sync succeeded (-1 = never).
+	// Stale reports whether the claims have outlived the staleness
+	// bound and are currently ignored by the scheduler.
+	Version uint64 `json:"version"`
+	Entries int    `json:"entries"`
+	AgeMS   int64  `json:"age_ms"`
+	Stale   bool   `json:"stale"`
+
+	Syncs      uint64 `json:"syncs"`
+	SyncErrors uint64 `json:"sync_errors"`
+}
+
 // Response is one server response frame.
 type Response struct {
 	Status     string          `json:"status"` // "ok" | "error" | "overloaded"
@@ -228,6 +291,7 @@ type Response struct {
 	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
 	Health     *HealthInfo     `json:"health,omitempty"`
 	Metrics    *MetricsInfo    `json:"metrics,omitempty"`
+	Fleet      *FleetInfo      `json:"fleet,omitempty"`
 
 	// RetryAfterMS accompanies StatusOverloaded: the server's hint for how
 	// long a well-behaved client should back off before retrying.

@@ -52,6 +52,17 @@ type Server struct {
 	// responses; 0 selects DefaultRetryAfter.
 	RetryAfter time.Duration
 
+	// Router, when non-nil, sees every submit and report before local
+	// execution (after admission, outside the journal lock) and may
+	// execute it on another shard.  Requests already marked Forwarded
+	// bypass it, so rings that momentarily disagree cannot loop a
+	// request.  Set before ListenAndServe.
+	Router Router
+
+	// FleetStatus, when non-nil, serves the fleet op (admission-free,
+	// like health).  Set before ListenAndServe.
+	FleetStatus func() *FleetInfo
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -97,6 +108,16 @@ type Server struct {
 	// request handling never takes the registry lock.
 	reg *metrics.Registry
 	sm  serverMetrics
+}
+
+// Router decides whether a request belongs elsewhere.  Route returns
+// (response, true) when it executed the request on another shard — the
+// response is relayed to the client verbatim — or (zero, false) when
+// the request is local (including deliberate failover after the owner
+// proved unreachable).  Implementations must not call back into the
+// server they are attached to.
+type Router interface {
+	Route(req Request) (Response, bool)
 }
 
 // serverMetrics caches registry handles used on the request path.
@@ -168,6 +189,21 @@ func NewServer(trms *core.TRMS) (*Server, error) {
 // Metrics exposes the server's registry so the owning process can hang
 // its own instruments (e.g. WAL batch sizes) off the same scrape.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// SetNextIDBase raises the placement-id counter to at least base,
+// namespacing this server's ids in a fleet (shard k passes
+// k << ShardIDShift).  Call after AttachJournal — replayed ids from an
+// earlier fleet run already carry the namespace and must not be
+// lowered — and before serving.  Shard 0's base is zero, which keeps a
+// single-shard fleet's ids (and hence its WAL) byte-identical to a
+// non-fleet daemon's.
+func (s *Server) SetNextIDBase(base uint64) {
+	s.mu.Lock()
+	if s.nextID < base {
+		s.nextID = base
+	}
+	s.mu.Unlock()
+}
 
 // ListenAndServe binds addr and serves in the background, returning the
 // bound address.
@@ -403,6 +439,8 @@ func (s *Server) respond(req Request) Response {
 		return s.handleDrain()
 	case OpCheckpoint:
 		return s.handleCheckpoint()
+	case OpFleet:
+		return s.handleFleet()
 	}
 	s.sm.requests.Inc()
 	if s.draining.Load() {
@@ -414,6 +452,21 @@ func (s *Server) respond(req Request) Response {
 		return s.overloaded(fmt.Sprintf("in-flight limit %d reached", s.MaxInFlight))
 	}
 	defer s.release()
+	// Fleet routing: a mis-routed submit or report is executed on its
+	// owning shard and the owner's response relayed verbatim.  Forwards
+	// hold an in-flight slot (they are real work this shard performs)
+	// but never touch the journal lock — nothing local is mutated.
+	// A submit key already in the local idempotency table is replayed
+	// here even if the ring says a peer owns it: the key was placed on
+	// this shard (typically by failover while the owner was down), and
+	// re-forwarding its retry would double-place it at the owner.
+	if s.Router != nil && !req.Forwarded && (req.Op == OpSubmit || req.Op == OpReport) {
+		if req.Op != OpSubmit || !s.idemKnown(req.IdemKey) {
+			if resp, handled := s.Router.Route(req); handled {
+				return resp
+			}
+		}
+	}
 	began := time.Now()
 	s.jmu.RLock()
 	var resp Response
@@ -433,6 +486,15 @@ func (s *Server) respond(req Request) Response {
 	s.jmu.RUnlock()
 	s.maybeCompact()
 	return resp
+}
+
+// handleFleet serves the shard's fleet view, admission-free like health
+// so fleet tooling can observe gossip state on a loaded shard.
+func (s *Server) handleFleet() Response {
+	if s.FleetStatus == nil {
+		return Response{Status: StatusError, Error: "daemon is not running in fleet mode"}
+	}
+	return Response{Status: StatusOK, Fleet: s.FleetStatus()}
 }
 
 // handleHealth reports readiness without touching admission: probes see a
@@ -537,6 +599,23 @@ func (s *Server) handleCheckpoint() Response {
 		return Response{Status: StatusError, Error: err.Error()}
 	}
 	return Response{Status: StatusOK, Checkpoint: info}
+}
+
+// idemKnown reports whether a submit key is already bound to this
+// shard: acknowledged (idem) or mid-first-attempt (idemPending).  The
+// routing hook consults it so fleet forwarding never re-forwards a key
+// this shard has durably placed.
+func (s *Server) idemKnown(key string) bool {
+	if key == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.idem[key]; ok {
+		return true
+	}
+	_, ok := s.idemPending[key]
+	return ok
 }
 
 func (s *Server) handleSubmit(req Request) Response {

@@ -80,7 +80,16 @@ func NewServer(table *grid.TrustTable, cds, rds, activities int) (*Server, error
 // Serve accepts connections on ln until Close.  It returns the accept
 // error that terminated the loop (net.ErrClosed after Close).
 func (s *Server) Serve(ln net.Listener) error {
+	// Publish the listener under the conn lock: Close may run from
+	// another goroutine before the first Accept returns.
+	s.connMu.Lock()
 	s.ln = ln
+	closed := s.closed.Load()
+	s.connMu.Unlock()
+	if closed {
+		_ = ln.Close()
+		return nil
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -121,10 +130,10 @@ func (s *Server) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	s.connMu.Lock()
 	if s.ln != nil {
 		_ = s.ln.Close()
 	}
-	s.connMu.Lock()
 	for c := range s.conns {
 		_ = c.Close()
 	}

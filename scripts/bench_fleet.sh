@@ -1,0 +1,108 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_fleet.json: the sharded-fleet serving benchmark.
+#
+# Two closed-loop capacity runs on the same host, same total client
+# count, fresh idempotency namespaces:
+#   single journalled daemon, 9 clients          -> baseline aggregate RPS
+#   3-shard fleet (ring + forwarding + gossip),  -> fleet aggregate RPS
+#     9 clients pinned round-robin across shards
+#
+# Every run reconciles client totals against daemon metrics (fleet-wide
+# summed durable anchors in the fleet run); gridload exits 3 on any
+# imbalance, which aborts this script.  The script itself fails unless
+# the fleet beats the single-daemon aggregate: each shard owns its own
+# WAL, so group-commit fsync waits overlap across shards even on one
+# core, and that win has to show up or the sharding is not paying rent.
+# After the timed run it also requires trust gossip to have converged
+# within the staleness bound.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DUR=${DUR:-5s}
+CLIENTS=${CLIENTS:-9}
+
+go build -o /tmp/gridtrust-bench-daemon ./cmd/gridtrustd
+go build -o /tmp/gridtrust-bench-gridctl ./cmd/gridctl
+go build -o /tmp/gridtrust-bench-gridload ./cmd/gridload
+
+bd=$(mktemp -d)
+trap 'kill $pids 2> /dev/null || true; rm -rf "$bd"; rm -f /tmp/gridtrust-bench-daemon /tmp/gridtrust-bench-gridctl /tmp/gridtrust-bench-gridload' EXIT
+pids=""
+
+# --- baseline: one journalled daemon -----------------------------------
+mkdir "$bd/base"
+/tmp/gridtrust-bench-daemon -addr 127.0.0.1:0 -data "$bd/base" > "$bd/logb" 2>&1 &
+bpid=$!
+pids="$bpid"
+addr=""
+i=0
+while [ -z "$addr" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    addr=$(sed -n 's/^gridtrustd listening on //p' "$bd/logb")
+    i=$((i + 1))
+done
+test -n "$addr"
+echo "bench-fleet: baseline, 1 daemon, $CLIENTS clients" >&2
+/tmp/gridtrust-bench-gridload -addr "$addr" -clients "$CLIENTS" -duration "$DUR" \
+    -seed 201 -key-prefix bf-base -format json > "$bd/base.json"
+kill "$bpid"
+wait "$bpid" 2> /dev/null || true
+pids=""
+
+# --- fleet: 3 shards, same total clients -------------------------------
+printf '%s\n' '{"shards":[' \
+    ' {"name":"s0","addr":"127.0.0.1:7451","trust_addr":"127.0.0.1:7454"},' \
+    ' {"name":"s1","addr":"127.0.0.1:7452","trust_addr":"127.0.0.1:7455"},' \
+    ' {"name":"s2","addr":"127.0.0.1:7453","trust_addr":"127.0.0.1:7456"}]}' > "$bd/fleet.json"
+for i in 0 1 2; do
+    mkdir "$bd/d$i"
+    /tmp/gridtrust-bench-daemon -fleet "$bd/fleet.json" -shard "s$i" -data "$bd/d$i" \
+        > "$bd/log$i" 2>&1 &
+    pids="$pids $!"
+done
+for i in 0 1 2; do
+    j=0
+    while ! grep -q "^gridtrustd listening on " "$bd/log$i" && [ "$j" -lt 100 ]; do
+        sleep 0.1
+        j=$((j + 1))
+    done
+    grep -q "^gridtrustd listening on " "$bd/log$i"
+done
+echo "bench-fleet: fleet, 3 shards, $CLIENTS clients pinned round-robin" >&2
+/tmp/gridtrust-bench-gridload -fleet "$bd/fleet.json" -clients "$CLIENTS" -duration "$DUR" \
+    -seed 202 -key-prefix bf-fleet -format json > "$bd/fleet-run.json"
+/tmp/gridtrust-bench-gridctl fleet gossip -config "$bd/fleet.json" -wait 10s > /dev/null
+/tmp/gridtrust-bench-gridctl fleet metrics -config "$bd/fleet.json" > "$bd/fleet-metrics.txt"
+kill $pids 2> /dev/null || true
+pids=""
+
+jq -n \
+    --arg go "$(go version | awk '{print $3}')" \
+    --arg dur "$DUR" \
+    --argjson cpus "$(nproc)" \
+    --argjson clients "$CLIENTS" \
+    --slurpfile base "$bd/base.json" \
+    --slurpfile fl "$bd/fleet-run.json" \
+    '{
+      benchmark: "3-shard gridtrustd fleet vs single journalled daemon (gridload closed loop)",
+      go: $go, cpus: $cpus, duration_per_run: $dur, clients: $clients,
+      note: "same host, same total client count; fleet run forwards mis-routed ops across shards, gossips trust claims, and reconciles durable anchors summed fleet-wide; each shard owns an independent WAL so group-commit fsync waits overlap",
+      headline: {
+        single_daemon_rps: ($base[0].throughput_rps),
+        fleet_rps: ($fl[0].throughput_rps),
+        fleet_speedup: ($fl[0].throughput_rps / $base[0].throughput_rps),
+        fleet_submit_p99_ms: ($fl[0].submit_latency.p99_ms)
+      },
+      runs: {
+        single_daemon: $base[0],
+        fleet_3_shards: $fl[0]
+      }
+    }' > BENCH_fleet.json
+
+echo "bench-fleet: wrote BENCH_fleet.json"
+jq '.headline' BENCH_fleet.json
+jq -e '.headline.fleet_speedup > 1' BENCH_fleet.json > /dev/null || {
+    echo "bench-fleet: FAIL: fleet did not beat the single-daemon aggregate" >&2
+    exit 1
+}

@@ -25,8 +25,8 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/..."
-go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/...
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/... ./internal/trustwire/... ./internal/fleet/...
 
 echo "==> fuzz smoke (every fuzz target, 5s each)"
 for spec in \
@@ -198,6 +198,76 @@ grep -q '"unresolved": 0' "$ld/run.json"
 wait "$dpid"
 grep -q "drained; exiting" "$ld/log2"
 rm -rf "$ld"
+
+echo "==> fleet single-shard byte-identity smoke (demo stdout + WAL must match non-fleet)"
+fd=$(mktemp -d)
+mkdir "$fd/plain" "$fd/fleet"
+printf '{"shards":[{"name":"s0","addr":"127.0.0.1:7469"}]}\n' > "$fd/solo.json"
+# Relative -data paths so the WAL recovery line prints the same path in
+# both runs; the runs are sequential so the fixed port never conflicts.
+(cd "$fd/plain" && /tmp/gridtrust-ci-daemon -addr 127.0.0.1:7469 -data data -demo) > "$fd/plain.out"
+(cd "$fd/fleet" && /tmp/gridtrust-ci-daemon -fleet "$fd/solo.json" -shard s0 -data data -demo) \
+    > "$fd/fleet.out" 2> "$fd/fleet.err"
+# Identical stdout (fleet chatter is stderr-only) and identical on-disk
+# state: shard 0's placement-ID namespace base is 0, so a single-shard
+# fleet journals byte-for-byte what a plain daemon journals.
+cmp "$fd/plain.out" "$fd/fleet.out"
+diff -r "$fd/plain/data" "$fd/fleet/data"
+grep -q "fleet: shard s0" "$fd/fleet.err"
+rm -rf "$fd"
+
+echo "==> fleet smoke (3 shards, mid-run SIGKILL+restart, fleet-wide books + gossip convergence)"
+fd=$(mktemp -d)
+mkdir "$fd/d0" "$fd/d1" "$fd/d2"
+printf '%s\n' '{"shards":[' \
+    ' {"name":"s0","addr":"127.0.0.1:7471","trust_addr":"127.0.0.1:7474"},' \
+    ' {"name":"s1","addr":"127.0.0.1:7472","trust_addr":"127.0.0.1:7475"},' \
+    ' {"name":"s2","addr":"127.0.0.1:7473","trust_addr":"127.0.0.1:7476"}],' \
+    ' "gossip_interval_ms":50,"staleness_bound_ms":5000}' > "$fd/fleet.json"
+for i in 0 1 2; do
+    /tmp/gridtrust-ci-daemon -fleet "$fd/fleet.json" -shard "s$i" -data "$fd/d$i" \
+        > "$fd/log$i" 2>&1 &
+    eval "dpid$i=\$!"
+done
+for i in 0 1 2; do
+    j=0
+    while ! grep -q "^gridtrustd listening on " "$fd/log$i" && [ "$j" -lt 100 ]; do
+        sleep 0.1
+        j=$((j + 1))
+    done
+    grep -q "^gridtrustd listening on " "$fd/log$i"
+done
+/tmp/gridtrust-ci-gridctl fleet health -config "$fd/fleet.json" | grep -q "s2"
+# gridload drives all three shards (workers pinned round-robin) and
+# exits 3 unless the durable anchors balance when summed fleet-wide —
+# including across the SIGKILL+restart of shard s1 below.
+/tmp/gridtrust-ci-gridload -fleet "$fd/fleet.json" -clients 6 -duration 3s \
+    -seed 43 -max-attempts 200 -op-timeout 2s -settle-timeout 30s \
+    -format json > "$fd/run.json" &
+lpid=$!
+sleep 1
+kill -KILL "$dpid1"
+wait "$dpid1" 2> /dev/null || true
+sleep 0.3
+/tmp/gridtrust-ci-daemon -fleet "$fd/fleet.json" -shard s1 -data "$fd/d1" \
+    > "$fd/log1b" 2>&1 &
+dpid1=$!
+wait "$lpid" # exit 0 = fleet-wide exactly-once reconciliation held
+grep -q '"daemon_restarted": true' "$fd/run.json"
+grep -q '"unresolved": 0' "$fd/run.json"
+# Trust gossip must reconverge after the churn: every shard's claim set
+# reaches every peer's current table version within the staleness bound.
+/tmp/gridtrust-ci-gridctl fleet gossip -config "$fd/fleet.json" -wait 10s | grep -q "converged"
+/tmp/gridtrust-ci-gridctl fleet ring -config "$fd/fleet.json" | grep -q "share: "
+/tmp/gridtrust-ci-gridctl fleet metrics -config "$fd/fleet.json" | grep -q "fleet total:"
+/tmp/gridtrust-ci-gridctl fleet drain -config "$fd/fleet.json" > /dev/null
+wait "$dpid0"
+wait "$dpid1"
+wait "$dpid2"
+grep -q "drained; exiting" "$fd/log0"
+grep -q "drained; exiting" "$fd/log1b"
+grep -q "drained; exiting" "$fd/log2"
+rm -rf "$fd"
 rm -f /tmp/gridtrust-ci-daemon /tmp/gridtrust-ci-gridctl /tmp/gridtrust-ci-gridload
 
 echo "==> sweep checkpoint-resume smoke (SIGINT, resume, diff)"
