@@ -12,8 +12,8 @@ import (
 // consecutive gossip rounds before its claims stop influencing local
 // scheduling decisions.
 const (
-	DefaultGossipInterval = 100 * time.Millisecond
-	DefaultStalenessBound = 3 * time.Second
+	DefaultGossipInterval  = 100 * time.Millisecond
+	DefaultStalenessBound  = 3 * time.Second
 	DefaultForwardAttempts = 4
 )
 
@@ -66,6 +66,14 @@ func (c Config) StalenessBound() time.Duration {
 		return DefaultStalenessBound
 	}
 	return time.Duration(c.StalenessBoundMS) * time.Millisecond
+}
+
+// MaxForwardAttempts resolves the forward retry budget.
+func (c Config) MaxForwardAttempts() int {
+	if c.ForwardAttempts <= 0 {
+		return DefaultForwardAttempts
+	}
+	return c.ForwardAttempts
 }
 
 // Names returns the shard names in config order (the ring members).

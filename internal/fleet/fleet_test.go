@@ -74,11 +74,21 @@ type testShard struct {
 // gossiping every 20ms with the given staleness bound.
 func startFleet(t *testing.T, n int, bound time.Duration) ([]*testShard, Config) {
 	t.Helper()
+	return startFleetCfg(t, n, bound, nil)
+}
+
+// startFleetCfg is startFleet with a hook to adjust the fleet config
+// knobs before any shard starts.
+func startFleetCfg(t *testing.T, n int, bound time.Duration, mutate func(*Config)) ([]*testShard, Config) {
+	t.Helper()
 	shards := make([]*testShard, n)
 	cfg := Config{
 		GossipIntervalMS: 20,
 		StalenessBoundMS: bound.Milliseconds(),
 		ForwardAttempts:  3,
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	for i := 0; i < n; i++ {
 		trms, err := core.New(core.Config{
@@ -307,6 +317,87 @@ func TestAmbiguouslyForwardedKeyNeverFailsOver(t *testing.T) {
 		if s.trms.Placed() != 0 {
 			t.Fatalf("shard %s placed an ambiguous key", s.name)
 		}
+	}
+}
+
+func TestZeroForwardAttemptsConfigStillForwards(t *testing.T) {
+	// Regression: the shipped fleet configs omit forward_attempts, so
+	// the router must resolve 0 to DefaultForwardAttempts.  Before the
+	// fix, attempts=0 meant the forward loop never ran and every
+	// mis-routed submit silently failed over onto the entry shard.
+	if got := (Config{}).MaxForwardAttempts(); got != DefaultForwardAttempts {
+		t.Fatalf("zero config MaxForwardAttempts() = %d, want %d", got, DefaultForwardAttempts)
+	}
+	shards, _ := startFleetCfg(t, 2, time.Second, func(c *Config) { c.ForwardAttempts = 0 })
+	if got := shards[0].fl.router.attempts; got != DefaultForwardAttempts {
+		t.Fatalf("router attempts = %d, want %d", got, DefaultForwardAttempts)
+	}
+	var c int
+	for c = 0; c < 4; c++ {
+		if ownerOf(shards, c) == 1 {
+			break
+		}
+	}
+	if c == 4 {
+		t.Skip("ring gave shard 1 no CDs (vnode layout)")
+	}
+	p, err := shards[0].client.SubmitKeyed("zero-attempts", grid.ClientID(c),
+		[]grid.Activity{grid.ActCompute}, grid.LevelE, []float64{100, 110, 120, 130}, 0)
+	if err != nil {
+		t.Fatalf("mis-routed submit with default attempts: %v", err)
+	}
+	if got := int(p.ID >> rmswire.ShardIDShift); got != 1 {
+		t.Fatalf("placement namespaced to shard %d, want ring owner 1 (forwarding disabled?)", got)
+	}
+	if s0, s1 := shards[0].trms.Placed(), shards[1].trms.Placed(); s0 != 0 || s1 != 1 {
+		t.Fatalf("placed s0=%d s1=%d, want the owner shard 1 to hold the placement", s0, s1)
+	}
+
+	// A mis-routed report must relay to the owner too (before the fix
+	// it synthesized StatusOverloaded forever).
+	if err := shards[0].client.Report(p.ID, 6, 1); err != nil {
+		t.Fatalf("mis-routed report with default attempts: %v", err)
+	}
+}
+
+func TestMintedForwardKeysAreNotRetained(t *testing.T) {
+	shards, _ := startFleet(t, 2, time.Second)
+	var c int
+	for c = 0; c < 4; c++ {
+		if ownerOf(shards, c) == 1 {
+			break
+		}
+	}
+	if c == 4 {
+		t.Skip("ring gave shard 1 no CDs (vnode layout)")
+	}
+	// Keyless mis-routed submits get router-minted idempotency keys; a
+	// client can never replay one, so the forwarded set must not grow
+	// (it would leak one entry per keyless submit for the process
+	// lifetime).  Client-supplied keys are the set's whole purpose and
+	// must be retained.
+	for i := 0; i < 3; i++ {
+		if _, err := shards[0].client.Submit(grid.ClientID(c),
+			[]grid.Activity{grid.ActCompute}, grid.LevelE, []float64{100, 110, 120, 130}, 0); err != nil {
+			t.Fatalf("keyless submit %d: %v", i, err)
+		}
+	}
+	r := shards[0].fl.router
+	r.mu.Lock()
+	n := len(r.forwarded)
+	r.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("forwarded set retained %d router-minted keys, want 0", n)
+	}
+	if _, err := shards[0].client.SubmitKeyed("sticky", grid.ClientID(c),
+		[]grid.Activity{grid.ActCompute}, grid.LevelE, []float64{100, 110, 120, 130}, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	_, kept := r.forwarded["sticky"]
+	r.mu.Unlock()
+	if !kept {
+		t.Fatal("client-supplied forwarded key was not retained")
 	}
 }
 

@@ -85,9 +85,19 @@ type router struct {
 	instance int64
 	fwdSeq   atomic.Uint64
 
-	mu        sync.Mutex
-	conns     map[int]*rmswire.Client
-	forwarded map[string]struct{} // keys that may have reached a peer
+	mu    sync.Mutex
+	conns map[int]*rmswire.Client
+
+	// forwarded remembers client-supplied idempotency keys that may
+	// have reached a peer, to forbid failover for them forever.  It
+	// only holds keys a later op could legally replay, i.e. client
+	// keys — router-minted fwd-* keys are unique per op and are never
+	// recorded.  Growth is one entry per distinct forwarded client key
+	// for the process lifetime: bounded by the client keyspace, which
+	// clients that reuse or rotate bounded key sets keep small.  A
+	// known limit, accepted because dropping an entry early would
+	// permit a double placement.
+	forwarded map[string]struct{}
 }
 
 func newRouter(cfg Config, selfIdx int, ring *Ring, topo *grid.Topology, reg *metrics.Registry) *router {
@@ -96,7 +106,7 @@ func newRouter(cfg Config, selfIdx int, ring *Ring, topo *grid.Topology, reg *me
 		selfIdx:   selfIdx,
 		ring:      ring,
 		shards:    cfg.Shards,
-		attempts:  cfg.ForwardAttempts,
+		attempts:  cfg.MaxForwardAttempts(),
 		clientCD:  make(map[int]grid.DomainID, len(topo.Clients())),
 		forwardNS: reg.Histogram(MetricForwardNS),
 		peerM:     make([]routerPeerMetrics, len(cfg.Shards)),
@@ -135,14 +145,16 @@ func (r *router) Route(req rmswire.Request) (rmswire.Response, bool) {
 		if idx == r.selfIdx {
 			return rmswire.Response{}, false
 		}
+		minted := false
 		if req.IdemKey == "" {
 			// Give keyless submits a forward-scoped key so transport
 			// retries inside forward() stay exactly-once at the owner.
 			// Client-level retries of keyless submits mint fresh keys
 			// and accept double-place risk, exactly as on one daemon.
 			req.IdemKey = fmt.Sprintf("fwd-%s-%d-%d", r.self, r.instance, r.fwdSeq.Add(1))
+			minted = true
 		}
-		return r.forward(idx, req, true)
+		return r.forward(idx, req, true, minted)
 	case rmswire.OpReport:
 		idx := int(req.PlacementID >> rmswire.ShardIDShift)
 		if idx == r.selfIdx {
@@ -154,26 +166,30 @@ func (r *router) Route(req rmswire.Request) (rmswire.Response, bool) {
 				Error:  fmt.Sprintf("placement %d names shard index %d outside the %d-shard ring", req.PlacementID, idx, len(r.shards)),
 			}, true
 		}
-		return r.forward(idx, req, false)
+		return r.forward(idx, req, false, false)
 	}
 	return rmswire.Response{}, false
 }
 
 // forward relays req to the shard at idx.  submit enables failover
 // bookkeeping (reports are never failed over: only the minting shard
-// can apply an outcome).
-func (r *router) forward(idx int, req rmswire.Request, submit bool) (rmswire.Response, bool) {
+// can apply an outcome); minted marks a router-generated idempotency
+// key, which no later op can ever replay.
+func (r *router) forward(idx int, req rmswire.Request, submit, minted bool) (rmswire.Response, bool) {
 	peer := r.shards[idx]
 	pm := r.peerM[idx]
 	req.Forwarded = true
 
 	var prior bool
-	if submit {
+	if submit && !minted {
 		// Record the key as possibly-delivered *before* the first
 		// attempt, and learn whether any earlier op already did.  The
 		// set is append-only: once a key may have reached a peer,
 		// failover for it is forbidden forever (the peer may hold its
-		// placement durably even across its own restarts).
+		// placement durably even across its own restarts).  Minted
+		// keys skip this: they are unique per op, so the within-op
+		// `reached` flag below is their entire failover proof and
+		// recording them would only leak an entry per keyless submit.
 		r.mu.Lock()
 		_, prior = r.forwarded[req.IdemKey]
 		if !prior {

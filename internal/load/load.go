@@ -68,10 +68,10 @@ type Config struct {
 	// every shard instead of reading one daemon.  Addr is ignored.
 	FleetAddrs []string
 
-	Clients int           // concurrent workers (default 4)
-	Mode    string        // ModeClosed (default) or ModeOpen
-	Rate    float64       // open-loop target RPS (required for ModeOpen)
-	Arrival string        // open-loop arrival process (default constant)
+	Clients  int           // concurrent workers (default 4)
+	Mode     string        // ModeClosed (default) or ModeOpen
+	Rate     float64       // open-loop target RPS (required for ModeOpen)
+	Arrival  string        // open-loop arrival process (default constant)
 	Duration time.Duration // timed phase length (default 5s)
 
 	// ReportFraction of successful placements receive an outcome report

@@ -29,7 +29,7 @@ func bucketIndex(v uint64) int {
 	if v < 4 {
 		return int(v)
 	}
-	o := bits.Len64(v)               // 3..64
+	o := bits.Len64(v)              // 3..64
 	sub := (v >> (uint(o) - 3)) & 3 // two bits after the leading one
 	return (o-3)*4 + int(sub) + 4
 }

@@ -153,10 +153,10 @@ type Engine struct {
 	relLive    []bool
 	relFree    []int32
 
-	out  [][]edge      // per from-entity, sorted by (to, ctx) index
-	in   [][]edge      // per to-entity, sorted by (from string, ctx)
-	rec  [][]recEdge   // per recommender, sorted by about index
-	ally [][]int32     // per entity, sorted ally index list
+	out  [][]edge    // per from-entity, sorted by (to, ctx) index
+	in   [][]edge    // per to-entity, sorted by (from string, ctx)
+	rec  [][]recEdge // per recommender, sorted by about index
+	ally [][]int32   // per entity, sorted ally index list
 }
 
 // edge is one adjacency entry: the far endpoint, the context and the

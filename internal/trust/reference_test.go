@@ -44,10 +44,10 @@ func newRefEngine(cfg Config) (*refEngine, error) {
 	return &refEngine{
 		cfg:     cfg,
 		noDecay: noDecay,
-		rels:  make(map[refRelKey]*refRelationship),
-		rec:   make(map[[2]EntityID]float64),
-		ally:  make(map[[2]EntityID]bool),
-		peers: make(map[EntityID]bool),
+		rels:    make(map[refRelKey]*refRelationship),
+		rec:     make(map[[2]EntityID]float64),
+		ally:    make(map[[2]EntityID]bool),
+		peers:   make(map[EntityID]bool),
 	}, nil
 }
 

@@ -16,6 +16,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
