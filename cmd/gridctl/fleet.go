@@ -98,8 +98,15 @@ func fleetStatus(cfg fleet.Config, timeout time.Duration) error {
 			if p.Stale {
 				state = "STALE"
 			}
-			fmt.Printf("  peer %-10s synced v%d (%d entries) %s [%s]  syncs=%d errors=%d\n",
-				p.Name, p.Version, p.Entries, age, state, p.Syncs, p.SyncErrors)
+			breaker := ""
+			if p.Breaker != "" {
+				breaker = fmt.Sprintf("  breaker=%s", p.Breaker)
+				if p.BreakerOpens > 0 {
+					breaker += fmt.Sprintf(" (opened %d, closed %d)", p.BreakerOpens, p.BreakerCloses)
+				}
+			}
+			fmt.Printf("  peer %-10s synced v%d (%d entries) %s [%s]  syncs=%d errors=%d%s\n",
+				p.Name, p.Version, p.Entries, age, state, p.Syncs, p.SyncErrors, breaker)
 		}
 		return nil
 	})

@@ -1,0 +1,217 @@
+// Package chaos injects deterministic, scripted faults at the two
+// boundaries the serving stack crosses: the wire (net.Conn/net.Listener
+// wrappers that drop, reset, black-hole, trickle and delay traffic —
+// see wire.go) and the disk (a wal.FS implementation that produces
+// short writes, failed fsyncs, ENOSPC and torn-tail "crashes" — this
+// file).
+//
+// Everything is seed-driven or explicitly scripted; nothing consults
+// the global math/rand state, so a failing soak replays byte-for-byte
+// from its seed.  The package is imported only by tests and the chaos
+// soak — production binaries never construct a chaos FS or Wire, and
+// the seams it plugs into (wal.Options.FS, fleet.Config.WrapListener)
+// default to zero-cost pass-throughs.
+package chaos
+
+import (
+	"io"
+	"os"
+	"sync"
+
+	"gridtrust/internal/wal"
+)
+
+// FS implements wal.FS over the real filesystem with scripted write
+// faults.  The zero value (via NewFS) injects nothing and behaves
+// exactly like the default filesystem.
+//
+// Fault precedence per write: FailWrites, then ShortWriteNext, then the
+// CrashAfterBytes budget.  Reads, renames and directory operations are
+// never faulted — recovery-path faults are modelled by what the faulty
+// writes left on disk, which is what a real crash leaves too.
+type FS struct {
+	mu         sync.Mutex
+	failWrites error // every write fails with this (ENOSPC et al.)
+	failSyncs  error // every fsync fails with this
+	shortNext  bool  // the next write persists and reports half its bytes
+	budget     int64 // persisted-byte budget; <0 = unlimited
+
+	shortWrites int64
+	tornBytes   int64 // bytes silently discarded by the crash budget
+}
+
+// NewFS returns a pass-through FS with no faults armed.
+func NewFS() *FS {
+	return &FS{budget: -1}
+}
+
+// FailWrites arms (or with nil disarms) an error every subsequent file
+// write returns — ENOSPC is the classic.  No bytes reach the disk.
+func (f *FS) FailWrites(err error) {
+	f.mu.Lock()
+	f.failWrites = err
+	f.mu.Unlock()
+}
+
+// FailSyncs arms (or with nil disarms) an error every subsequent fsync
+// returns.  Writes still land in the page cache, which is exactly the
+// fsyncgate shape: data "written", durability unknown.
+func (f *FS) FailSyncs(err error) {
+	f.mu.Lock()
+	f.failSyncs = err
+	f.mu.Unlock()
+}
+
+// ShortWriteNext makes the next write persist only half its bytes and
+// report io.ErrShortWrite.
+func (f *FS) ShortWriteNext() {
+	f.mu.Lock()
+	f.shortNext = true
+	f.mu.Unlock()
+}
+
+// CrashAfterBytes arms a torn-tail crash: after n more bytes persist,
+// subsequent bytes are silently discarded while every write still
+// reports success — the page cache accepted them and the power died
+// before they hit the platter.  The caller then abandons the log
+// without Close and recovers the directory, exactly like a kill -9.
+func (f *FS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	f.budget = n
+	f.mu.Unlock()
+}
+
+// Heal disarms every fault.
+func (f *FS) Heal() {
+	f.mu.Lock()
+	f.failWrites, f.failSyncs, f.shortNext, f.budget = nil, nil, false, -1
+	f.mu.Unlock()
+}
+
+// TornBytes reports how many bytes the crash budget silently discarded.
+func (f *FS) TornBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tornBytes
+}
+
+// ShortWrites reports how many short writes were injected.
+func (f *FS) ShortWrites() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shortWrites
+}
+
+// admitWrite decides one write's fate: report is how many bytes the
+// caller is told were written (alongside err), persist is how many
+// actually reach the disk.
+func (f *FS) admitWrite(n int) (report, persist int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failWrites != nil {
+		return 0, 0, f.failWrites
+	}
+	if f.shortNext {
+		f.shortNext = false
+		f.shortWrites++
+		half := n / 2
+		return half, f.consume(half), io.ErrShortWrite
+	}
+	return n, f.consume(n), nil
+}
+
+// consume charges n bytes against the crash budget, returning how many
+// may persist.  Callers hold mu.
+func (f *FS) consume(n int) int {
+	if f.budget < 0 {
+		return n
+	}
+	persist := n
+	if int64(persist) > f.budget {
+		persist = int(f.budget)
+	}
+	f.budget -= int64(persist)
+	f.tornBytes += int64(n - persist)
+	return persist
+}
+
+// syncErr returns the armed fsync error, if any.
+func (f *FS) syncErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failSyncs
+}
+
+// --- wal.FS implementation (faults on the write path only) ---
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	of, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &fsFile{fs: f, f: of}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (wal.File, error) {
+	of, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &fsFile{fs: f, f: of}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (f *FS) Remove(name string) error { return os.Remove(name) }
+
+func (f *FS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (f *FS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.syncErr(); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// fsFile routes one file's writes and fsyncs through the fault state.
+type fsFile struct {
+	fs *FS
+	f  *os.File
+}
+
+func (c *fsFile) Write(p []byte) (int, error) {
+	report, persist, err := c.fs.admitWrite(len(p))
+	if err != nil && report == 0 {
+		return 0, err
+	}
+	if persist > 0 {
+		if n, werr := c.f.Write(p[:persist]); werr != nil {
+			return n, werr
+		}
+	}
+	return report, err
+}
+
+func (c *fsFile) Sync() error {
+	if err := c.fs.syncErr(); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+func (c *fsFile) Close() error { return c.f.Close() }
+
+func (c *fsFile) Stat() (os.FileInfo, error) { return c.f.Stat() }
+
+func (c *fsFile) Name() string { return c.f.Name() }

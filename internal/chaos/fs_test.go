@@ -1,0 +1,271 @@
+package chaos_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"gridtrust/internal/chaos"
+	"gridtrust/internal/wal"
+)
+
+// refPayloads is the record sequence the recovery tests replay.
+func refPayloads() [][]byte {
+	var out [][]byte
+	for i := 0; i < 12; i++ {
+		out = append(out, []byte(fmt.Sprintf("record-%02d-%s", i, string(bytes.Repeat([]byte{'x'}, i)))))
+	}
+	return out
+}
+
+// appendAll writes payloads to a fresh log in dir, ignoring append
+// errors (fault runs are expected to fail partway).
+func appendAll(t *testing.T, dir string, fs wal.FS, payloads [][]byte) *wal.Log {
+	t.Helper()
+	l, rec, err := wal.Create(dir, wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered %d records", len(rec.Records))
+	}
+	for _, p := range payloads {
+		if _, err := l.Append(p); err != nil {
+			break
+		}
+	}
+	return l
+}
+
+// recoverReal abandons any writer and replays dir through the real
+// filesystem, as a restarted process would.
+func recoverReal(t *testing.T, dir string) *wal.Recovered {
+	t.Helper()
+	l, rec, err := wal.Create(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer l.Close()
+	return rec
+}
+
+// assertPrefix checks that recovered records are byte-identical to a
+// leading prefix of want.
+func assertPrefix(t *testing.T, rec *wal.Recovered, want [][]byte) int {
+	t.Helper()
+	if len(rec.Records) > len(want) {
+		t.Fatalf("recovered %d records, reference has %d", len(rec.Records), len(want))
+	}
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i)+1 {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d payload %q, want %q", i, r.Payload, want[i])
+		}
+	}
+	return len(rec.Records)
+}
+
+func TestFailSyncIsStickyFailStop(t *testing.T) {
+	dir := t.TempDir()
+	fs := chaos.NewFS()
+	payloads := refPayloads()
+
+	l, _, err := wal.Create(dir, wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for _, p := range payloads[:6] {
+		if _, err := l.Append(p); err != nil {
+			t.Fatalf("clean append: %v", err)
+		}
+	}
+
+	fs.FailSyncs(syscall.EIO)
+	if _, err := l.Append(payloads[6]); !errors.Is(err, wal.ErrFailStop) {
+		t.Fatalf("append under failed fsync: err = %v, want ErrFailStop", err)
+	}
+
+	// The fsyncgate lesson: healing the disk must not revive the log.
+	fs.Heal()
+	if _, err := l.Append(payloads[7]); !errors.Is(err, wal.ErrFailStop) {
+		t.Fatalf("append after heal: err = %v, want sticky ErrFailStop", err)
+	}
+	if err := l.Sync(); !errors.Is(err, wal.ErrFailStop) {
+		t.Fatalf("sync after fail-stop: err = %v, want ErrFailStop", err)
+	}
+	if err := l.Snapshot(1, []byte("s")); !errors.Is(err, wal.ErrFailStop) {
+		t.Fatalf("snapshot after fail-stop: err = %v, want ErrFailStop", err)
+	}
+	if err := l.Failed(); !errors.Is(err, wal.ErrFailStop) {
+		t.Fatalf("Failed() = %v, want ErrFailStop", err)
+	}
+
+	// The acked prefix must recover byte-identically.  The 7th record's
+	// write reached the page cache before the fsync failed, so it may
+	// legitimately survive too — as an exact byte-identical suffix,
+	// which assertPrefix already enforces — but never fewer than the 6
+	// acked records.
+	rec := recoverReal(t, dir)
+	if n := assertPrefix(t, rec, payloads); n < 6 {
+		t.Fatalf("recovered %d records, want at least the 6 acked ones", n)
+	}
+}
+
+func TestFailWritesENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fs := chaos.NewFS()
+	payloads := refPayloads()
+
+	l, _, err := wal.Create(dir, wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for _, p := range payloads[:4] {
+		if _, err := l.Append(p); err != nil {
+			t.Fatalf("clean append: %v", err)
+		}
+	}
+	fs.FailWrites(syscall.ENOSPC)
+	_, err = l.Append(payloads[4])
+	if !errors.Is(err, wal.ErrFailStop) {
+		t.Fatalf("append under ENOSPC: err = %v, want ErrFailStop", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append under ENOSPC: err = %v, want cause ENOSPC", err)
+	}
+
+	rec := recoverReal(t, dir)
+	if n := assertPrefix(t, rec, payloads); n != 4 {
+		t.Fatalf("recovered %d records, want the 4 pre-error ones", n)
+	}
+}
+
+func TestShortWriteRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := chaos.NewFS()
+	payloads := refPayloads()
+
+	l, _, err := wal.Create(dir, wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for _, p := range payloads[:5] {
+		if _, err := l.Append(p); err != nil {
+			t.Fatalf("clean append: %v", err)
+		}
+	}
+	fs.ShortWriteNext()
+	if _, err := l.Append(payloads[5]); !errors.Is(err, wal.ErrFailStop) {
+		t.Fatalf("append with short write: err = %v, want ErrFailStop", err)
+	}
+	if fs.ShortWrites() != 1 {
+		t.Fatalf("ShortWrites = %d, want 1", fs.ShortWrites())
+	}
+
+	// The torn half-frame must be truncated away, leaving the prefix.
+	rec := recoverReal(t, dir)
+	if n := assertPrefix(t, rec, payloads); n != 5 {
+		t.Fatalf("recovered %d records, want the 5 pre-error ones", n)
+	}
+	if rec.Clean() {
+		t.Fatalf("recovery reported clean over a torn tail")
+	}
+}
+
+// TestTornTailRecoveryEveryOffset is the satellite table test: for every
+// persisted-byte budget from zero to the full log, a torn-tail crash
+// must recover a byte-identical prefix of the reference sequence —
+// never a corrupt record, never a record past the tear.
+func TestTornTailRecoveryEveryOffset(t *testing.T) {
+	payloads := refPayloads()
+
+	// Reference run on the real filesystem: total segment bytes and the
+	// expected record sequence.
+	refDir := t.TempDir()
+	l := appendAll(t, refDir, nil, payloads)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close reference: %v", err)
+	}
+	total := segmentBytes(t, refDir)
+	if total == 0 {
+		t.Fatalf("reference run produced no segment bytes")
+	}
+
+	prevRecovered := -1
+	for offset := int64(0); offset <= total; offset++ {
+		dir := t.TempDir()
+		fs := chaos.NewFS()
+		fs.CrashAfterBytes(offset)
+		// Appends "succeed" — the page cache lies — then the process
+		// dies without Close, so the tail past offset never persists.
+		appendAll(t, dir, fs, payloads)
+
+		rec := recoverReal(t, dir)
+		n := assertPrefix(t, rec, payloads)
+		if n < prevRecovered {
+			t.Fatalf("offset %d: recovered %d records, fewer than offset %d's %d",
+				offset, n, offset-1, prevRecovered)
+		}
+		prevRecovered = n
+	}
+	if prevRecovered != len(payloads) {
+		t.Fatalf("full budget recovered %d records, want all %d", prevRecovered, len(payloads))
+	}
+}
+
+// segmentBytes sums the sizes of all segment files in dir.
+func segmentBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	var total int64
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// FuzzTornTailRecovery drives the crash budget and record shape from
+// the fuzzer: recovery after any torn tail must yield an exact prefix.
+func FuzzTornTailRecovery(f *testing.F) {
+	f.Add(uint16(0), uint8(3), uint8(7))
+	f.Add(uint16(41), uint8(5), uint8(0))
+	f.Add(uint16(9999), uint8(12), uint8(31))
+	f.Fuzz(func(t *testing.T, offset uint16, nrecords, fill uint8) {
+		n := int(nrecords%16) + 1
+		var payloads [][]byte
+		for i := 0; i < n; i++ {
+			payloads = append(payloads, []byte(fmt.Sprintf("r%02d-%d", i, fill)))
+		}
+		dir := t.TempDir()
+		fs := chaos.NewFS()
+		fs.CrashAfterBytes(int64(offset))
+		appendAll(t, dir, fs, payloads)
+
+		l, rec, err := wal.Create(dir, wal.Options{})
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		defer l.Close()
+		if len(rec.Records) > len(payloads) {
+			t.Fatalf("recovered %d records from %d appended", len(rec.Records), len(payloads))
+		}
+		for i, r := range rec.Records {
+			if !bytes.Equal(r.Payload, payloads[i]) {
+				t.Fatalf("record %d corrupt after torn tail at %d", i, offset)
+			}
+		}
+	})
+}

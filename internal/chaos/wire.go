@@ -1,0 +1,286 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridtrust/internal/rng"
+)
+
+// ErrReset is returned by a connection whose injected reset fate fired.
+var ErrReset = errors.New("chaos: connection reset by injected fault")
+
+// gatePoll is how often a blocked (partitioned/black-holed) connection
+// re-checks its deadline, the partition flag, and its own closed state.
+const gatePoll = 2 * time.Millisecond
+
+// Faults describes the probabilistic per-connection fates a Wire draws
+// when it wraps a connection.  Each new connection rolls its fate once,
+// from the Wire's seeded stream, so a schedule of dials replays
+// identically for a given seed.  The zero value injects nothing.
+type Faults struct {
+	// ResetProb is the probability a connection is hard-reset after
+	// transferring ResetAfterMax-bounded bytes: the underlying conn is
+	// closed and both directions return ErrReset.
+	ResetProb     float64
+	ResetAfterMax int // max bytes before the reset fires; default 256
+
+	// DropProb is the probability a connection black-holes after
+	// transferring DropAfterMax-bounded bytes: reads and writes block
+	// until the caller's deadline (or forever without one), the
+	// TCP-incast shape a dial deadline must bound.
+	DropProb     float64
+	DropAfterMax int // max bytes before the black-hole; default 256
+
+	// TrickleProb is the probability reads deliver one byte at a time.
+	TrickleProb float64
+
+	// Latency is a fixed delay added before every read; Jitter adds a
+	// uniformly drawn extra delay in [0, Jitter) rolled once per conn.
+	Latency time.Duration
+	Jitter  time.Duration
+}
+
+// Wire wraps listeners and connections with seed-driven fault
+// injection plus a scripted partition toggle.  With zero Faults and the
+// partition off, wrapped connections pass bytes through untouched.
+type Wire struct {
+	mu          sync.Mutex
+	src         *rng.Source
+	faults      Faults
+	partitioned bool
+
+	resets   atomic.Int64
+	drops    atomic.Int64
+	trickles atomic.Int64
+}
+
+// NewWire returns a Wire drawing connection fates from the given seed.
+func NewWire(seed uint64) *Wire {
+	return &Wire{src: rng.New(seed)}
+}
+
+// SetFaults installs the fate distribution for subsequently wrapped
+// connections.  Existing connections keep the fate they rolled.
+func (w *Wire) SetFaults(f Faults) {
+	w.mu.Lock()
+	w.faults = f
+	w.mu.Unlock()
+}
+
+// Partition toggles a scripted full partition: every wrapped connection
+// (existing and future) blocks on read and write until the partition
+// heals, the caller's deadline expires, or the connection is closed.
+func (w *Wire) Partition(on bool) {
+	w.mu.Lock()
+	w.partitioned = on
+	w.mu.Unlock()
+}
+
+// Partitioned reports the scripted partition state.
+func (w *Wire) Partitioned() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.partitioned
+}
+
+// Resets reports how many injected resets have fired.
+func (w *Wire) Resets() int64 { return w.resets.Load() }
+
+// Drops reports how many injected black-holes have engaged.
+func (w *Wire) Drops() int64 { return w.drops.Load() }
+
+// Trickles reports how many connections rolled the trickle fate.
+func (w *Wire) Trickles() int64 { return w.trickles.Load() }
+
+// Listener wraps ln so every accepted connection passes through the
+// Wire.  Addr and Close delegate to the underlying listener.
+func (w *Wire) Listener(ln net.Listener) net.Listener {
+	return &wireListener{Listener: ln, w: w}
+}
+
+// Conn wraps an already-established connection (the dial side).
+func (w *Wire) Conn(c net.Conn) net.Conn {
+	return w.wrap(c)
+}
+
+// wrap rolls a fate for c from the seeded stream and returns the
+// fault-injecting wrapper.
+func (w *Wire) wrap(c net.Conn) *wireConn {
+	w.mu.Lock()
+	f := w.faults
+	fate := connFate{
+		latency: f.Latency,
+	}
+	if f.Jitter > 0 {
+		fate.latency += time.Duration(w.src.Uint64() % uint64(f.Jitter))
+	}
+	if f.ResetProb > 0 && w.src.Bool(f.ResetProb) {
+		fate.reset = true
+		fate.resetAfter = int64(w.src.Intn(max(f.ResetAfterMax, 1) + 1))
+	}
+	if f.DropProb > 0 && w.src.Bool(f.DropProb) {
+		fate.drop = true
+		fate.dropAfter = int64(w.src.Intn(max(f.DropAfterMax, 1) + 1))
+	}
+	if f.TrickleProb > 0 && w.src.Bool(f.TrickleProb) {
+		fate.trickle = true
+		w.trickles.Add(1)
+	}
+	w.mu.Unlock()
+	return &wireConn{Conn: c, w: w, fate: fate}
+}
+
+type wireListener struct {
+	net.Listener
+	w *Wire
+}
+
+func (l *wireListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.w.wrap(c), nil
+}
+
+// connFate is the fault profile one connection rolled at wrap time.
+type connFate struct {
+	reset      bool
+	resetAfter int64 // transferred bytes before the reset fires
+	drop       bool
+	dropAfter  int64 // transferred bytes before the black-hole engages
+	trickle    bool
+	latency    time.Duration
+}
+
+// wireConn injects its rolled fate into one connection.  It tracks
+// deadlines itself (as well as forwarding them) so the partition and
+// black-hole gates can honor them while blocking above the socket.
+type wireConn struct {
+	net.Conn
+	w    *Wire
+	fate connFate
+
+	mu            sync.Mutex
+	transferred   int64
+	closed        bool
+	resetFired    bool
+	dropEngaged   bool
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+// timeoutError satisfies net.Error for deadline expiries the gate
+// synthesizes while a connection is blocked above the socket.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "chaos: i/o timeout (gated)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// gate blocks while the wire is partitioned or this connection's
+// black-hole is engaged, returning early when the relevant deadline
+// passes or the connection is closed.
+func (c *wireConn) gate(deadline func() time.Time) error {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return net.ErrClosed
+		}
+		if c.resetFired {
+			c.mu.Unlock()
+			return ErrReset
+		}
+		blocked := c.fate.drop && c.transferred >= c.fate.dropAfter
+		if blocked && !c.dropEngaged {
+			c.dropEngaged = true
+			c.w.drops.Add(1)
+		}
+		d := deadline()
+		c.mu.Unlock()
+		if !blocked && !c.w.Partitioned() {
+			return nil
+		}
+		if !d.IsZero() && time.Now().After(d) {
+			return timeoutError{}
+		}
+		time.Sleep(gatePoll)
+	}
+}
+
+func (c *wireConn) Read(p []byte) (int, error) {
+	if c.fate.latency > 0 {
+		time.Sleep(c.fate.latency)
+	}
+	if err := c.gate(func() time.Time { return c.readDeadline }); err != nil {
+		return 0, err
+	}
+	if c.fate.trickle && len(p) > 1 {
+		p = p[:1]
+	}
+	n, err := c.Conn.Read(p)
+	return n, c.account(n, err)
+}
+
+func (c *wireConn) Write(p []byte) (int, error) {
+	if err := c.gate(func() time.Time { return c.writeDeadline }); err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Write(p)
+	return n, c.account(n, err)
+}
+
+// account adds transferred bytes and fires the reset fate once its
+// byte budget is exhausted.  The byte count that crossed before the
+// reset is still reported to the caller — a real RST arrives after the
+// kernel already accepted those bytes.
+func (c *wireConn) account(n int, err error) error {
+	c.mu.Lock()
+	c.transferred += int64(n)
+	fire := c.fate.reset && !c.resetFired && c.transferred >= c.fate.resetAfter
+	if fire {
+		c.resetFired = true
+	}
+	c.mu.Unlock()
+	if fire {
+		c.w.resets.Add(1)
+		_ = c.Conn.Close()
+		if err == nil && n == 0 {
+			return ErrReset
+		}
+	}
+	return err
+}
+
+func (c *wireConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+func (c *wireConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *wireConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *wireConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}

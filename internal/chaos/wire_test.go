@@ -1,0 +1,233 @@
+package chaos_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gridtrust/internal/chaos"
+)
+
+// echoPair starts a TCP echo server whose accepted conns pass through
+// w, and returns a dialled (and wrapped) client conn.
+func echoPair(t *testing.T, w *chaos.Wire) net.Conn {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	wrapped := w.Listener(ln)
+	t.Cleanup(func() { wrapped.Close() })
+	go func() {
+		for {
+			c, err := wrapped.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestWirePassthrough(t *testing.T) {
+	w := chaos.NewWire(1)
+	c := echoPair(t, w)
+	msg := []byte("clean bytes through a quiet wire")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+	if w.Resets() != 0 || w.Drops() != 0 || w.Trickles() != 0 {
+		t.Fatalf("quiet wire injected faults: resets=%d drops=%d trickles=%d",
+			w.Resets(), w.Drops(), w.Trickles())
+	}
+}
+
+func TestWirePartitionHonorsDeadlineAndHeals(t *testing.T) {
+	w := chaos.NewWire(2)
+	c := echoPair(t, w)
+
+	// Prime the conn so the server side is wrapped and blocked too.
+	if _, err := c.Write([]byte("a")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	w.Partition(true)
+	if _, err := c.Write([]byte("b")); err != nil {
+		t.Fatalf("write during partition: %v", err)
+	}
+	// The server cannot echo: its read is gated.  A deadline-bounded
+	// client read must time out instead of wedging.
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(buf)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("read during partition: err = %v, want timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("partitioned read took %v, deadline not honored", elapsed)
+	}
+
+	w.Partition(false)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if buf[0] != 'b' {
+		t.Fatalf("read %q after heal, want %q", buf, "b")
+	}
+}
+
+func TestWireTrickleDeliversByteAtATime(t *testing.T) {
+	w := chaos.NewWire(3)
+	w.SetFaults(chaos.Faults{TrickleProb: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte("trickle"))
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c := w.Conn(raw)
+	defer c.Close()
+
+	buf := make([]byte, 16)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("trickle read returned %d bytes, want 1", n)
+	}
+	if w.Trickles() != 1 {
+		t.Fatalf("Trickles = %d, want 1", w.Trickles())
+	}
+	<-done
+}
+
+func TestWireResetFires(t *testing.T) {
+	w := chaos.NewWire(4)
+	w.SetFaults(chaos.Faults{ResetProb: 1, ResetAfterMax: 1})
+	c := echoPair(t, w)
+
+	// The server-side conn rolled a reset after at most 1 byte; pushing
+	// traffic through must surface a broken conn on the client, and the
+	// wire must count exactly the fates it fired.
+	deadline := time.Now().Add(5 * time.Second)
+	c.SetDeadline(deadline)
+	var failed bool
+	for time.Now().Before(deadline) {
+		if _, err := c.Write([]byte("x")); err != nil {
+			failed = true
+			break
+		}
+		buf := make([]byte, 1)
+		if _, err := c.Read(buf); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatalf("reset fate never surfaced")
+	}
+	if w.Resets() == 0 {
+		t.Fatalf("Resets = 0 after injected reset")
+	}
+}
+
+func TestWireFatesAreSeedDeterministic(t *testing.T) {
+	roll := func(seed uint64) []bool {
+		w := chaos.NewWire(seed)
+		w.SetFaults(chaos.Faults{TrickleProb: 0.5, ResetProb: 0.3, ResetAfterMax: 64})
+		var fates []bool
+		for i := 0; i < 64; i++ {
+			a, b := net.Pipe()
+			wc := w.Conn(a)
+			// Probe the trickle fate: a 2-byte read against a 2-byte
+			// send returns 1 byte iff the conn trickles.
+			go b.Write([]byte("zz"))
+			buf := make([]byte, 2)
+			wc.SetReadDeadline(time.Now().Add(2 * time.Second))
+			n, err := wc.Read(buf)
+			if err != nil {
+				t.Fatalf("probe read: %v", err)
+			}
+			fates = append(fates, n == 1)
+			wc.Close()
+			b.Close()
+		}
+		return fates
+	}
+	a, b := roll(42), roll(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at conn %d", i)
+		}
+	}
+}
+
+// FuzzWireDeliveredPrefix asserts the wire never corrupts data: under
+// any fate mix, the bytes a reader receives before an error are an
+// exact prefix of the bytes written.
+func FuzzWireDeliveredPrefix(f *testing.F) {
+	f.Add(uint64(1), []byte("hello fleet"), byte(0))
+	f.Add(uint64(77), bytes.Repeat([]byte("abc"), 50), byte(3))
+	f.Fuzz(func(t *testing.T, seed uint64, payload []byte, mode byte) {
+		if len(payload) == 0 || len(payload) > 1<<12 {
+			return
+		}
+		w := chaos.NewWire(seed)
+		w.SetFaults(chaos.Faults{
+			TrickleProb:   float64(mode&1) * 0.8,
+			ResetProb:     float64((mode>>1)&1) * 0.6,
+			ResetAfterMax: 32,
+		})
+		srv, cli := net.Pipe()
+		wc := w.Conn(srv)
+		go func() {
+			wc.Write(payload)
+			wc.Close()
+		}()
+		cli.SetReadDeadline(time.Now().Add(5 * time.Second))
+		got, _ := io.ReadAll(cli)
+		cli.Close()
+		if len(got) > len(payload) || !bytes.Equal(got, payload[:len(got)]) {
+			t.Fatalf("delivered bytes are not a prefix: sent %d, got %d", len(payload), len(got))
+		}
+	})
+}

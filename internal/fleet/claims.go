@@ -26,6 +26,10 @@ func metricForwardFail(peer string) string { return "fleet_forward_fail_" + peer
 func metricFailover(peer string) string    { return "fleet_forward_failover_" + peer + "_total" }
 func metricGossipSync(peer string) string  { return "fleet_gossip_sync_" + peer + "_total" }
 func metricGossipErr(peer string) string   { return "fleet_gossip_err_" + peer + "_total" }
+func metricBreakerOpen(peer string) string { return "fleet_breaker_open_" + peer + "_total" }
+func metricBreakerClose(peer string) string {
+	return "fleet_breaker_close_" + peer + "_total"
+}
 
 // Claims is the bounded-staleness view of every peer's trust table.
 // Remote tables arrive over the trustwire replica protocol and enter
@@ -44,9 +48,10 @@ func metricGossipErr(peer string) string   { return "fleet_gossip_err_" + peer +
 // out of fusion (stale trust is worse than no trust — the
 // recommendation-purging argument).
 type Claims struct {
-	bound time.Duration
-	now   func() time.Time // injectable for staleness tests
-	peers []*peerState
+	bound   time.Duration
+	timeout time.Duration    // per-round gossip deadline (0 = none)
+	now     func() time.Time // injectable for staleness tests
+	peers   []*peerState
 }
 
 // peerState is one peer's gossip state.  The replica connection is
@@ -70,8 +75,12 @@ type peerState struct {
 }
 
 // newClaims builds the claim state for the given peers (self excluded).
-func newClaims(peers []ShardConfig, bound time.Duration, reg *metrics.Registry) *Claims {
-	c := &Claims{bound: bound, now: time.Now}
+// timeout bounds one gossip round trip (dial + sync): a black-holed
+// peer then costs at most one deadline per tick instead of wedging its
+// gossip goroutine, and drops out of fusion once the staleness bound
+// passes.
+func newClaims(peers []ShardConfig, bound, timeout time.Duration, reg *metrics.Registry) *Claims {
+	c := &Claims{bound: bound, timeout: timeout, now: time.Now}
 	for _, p := range peers {
 		c.peers = append(c.peers, &peerState{
 			cfg:   p,
@@ -136,7 +145,7 @@ func (c *Claims) run(p *peerState, interval time.Duration, stop <-chan struct{})
 // syncPeer performs one gossip round against p.
 func (c *Claims) syncPeer(p *peerState) {
 	if p.rep == nil {
-		rep, err := trustwire.Dial(p.cfg.TrustAddr)
+		rep, err := trustwire.DialTimeout(p.cfg.TrustAddr, c.timeout)
 		if err != nil {
 			c.recordErr(p)
 			return

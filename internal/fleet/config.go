@@ -3,6 +3,7 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"time"
 )
@@ -15,6 +16,19 @@ const (
 	DefaultGossipInterval  = 100 * time.Millisecond
 	DefaultStalenessBound  = 3 * time.Second
 	DefaultForwardAttempts = 4
+)
+
+// Defaults for the failure-handling knobs.  The gossip timeout bounds
+// one poll round trip against a black-holed peer (dial + sync); the
+// forward timeouts bound the router's peer connections; the breaker
+// opens after the threshold of consecutive forward failures and probes
+// again after the cooldown.
+const (
+	DefaultGossipTimeout      = 1 * time.Second
+	DefaultForwardDialTimeout = 1 * time.Second
+	DefaultForwardOpTimeout   = 5 * time.Second
+	DefaultBreakerThreshold   = 5
+	DefaultBreakerCooldown    = 1 * time.Second
 )
 
 // ShardConfig names one fleet member and its two listen addresses: Addr
@@ -50,6 +64,26 @@ type Config struct {
 	// ForwardAttempts bounds transport-level retries when forwarding a
 	// mis-routed request to its owning shard (0 = DefaultForwardAttempts).
 	ForwardAttempts int `json:"forward_attempts,omitempty"`
+
+	// GossipTimeoutMS bounds one gossip round trip (dial + sync) so a
+	// black-holed peer costs one deadline, not a wedged goroutine.
+	GossipTimeoutMS int64 `json:"gossip_timeout_ms,omitempty"`
+
+	// ForwardDialTimeoutMS / ForwardOpTimeoutMS bound the router's peer
+	// connections: connecting, and one forwarded round trip.
+	ForwardDialTimeoutMS int64 `json:"forward_dial_timeout_ms,omitempty"`
+	ForwardOpTimeoutMS   int64 `json:"forward_op_timeout_ms,omitempty"`
+
+	// BreakerThreshold is the consecutive forward failures that open a
+	// peer's circuit breaker; BreakerCooldownMS is how long it stays
+	// open before a half-open probe (0 selects the defaults).
+	BreakerThreshold  int   `json:"breaker_threshold,omitempty"`
+	BreakerCooldownMS int64 `json:"breaker_cooldown_ms,omitempty"`
+
+	// WrapListener, when non-nil, interposes on the fleet's trust-gossip
+	// listener before serving starts (fault injection, test harnesses).
+	// Never set from JSON config.
+	WrapListener func(net.Listener) net.Listener `json:"-"`
 }
 
 // GossipInterval resolves the poll interval.
@@ -74,6 +108,47 @@ func (c Config) MaxForwardAttempts() int {
 		return DefaultForwardAttempts
 	}
 	return c.ForwardAttempts
+}
+
+// GossipTimeout resolves the per-round gossip deadline.
+func (c Config) GossipTimeout() time.Duration {
+	if c.GossipTimeoutMS <= 0 {
+		return DefaultGossipTimeout
+	}
+	return time.Duration(c.GossipTimeoutMS) * time.Millisecond
+}
+
+// ForwardDialTimeout resolves the peer-connection dial deadline.
+func (c Config) ForwardDialTimeout() time.Duration {
+	if c.ForwardDialTimeoutMS <= 0 {
+		return DefaultForwardDialTimeout
+	}
+	return time.Duration(c.ForwardDialTimeoutMS) * time.Millisecond
+}
+
+// ForwardOpTimeout resolves the forwarded round-trip deadline.
+func (c Config) ForwardOpTimeout() time.Duration {
+	if c.ForwardOpTimeoutMS <= 0 {
+		return DefaultForwardOpTimeout
+	}
+	return time.Duration(c.ForwardOpTimeoutMS) * time.Millisecond
+}
+
+// BreakerTripThreshold resolves the consecutive-failure trip count.
+func (c Config) BreakerTripThreshold() int {
+	if c.BreakerThreshold <= 0 {
+		return DefaultBreakerThreshold
+	}
+	return c.BreakerThreshold
+}
+
+// BreakerCooldown resolves how long an open breaker waits before a
+// half-open probe.
+func (c Config) BreakerCooldown() time.Duration {
+	if c.BreakerCooldownMS <= 0 {
+		return DefaultBreakerCooldown
+	}
+	return time.Duration(c.BreakerCooldownMS) * time.Millisecond
 }
 
 // Names returns the shard names in config order (the ring members).

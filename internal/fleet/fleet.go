@@ -68,7 +68,7 @@ func Start(cfg Config, self string, srv *rmswire.Server, trms *core.TRMS) (*Flee
 	srv.SetNextIDBase(uint64(idx) << rmswire.ShardIDShift)
 
 	topo := trms.Topology()
-	f.router = newRouter(cfg, idx, ring, topo, srv.Metrics())
+	f.router = newRouter(cfg, idx, ring, topo, srv.Metrics(), f.stop)
 	srv.Router = f.router
 	srv.FleetStatus = f.Status
 
@@ -79,10 +79,15 @@ func Start(cfg Config, self string, srv *rmswire.Server, trms *core.TRMS) (*Flee
 		if err != nil {
 			return nil, fmt.Errorf("fleet: trust server: %w", err)
 		}
-		addr, err := tw.ListenAndServe(cfg.Shards[idx].TrustAddr)
+		ln, err := net.Listen("tcp", cfg.Shards[idx].TrustAddr)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: trust listen %s: %w", cfg.Shards[idx].TrustAddr, err)
 		}
+		addr := ln.Addr()
+		if cfg.WrapListener != nil {
+			ln = cfg.WrapListener(ln)
+		}
+		go func() { _ = tw.Serve(ln) }()
 		f.tw, f.twAddr = tw, addr
 
 		// ...and pull every peer's table into the claims overlay.  The
@@ -95,7 +100,7 @@ func Start(cfg Config, self string, srv *rmswire.Server, trms *core.TRMS) (*Flee
 				peers = append(peers, s)
 			}
 		}
-		f.claims = newClaims(peers, cfg.StalenessBound(), srv.Metrics())
+		f.claims = newClaims(peers, cfg.StalenessBound(), cfg.GossipTimeout(), srv.Metrics())
 		trms.SetOTLFuser(f.claims)
 		for _, p := range f.claims.peers {
 			f.wg.Add(1)
@@ -123,6 +128,15 @@ func (f *Fleet) Status() *rmswire.FleetInfo {
 	}
 	if f.claims != nil {
 		info.Peers = f.claims.peerInfos()
+		// Annotate each peer with this shard's forward-path breaker.
+		for i := range info.Peers {
+			if br := f.router.breakerAt(f.cfg.Index(info.Peers[i].Name)); br != nil {
+				state, opens, closes := br.snapshot()
+				info.Peers[i].Breaker = state
+				info.Peers[i].BreakerOpens = opens
+				info.Peers[i].BreakerCloses = closes
+			}
+		}
 	}
 	return info
 }

@@ -12,21 +12,20 @@ import (
 	"gridtrust/internal/rmswire"
 )
 
-const (
-	// forwardDialTimeout bounds connecting to a peer shard.  A crashed
-	// peer refuses instantly; a blackholed one must not hold an
-	// admission slot on the entry shard for long.
-	forwardDialTimeout = 1 * time.Second
+// forwardRetryAfter is the backoff hint on a synthesized
+// StatusOverloaded when forwarding is exhausted: the client's retrier
+// waits this long, then retries the same idempotency key through the
+// same entry shard.  (The dial and op timeouts are config knobs; see
+// Config.ForwardDialTimeout / Config.ForwardOpTimeout.)
+const forwardRetryAfter = 50 * time.Millisecond
 
-	// forwardOpTimeout bounds one forwarded request end to end.
-	forwardOpTimeout = 5 * time.Second
+// errBreakerOpen marks forward attempts refused locally by an open
+// circuit breaker: no bytes went toward the peer, so for failover
+// purposes the op provably never reached the owner.
+var errBreakerOpen = errors.New("fleet: circuit breaker open")
 
-	// forwardRetryAfter is the backoff hint on a synthesized
-	// StatusOverloaded when forwarding is exhausted: the client's
-	// retrier waits this long, then retries the same idempotency key
-	// through the same entry shard.
-	forwardRetryAfter = 50 * time.Millisecond
-)
+// errShutdown aborts a forward's backoff when the fleet is closing.
+var errShutdown = errors.New("fleet: shutting down")
 
 // routerPeerMetrics are the per-peer forward counters (nil handles for
 // the self slot, which is never forwarded to).
@@ -73,6 +72,14 @@ type router struct {
 	shards   []ShardConfig
 	attempts int
 
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+
+	// breakers holds one circuit breaker per peer (nil for the self
+	// slot); stop aborts in-flight forward backoffs on fleet shutdown.
+	breakers []*breaker
+	stop     <-chan struct{}
+
 	// clientCD resolves a wire client ID to its owning CD; built once
 	// from the topology so routing never takes the scheduler lock.
 	clientCD map[int]grid.DomainID
@@ -100,19 +107,23 @@ type router struct {
 	forwarded map[string]struct{}
 }
 
-func newRouter(cfg Config, selfIdx int, ring *Ring, topo *grid.Topology, reg *metrics.Registry) *router {
+func newRouter(cfg Config, selfIdx int, ring *Ring, topo *grid.Topology, reg *metrics.Registry, stop <-chan struct{}) *router {
 	r := &router{
-		self:      cfg.Shards[selfIdx].Name,
-		selfIdx:   selfIdx,
-		ring:      ring,
-		shards:    cfg.Shards,
-		attempts:  cfg.MaxForwardAttempts(),
-		clientCD:  make(map[int]grid.DomainID, len(topo.Clients())),
-		forwardNS: reg.Histogram(MetricForwardNS),
-		peerM:     make([]routerPeerMetrics, len(cfg.Shards)),
-		instance:  time.Now().UnixNano(),
-		conns:     make(map[int]*rmswire.Client),
-		forwarded: make(map[string]struct{}),
+		self:        cfg.Shards[selfIdx].Name,
+		selfIdx:     selfIdx,
+		ring:        ring,
+		shards:      cfg.Shards,
+		attempts:    cfg.MaxForwardAttempts(),
+		dialTimeout: cfg.ForwardDialTimeout(),
+		opTimeout:   cfg.ForwardOpTimeout(),
+		breakers:    make([]*breaker, len(cfg.Shards)),
+		stop:        stop,
+		clientCD:    make(map[int]grid.DomainID, len(topo.Clients())),
+		forwardNS:   reg.Histogram(MetricForwardNS),
+		peerM:       make([]routerPeerMetrics, len(cfg.Shards)),
+		instance:    time.Now().UnixNano(),
+		conns:       make(map[int]*rmswire.Client),
+		forwarded:   make(map[string]struct{}),
 	}
 	for _, c := range topo.Clients() {
 		r.clientCD[int(c.ID)] = c.CD
@@ -127,8 +138,19 @@ func newRouter(cfg Config, selfIdx int, ring *Ring, topo *grid.Topology, reg *me
 			fail:     reg.Counter(metricForwardFail(s.Name)),
 			failover: reg.Counter(metricFailover(s.Name)),
 		}
+		r.breakers[i] = newBreaker(cfg.BreakerTripThreshold(), cfg.BreakerCooldown(),
+			reg.Counter(metricBreakerOpen(s.Name)), reg.Counter(metricBreakerClose(s.Name)))
 	}
 	return r
+}
+
+// breakerAt exposes a peer's breaker for status reporting (nil for the
+// self slot or out-of-range indexes).
+func (r *router) breakerAt(idx int) *breaker {
+	if idx < 0 || idx >= len(r.breakers) {
+		return nil
+	}
+	return r.breakers[idx]
 }
 
 // Route implements rmswire.Router.
@@ -199,14 +221,31 @@ func (r *router) forward(idx int, req rmswire.Request, submit, minted bool) (rms
 	}
 
 	began := time.Now()
+	br := r.breakers[idx]
 	reached := false // any attempt this op may have touched the owner
 	var lastErr error
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(forwardBackoff(attempt))
+			// Backoff aborts on fleet shutdown: a closing shard must not
+			// sit out the full schedule before its drain can finish.
+			select {
+			case <-time.After(forwardBackoff(attempt)):
+			case <-r.stop:
+				lastErr = errShutdown
+				attempt = r.attempts // no further attempts
+				continue
+			}
+		}
+		if !br.allow() {
+			// Open breaker: fail fast without paying the dial timeout.
+			// No bytes went toward the peer, so `reached` stays false and
+			// eligible submits take the failover path below immediately.
+			lastErr = errBreakerOpen
+			break
 		}
 		c, err := r.conn(idx)
 		if err != nil {
+			br.record(false)
 			lastErr = err // dial failure: the owner saw nothing
 			continue
 		}
@@ -215,6 +254,7 @@ func (r *router) forward(idx int, req rmswire.Request, submit, minted bool) (rms
 			// A server frame came back — relay it verbatim.  Errors and
 			// overloads are the owner's to report; the client's retrier
 			// already understands all three statuses.
+			br.record(true)
 			r.forwardNS.Observe(uint64(time.Since(began)))
 			if resp.Status == rmswire.StatusOK {
 				pm.ok.Inc()
@@ -232,13 +272,16 @@ func (r *router) forward(idx int, req rmswire.Request, submit, minted bool) (rms
 		}
 		if errors.Is(err, rmswire.ErrClientBroken) {
 			// The cached connection died under a previous op; nothing
-			// of this request was written.  Redial and retry.
+			// of this request was written.  The peer was never judged —
+			// release any probe slot without a transition, redial, retry.
+			br.cancel()
 			r.dropConn(idx, c)
 			lastErr = err
 			continue
 		}
 		// Transport error mid-op: the owner may have executed the
 		// request and only the response was lost.  Ambiguous.
+		br.record(false)
 		reached = true
 		lastErr = err
 		r.dropConn(idx, c)
@@ -286,11 +329,11 @@ func (r *router) conn(idx int) (*rmswire.Client, error) {
 	}
 	r.mu.Unlock()
 
-	nc, err := rmswire.DialTimeout(r.shards[idx].Addr, forwardDialTimeout)
+	nc, err := rmswire.DialTimeout(r.shards[idx].Addr, r.dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	nc.Timeout = forwardOpTimeout
+	nc.Timeout = r.opTimeout
 	r.mu.Lock()
 	if cur, ok := r.conns[idx]; ok && !cur.Broken() && !cur.Closing() {
 		// Lost a dial race; use the connection that won.

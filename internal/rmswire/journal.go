@@ -20,6 +20,7 @@ package rmswire
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -305,6 +306,12 @@ func (s *Server) journalAppend(r journalRecord) error {
 		return fmt.Errorf("rmswire: encode journal record: %w", err)
 	}
 	if _, err := s.journal.Append(data); err != nil {
+		// A WAL fail-stop means durability is gone for good on this
+		// journal: latch the daemon into degraded mode so every further
+		// mutation is refused up front instead of failing one by one.
+		if errors.Is(err, wal.ErrFailStop) {
+			s.degrade(err)
+		}
 		return fmt.Errorf("rmswire: journal append: %w", err)
 	}
 	return nil

@@ -96,6 +96,9 @@ const (
 	MetricPlacements = "placements_total"
 	// MetricIdemHits counts submits answered from the idempotency table.
 	MetricIdemHits = "idem_hits_total"
+	// MetricRefusedDegraded counts mutations refused because the daemon
+	// latched into journal fail-stop (see MetricDegraded).
+	MetricRefusedDegraded = "refused_degraded_total"
 	// MetricWALAppends / MetricWALSyncs / MetricWALRotations mirror the
 	// attached journal's wal.Stats at scrape time.
 	MetricWALAppends   = "wal_appends_total"
@@ -113,6 +116,10 @@ const (
 	MetricIdemEntries    = "idem_entries"
 	MetricPlaced         = "placed"
 	MetricDraining       = "draining"
+	// MetricDegraded is 1 once the journal hit fail-stop and the daemon
+	// refuses mutations, 0 while healthy.  It never returns to 0 within
+	// one process lifetime — fail-stop is sticky by design.
+	MetricDegraded       = "degraded"
 	MetricWALSegments    = "wal_segments"
 	MetricJournalNextSeq = "journal_next_seq"
 )
@@ -196,8 +203,13 @@ type StatsInfo struct {
 // served even when the daemon is shedding load, so probes and balancers
 // can distinguish "overloaded but alive" from "draining" from "dead".
 type HealthInfo struct {
-	Status         string `json:"status"` // "ok" | "draining"
-	Draining       bool   `json:"draining,omitempty"`
+	Status   string `json:"status"` // "ok" | "draining" | "degraded"
+	Draining bool   `json:"draining,omitempty"`
+	// Degraded reports the sticky journal fail-stop latch: the daemon
+	// refuses all mutations and will not recover without a restart onto
+	// healthy storage.  DegradedCause is the first error that tripped it.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedCause  string `json:"degraded_cause,omitempty"`
 	Conns          int    `json:"conns"`
 	MaxConns       int    `json:"max_conns,omitempty"`
 	InFlight       int    `json:"in_flight"`
@@ -280,6 +292,13 @@ type FleetPeerInfo struct {
 
 	Syncs      uint64 `json:"syncs"`
 	SyncErrors uint64 `json:"sync_errors"`
+
+	// Breaker is this shard's circuit-breaker state for forwards to the
+	// peer ("closed" | "open" | "half-open"; empty on older shards);
+	// BreakerOpens/BreakerCloses count its lifetime transitions.
+	Breaker       string `json:"breaker,omitempty"`
+	BreakerOpens  uint64 `json:"breaker_opens,omitempty"`
+	BreakerCloses uint64 `json:"breaker_closes,omitempty"`
 }
 
 // Response is one server response frame.

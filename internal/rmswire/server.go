@@ -75,6 +75,15 @@ type Server struct {
 	draining atomic.Bool
 	drainReq chan struct{}
 
+	// degraded is the daemon-level fail-stop latch: once the journal
+	// reports a WAL fail-stop (a failed write or fsync — durability can
+	// no longer be promised) every subsequent mutation is refused and
+	// health reports "degraded".  Reads, health, metrics and drain keep
+	// working so the operator can inspect and retire the shard.
+	// degradedCause holds the first error, for health and logs.
+	degraded      atomic.Bool
+	degradedCause atomic.Value // string
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -135,6 +144,7 @@ type serverMetrics struct {
 	reportErr       *metrics.Counter
 	placements      *metrics.Counter
 	idemHits        *metrics.Counter
+	refusedDegraded *metrics.Counter
 	opSubmit        *metrics.Histogram
 	opReport        *metrics.Histogram
 	opStats         *metrics.Histogram
@@ -179,6 +189,7 @@ func NewServer(trms *core.TRMS) (*Server, error) {
 		reportErr:       s.reg.Counter(MetricReportErr),
 		placements:      s.reg.Counter(MetricPlacements),
 		idemHits:        s.reg.Counter(MetricIdemHits),
+		refusedDegraded: s.reg.Counter(MetricRefusedDegraded),
 		opSubmit:        s.reg.Histogram(MetricOpSubmitNS),
 		opReport:        s.reg.Histogram(MetricOpReportNS),
 		opStats:         s.reg.Histogram(MetricOpStatsNS),
@@ -212,12 +223,38 @@ func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.ServeListener(ln), nil
+}
+
+// ServeListener serves on an already-bound listener in the background,
+// returning its address.  It exists so owners can interpose on the
+// listener (fault injection, TLS, test harnesses) before the server
+// starts accepting.
+func (s *Server) ServeListener(ln net.Listener) net.Addr {
 	if s.MaxInFlight > 0 {
 		s.tokens = make(chan struct{}, s.MaxInFlight)
 	}
 	s.ln = ln
 	go s.acceptLoop()
-	return ln.Addr(), nil
+	return ln.Addr()
+}
+
+// degrade latches the daemon into fail-stop refusal of mutations.  The
+// first cause wins; later calls are no-ops.
+func (s *Server) degrade(cause error) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.degradedCause.Store(cause.Error())
+	}
+}
+
+// Degraded reports whether the daemon has latched into fail-stop mode,
+// and the cause.
+func (s *Server) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	cause, _ := s.degradedCause.Load().(string)
+	return true, cause
 }
 
 // rejectConn answers an unadmitted connection with a single overloaded
@@ -447,6 +484,16 @@ func (s *Server) respond(req Request) Response {
 		s.sm.shedDraining.Inc()
 		return s.overloaded("draining")
 	}
+	// Fail-stop: a daemon whose journal can no longer promise durability
+	// refuses every mutation outright (StatusError, not overloaded — a
+	// retry here can never succeed; the client must go elsewhere).
+	// Reads still serve.
+	if (req.Op == OpSubmit || req.Op == OpReport) && s.degraded.Load() {
+		s.sm.refusedDegraded.Inc()
+		cause, _ := s.degradedCause.Load().(string)
+		return Response{Status: StatusError,
+			Error: fmt.Sprintf("daemon degraded (journal fail-stop): %s", cause)}
+	}
 	if !s.acquire(time.Duration(req.BudgetMS) * time.Millisecond) {
 		s.sm.shedInflight.Inc()
 		return s.overloaded(fmt.Sprintf("in-flight limit %d reached", s.MaxInFlight))
@@ -527,6 +574,11 @@ func (s *Server) handleHealth() Response {
 	if h.Draining {
 		h.Status = "draining"
 	}
+	if deg, cause := s.Degraded(); deg {
+		h.Status = "degraded"
+		h.Degraded = true
+		h.DegradedCause = cause
+	}
 	s.jmu.RLock()
 	if s.journal != nil {
 		h.Journal = true
@@ -564,6 +616,11 @@ func (s *Server) handleMetrics() Response {
 		snap.Gauges[MetricDraining] = 1
 	} else {
 		snap.Gauges[MetricDraining] = 0
+	}
+	if s.degraded.Load() {
+		snap.Gauges[MetricDegraded] = 1
+	} else {
+		snap.Gauges[MetricDegraded] = 0
 	}
 	s.jmu.RLock()
 	if s.journal != nil {

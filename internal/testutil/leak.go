@@ -1,0 +1,125 @@
+// Package testutil holds small helpers shared by tests across the
+// module.  Nothing here is imported by production code.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long a leak check waits for goroutines to unwind
+// before declaring them leaked.  Shutdown paths are asynchronous
+// (handlers notice a closed listener, gossip loops notice a closed stop
+// channel), so the check polls instead of snapshotting once.
+const leakGrace = 5 * time.Second
+
+// LeakCheck snapshots the set of live goroutines and returns a function
+// that fails t if goroutines created after the snapshot are still
+// running when it is called.  Use it around daemon-lifecycle tests:
+//
+//	check := testutil.LeakCheck(t)
+//	defer check()
+//	// ... start and stop servers, fleets, gossip loops ...
+//
+// A wedged gossip loop, a handler blocked on a dead connection, or a
+// forgotten ticker all surface here with their full stack.  The check
+// polls for up to leakGrace so legitimate asynchronous teardown does
+// not flake it.
+func LeakCheck(t testing.TB) func() {
+	t.Helper()
+	base := goroutineIDs()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(leakGrace)
+		var leaked []string
+		for {
+			leaked = leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("testutil: %d goroutine(s) leaked:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// leakedSince returns the stacks of goroutines not in base and not on
+// the ignore list.
+func leakedSince(base map[string]bool) []string {
+	var leaked []string
+	for _, g := range goroutineStanzas() {
+		id := stanzaID(g)
+		if id == "" || base[id] || ignorable(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// goroutineIDs returns the set of currently-live goroutine IDs.
+func goroutineIDs(extra ...string) map[string]bool {
+	ids := make(map[string]bool)
+	for _, g := range goroutineStanzas() {
+		if id := stanzaID(g); id != "" {
+			ids[id] = true
+		}
+	}
+	for _, id := range extra {
+		ids[id] = true
+	}
+	return ids
+}
+
+// goroutineStanzas captures every goroutine's stack as one stanza each.
+func goroutineStanzas() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	return strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+}
+
+// stanzaID extracts the "goroutine N" identity from a stack stanza.
+func stanzaID(stanza string) string {
+	var id int
+	var state string
+	if _, err := fmt.Sscanf(stanza, "goroutine %d [%s", &id, &state); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("g%d", id)
+}
+
+// ignorable reports goroutines the runtime or the testing framework
+// owns — they outlive individual tests by design.
+func ignorable(stanza string) bool {
+	for _, frag := range []string{
+		"created by runtime",
+		"created by testing.",
+		"testing.(*T).Run",
+		"testing.(*F).Fuzz",
+		"testing.runTests",
+		"testing.tRunner",
+		"os/signal.signal_recv",
+		"runtime.goexit()\n\tgoroutine running on other thread",
+	} {
+		if strings.Contains(stanza, frag) {
+			return true
+		}
+	}
+	return false
+}

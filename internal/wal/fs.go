@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// FS abstracts every filesystem operation the log performs, so fault
+// injection (internal/chaos) can sit between the WAL and the disk:
+// short writes, failed fsyncs, ENOSPC, and torn-tail "crashes" are all
+// one seam away.  Production code never sets Options.FS; the default
+// osFS is a zero-cost pass-through and the chaos-off path is
+// byte-identical to a WAL without the seam.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs a directory so renames and creates within it are
+	// durable.
+	SyncDir(dir string) error
+}
+
+// Open-flag combinations the log uses, kept beside the seam.
+const (
+	openWronlyAppend = os.O_WRONLY | os.O_APPEND
+	openCreateExcl   = os.O_WRONLY | os.O_CREATE | os.O_EXCL
+)
+
+// File is the subset of *os.File the log writes through.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// isNotExist reports a missing-file error from any FS implementation.
+func isNotExist(err error) bool { return os.IsNotExist(err) }
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

@@ -122,7 +122,7 @@ func FuzzWALRecoverSnapshot(f *testing.F) {
 			f.Fatal(err)
 		}
 	}
-	if err := writeSnapshotFile(dir, 4, []byte("snapshot-state"), false); err != nil {
+	if err := writeSnapshotFile(osFS{}, dir, 4, []byte("snapshot-state"), false); err != nil {
 		f.Fatal(err)
 	}
 	if err := l.Close(); err != nil {

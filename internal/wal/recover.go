@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 )
@@ -73,9 +72,9 @@ func Inspect(dir string, opts Options) (*Recovered, error) {
 // truncating the torn tail, deleting dropped/obsolete segments and
 // corrupt snapshot files.
 func recoverDir(dir string, opts Options, mutate bool) (*Recovered, []uint64, error) {
-	entries, err := os.ReadDir(dir)
+	entries, err := opts.FS.ReadDir(dir)
 	if err != nil {
-		if os.IsNotExist(err) && !mutate {
+		if isNotExist(err) && !mutate {
 			return &Recovered{NextSeq: 1}, nil, nil
 		}
 		return nil, nil, fmt.Errorf("wal: list dir: %w", err)
@@ -101,11 +100,11 @@ func recoverDir(dir string, opts Options, mutate bool) (*Recovered, []uint64, er
 	// Newest readable snapshot wins; unreadable ones are skipped (and
 	// removed under mutate).
 	for _, s := range snapSeqs {
-		payload, serr := readSnapshotFile(filepath.Join(dir, snapshotName(s)), s)
+		payload, serr := readSnapshotFile(opts.FS, filepath.Join(dir, snapshotName(s)), s)
 		if serr != nil {
 			rec.CorruptSnapshots++
 			if mutate {
-				_ = os.Remove(filepath.Join(dir, snapshotName(s)))
+				_ = opts.FS.Remove(filepath.Join(dir, snapshotName(s)))
 			}
 			continue
 		}
@@ -119,7 +118,7 @@ func recoverDir(dir string, opts Options, mutate bool) (*Recovered, []uint64, er
 	start := 0
 	for start < len(bases)-1 && bases[start+1] <= rec.SnapshotSeq {
 		if mutate {
-			_ = os.Remove(filepath.Join(dir, segmentName(bases[start])))
+			_ = opts.FS.Remove(filepath.Join(dir, segmentName(bases[start])))
 		}
 		start++
 	}
@@ -150,12 +149,12 @@ func recoverDir(dir string, opts Options, mutate bool) (*Recovered, []uint64, er
 			rec.DroppedSegments++
 			rec.Segments = append(rec.Segments, SegmentInfo{Base: base, Dropped: true})
 			if mutate {
-				_ = os.Remove(path)
+				_ = opts.FS.Remove(path)
 			}
 			broken = true
 			continue
 		}
-		info, payloads, serr := scanSegment(path, base, opts.MaxRecordBytes)
+		info, payloads, serr := scanSegment(opts.FS, path, base, opts.MaxRecordBytes)
 		if serr != nil {
 			return nil, nil, serr
 		}
@@ -165,7 +164,7 @@ func recoverDir(dir string, opts Options, mutate bool) (*Recovered, []uint64, er
 			rec.DroppedSegments++
 			rec.Segments = append(rec.Segments, info)
 			if mutate {
-				_ = os.Remove(path)
+				_ = opts.FS.Remove(path)
 			}
 			broken = true
 			continue
@@ -182,7 +181,7 @@ func recoverDir(dir string, opts Options, mutate bool) (*Recovered, []uint64, er
 		if info.TornBytes > 0 {
 			rec.TruncatedBytes += info.TornBytes
 			if mutate {
-				if terr := os.Truncate(path, info.Bytes); terr != nil {
+				if terr := opts.FS.Truncate(path, info.Bytes); terr != nil {
 					return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", terr)
 				}
 			}
@@ -202,8 +201,8 @@ func recoverDir(dir string, opts Options, mutate bool) (*Recovered, []uint64, er
 }
 
 // readSnapshotFile validates and returns one snapshot payload.
-func readSnapshotFile(path string, wantSeq uint64) ([]byte, error) {
-	data, err := os.ReadFile(path)
+func readSnapshotFile(fs FS, path string, wantSeq uint64) ([]byte, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: read snapshot: %w", err)
 	}
@@ -231,9 +230,9 @@ func readSnapshotFile(path string, wantSeq uint64) ([]byte, error) {
 // segment description and the record payloads in order.  A damaged or
 // missing header yields Records == 0 and Bytes == 0 (drop the file); any
 // later damage yields the valid prefix with TornBytes > 0.
-func scanSegment(path string, base uint64, maxRecord int) (SegmentInfo, [][]byte, error) {
+func scanSegment(fs FS, path string, base uint64, maxRecord int) (SegmentInfo, [][]byte, error) {
 	info := SegmentInfo{Base: base}
-	data, err := os.ReadFile(path)
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return info, nil, fmt.Errorf("wal: read segment: %w", err)
 	}

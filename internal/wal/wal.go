@@ -44,7 +44,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sync"
 )
@@ -85,6 +84,14 @@ var (
 	// away).  Tail corruption is NOT this error — it is repaired by
 	// truncation and reported in Recovered.
 	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrFailStop reports an operation on a log that has already failed a
+	// segment write or fsync.  The failure is sticky: after one failed
+	// sync the on-disk state of the current segment is unknowable (the
+	// kernel may have dropped the dirty page and cleared the error), so
+	// the log refuses every further append rather than risk acknowledging
+	// a record behind a hole.  Recovery of the pre-error prefix is the
+	// only way forward: reopen the directory in a fresh process.
+	ErrFailStop = errors.New("wal: fail-stop after write/sync error")
 )
 
 // Options configure a Log.
@@ -104,6 +111,9 @@ type Options struct {
 	// internal locks held: it must be fast, must not block, and must not
 	// call back into the Log.  An atomic histogram qualifies.
 	SyncObserver func(records uint64)
+	// FS overrides the filesystem the log writes through (fault
+	// injection; see internal/chaos).  nil selects the real filesystem.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +122,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRecordBytes <= 0 {
 		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 	return o
 }
@@ -138,13 +151,14 @@ type Log struct {
 	// mu guards the writer state: the open segment, its buffered tail,
 	// and the sequence counters.
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	buf      []byte   // frames written but not yet handed to the OS+synced
 	segBases []uint64 // base seq of every live segment, ascending
 	segSize  int64    // size of the current segment including buffered tail
 	nextSeq  uint64   // sequence the next Append will receive
 	written  uint64   // highest seq written into buf
 	closed   bool
+	failed   error // first write/sync failure; sticky fail-stop cause
 
 	appends   uint64
 	rotations uint64
@@ -170,7 +184,7 @@ type Log struct {
 // snapshot and records are returned for the caller to rebuild its state.
 func Create(dir string, opts Options) (*Log, *Recovered, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
 	}
 	rec, bases, err := recoverDir(dir, opts, true)
@@ -193,7 +207,7 @@ func Create(dir string, opts Options) (*Log, *Recovered, error) {
 	} else {
 		// Append to the recovered tail segment.
 		name := segmentName(l.segBases[len(l.segBases)-1])
-		f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := opts.FS.OpenFile(filepath.Join(dir, name), openWronlyAppend, 0o644)
 		if err != nil {
 			return nil, nil, fmt.Errorf("wal: open tail segment: %w", err)
 		}
@@ -219,8 +233,8 @@ func snapshotName(next uint64) string { return fmt.Sprintf("snap-%016x.snap", ne
 // makes it the append target.  Callers must hold mu (or own the log
 // exclusively, as Create does).
 func (l *Log) openSegment(base uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(base)),
-		os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.opts.FS.OpenFile(filepath.Join(l.dir, segmentName(base)),
+		openCreateExcl, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -236,7 +250,7 @@ func (l *Log) openSegment(base uint64) error {
 			_ = f.Close()
 			return fmt.Errorf("wal: sync segment header: %w", err)
 		}
-		if err := syncDir(l.dir); err != nil {
+		if err := l.opts.FS.SyncDir(l.dir); err != nil {
 			_ = f.Close()
 			return err
 		}
@@ -279,6 +293,11 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		l.mu.Unlock()
 		return 0, ErrClosed
 	}
+	if l.failed != nil {
+		err := l.failStopLocked()
+		l.mu.Unlock()
+		return 0, err
+	}
 	if l.segSize >= l.opts.SegmentBytes && l.segSize > segHeaderLen {
 		if err := l.rotateLocked(); err != nil {
 			l.mu.Unlock()
@@ -306,7 +325,7 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: close sealed segment: %w", err)
+		return l.failLocked(fmt.Errorf("wal: close sealed segment: %w", err))
 	}
 	l.rotations++
 	// Everything written so far is durable in the sealed segment.
@@ -317,24 +336,60 @@ func (l *Log) rotateLocked() error {
 	}
 	l.syncCond.Broadcast()
 	l.syncMu.Unlock()
-	return l.openSegment(l.nextSeq)
+	if err := l.openSegment(l.nextSeq); err != nil {
+		return l.failLocked(err)
+	}
+	return nil
 }
 
 // flushLocked hands the buffered frames to the OS and fsyncs.  Callers
-// hold mu.
+// hold mu.  Any failure converts the log to sticky fail-stop: the
+// kernel may drop a dirty page and clear the error after reporting it
+// once, so retrying the flush could "succeed" while leaving a hole in
+// the segment.  Never retry a dirty page.
 func (l *Log) flushLocked() error {
+	if l.failed != nil {
+		return l.failStopLocked()
+	}
 	if len(l.buf) > 0 {
 		if _, err := l.f.Write(l.buf); err != nil {
-			return fmt.Errorf("wal: write: %w", err)
+			return l.failLocked(fmt.Errorf("wal: write: %w", err))
 		}
 		l.buf = l.buf[:0]
 	}
 	if !l.opts.NoSync {
 		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: fsync: %w", err)
+			return l.failLocked(fmt.Errorf("wal: fsync: %w", err))
 		}
 	}
 	return nil
+}
+
+// failLocked records the first write/sync failure and returns the
+// fail-stop error that every subsequent operation will see.  Callers
+// hold mu.
+func (l *Log) failLocked(cause error) error {
+	if l.failed == nil {
+		l.failed = cause
+	}
+	return l.failStopLocked()
+}
+
+// failStopLocked wraps the sticky cause as an ErrFailStop.  Callers
+// hold mu and have checked l.failed != nil (or just set it).
+func (l *Log) failStopLocked() error {
+	return fmt.Errorf("%w: %w", ErrFailStop, l.failed)
+}
+
+// Failed returns the sticky fail-stop error, or nil while the log is
+// healthy.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed == nil {
+		return nil
+	}
+	return l.failStopLocked()
 }
 
 // waitSync blocks until seq is durable.  The first waiter that finds no
@@ -392,14 +447,17 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.failed != nil {
+		return l.failStopLocked()
+	}
 	if len(l.buf) > 0 {
 		if _, err := l.f.Write(l.buf); err != nil {
-			return fmt.Errorf("wal: write: %w", err)
+			return l.failLocked(fmt.Errorf("wal: write: %w", err))
 		}
 		l.buf = l.buf[:0]
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		return l.failLocked(fmt.Errorf("wal: fsync: %w", err))
 	}
 	return nil
 }
@@ -459,7 +517,7 @@ func (l *Log) Snapshot(nextSeq uint64, payload []byte) error {
 	}
 	l.mu.Unlock()
 
-	if err := writeSnapshotFile(l.dir, nextSeq, payload, !l.opts.NoSync); err != nil {
+	if err := writeSnapshotFile(l.opts.FS, l.dir, nextSeq, payload, !l.opts.NoSync); err != nil {
 		return err
 	}
 
@@ -470,7 +528,7 @@ func (l *Log) Snapshot(nextSeq uint64, payload []byte) error {
 	for i, base := range l.segBases {
 		last := i == len(l.segBases)-1
 		if !last && l.segBases[i+1] <= nextSeq {
-			if err := os.Remove(filepath.Join(l.dir, segmentName(base))); err != nil && !os.IsNotExist(err) {
+			if err := l.opts.FS.Remove(filepath.Join(l.dir, segmentName(base))); err != nil && !isNotExist(err) {
 				return fmt.Errorf("wal: compact: %w", err)
 			}
 			continue
@@ -479,18 +537,18 @@ func (l *Log) Snapshot(nextSeq uint64, payload []byte) error {
 	}
 	l.segBases = kept
 	// Drop superseded snapshot files.
-	if err := removeOldSnapshots(l.dir, nextSeq); err != nil {
+	if err := removeOldSnapshots(l.opts.FS, l.dir, nextSeq); err != nil {
 		return err
 	}
 	if !l.opts.NoSync {
-		return syncDir(l.dir)
+		return l.opts.FS.SyncDir(l.dir)
 	}
 	return nil
 }
 
 // writeSnapshotFile atomically writes the snapshot for boundary nextSeq:
 // temp file, fsync, rename, directory fsync.
-func writeSnapshotFile(dir string, nextSeq uint64, payload []byte, durable bool) error {
+func writeSnapshotFile(fs FS, dir string, nextSeq uint64, payload []byte, durable bool) error {
 	hdr := make([]byte, snapHeaderLen)
 	copy(hdr[:8], snapMagic)
 	binary.LittleEndian.PutUint64(hdr[8:16], nextSeq)
@@ -499,11 +557,11 @@ func writeSnapshotFile(dir string, nextSeq uint64, payload []byte, durable bool)
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[20:24], crc)
 
-	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	tmp, err := fs.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("wal: snapshot temp: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fs.Remove(tmp.Name())
 	if _, err := tmp.Write(hdr); err == nil {
 		_, err = tmp.Write(payload)
 	}
@@ -520,18 +578,18 @@ func writeSnapshotFile(dir string, nextSeq uint64, payload []byte, durable bool)
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("wal: snapshot close: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotName(nextSeq))); err != nil {
+	if err := fs.Rename(tmp.Name(), filepath.Join(dir, snapshotName(nextSeq))); err != nil {
 		return fmt.Errorf("wal: snapshot rename: %w", err)
 	}
 	if durable {
-		return syncDir(dir)
+		return fs.SyncDir(dir)
 	}
 	return nil
 }
 
 // removeOldSnapshots deletes snapshot files with a boundary below keep.
-func removeOldSnapshots(dir string, keep uint64) error {
-	entries, err := os.ReadDir(dir)
+func removeOldSnapshots(fs FS, dir string, keep uint64) error {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("wal: list snapshots: %w", err)
 	}
@@ -541,7 +599,7 @@ func removeOldSnapshots(dir string, keep uint64) error {
 			continue
 		}
 		if next < keep {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			if err := fs.Remove(filepath.Join(dir, e.Name())); err != nil && !isNotExist(err) {
 				return fmt.Errorf("wal: remove old snapshot: %w", err)
 			}
 		}
@@ -585,18 +643,4 @@ func (l *Log) observeBatch(records uint64) {
 	if l.opts.SyncObserver != nil {
 		l.opts.SyncObserver(records)
 	}
-}
-
-// syncDir fsyncs a directory so renames and creates within it are
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: open dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: sync dir: %w", err)
-	}
-	return nil
 }

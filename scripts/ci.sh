@@ -3,7 +3,9 @@
 # the whole module, race-tests the packages with real concurrency or
 # shared scratch (the experiment engine's global pool, internal/sim's
 # cell runners, internal/sched's pooled kernel state, the WAL's group
-# commit, the daemon's journal), fuzzes every fuzz target briefly,
+# commit, the daemon's journal), runs the seeded chaos soak (wire
+# faults, a partition, a mid-storm crash-restart; books must balance),
+# fuzzes every fuzz target briefly,
 # smoke-runs every sweep mode through the engine, smoke-runs the
 # journalled daemon demo, and proves checkpoint-resume: a SIGINT'd sweep
 # resumed against its checkpoint directory prints byte-identical output.
@@ -34,7 +36,13 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/... ./internal/trustwire/... ./internal/fleet/...
+go test -race ./internal/exp/... ./internal/fault/... ./internal/sched/... ./internal/sim/... ./internal/trust/... ./internal/wal/... ./internal/rmswire/... ./internal/metrics/... ./internal/load/... ./internal/trustwire/... ./internal/fleet/... ./internal/chaos/...
+
+echo "==> chaos soak smoke (seeded fault schedule, race detector, bounded)"
+# The soak runs a 3-shard journaled fleet under a scripted schedule of
+# wire faults, a partition, and a SIGKILL-equivalent crash-restart; its
+# seed is fixed in the test, so a failure reproduces exactly.
+go test -race -run '^TestChaosSoak$' -timeout 120s ./internal/fleet/
 
 echo "==> fuzz smoke (every fuzz target, 5s each)"
 for spec in \
@@ -49,7 +57,9 @@ for spec in \
     "./internal/grid FuzzLevelFromScore" \
     "./internal/trustwire FuzzReadFrame" \
     "./internal/trustwire FuzzApplyEntries" \
-    "./internal/trustwire FuzzServerRespond"; do
+    "./internal/trustwire FuzzServerRespond" \
+    "./internal/chaos FuzzTornTailRecovery" \
+    "./internal/chaos FuzzWireDeliveredPrefix"; do
     set -- $spec
     echo "    fuzz $1 $2"
     go test "$1" -run '^$' -fuzz "^$2\$" -fuzztime 5s > /dev/null
